@@ -1,0 +1,9 @@
+// Figure 9: "Reduction: PIS over topoPrune" — candidate reduction ratio
+// Yt/Yp per Yt bucket for 16-edge queries, σ = 1, 2, 4.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return pis::bench::ReductionFigureMain(
+      argc, argv, "Figure 9: reduction ratio Yt/Yp", /*default_query_edges=*/16,
+      {1.0, 2.0, 4.0});
+}

@@ -1,0 +1,9 @@
+// Figure 10: "Structure Query with 24 edges" — candidate reduction ratio
+// Yt/Yp per Yt bucket for 24-edge queries, σ = 1, 3, 5.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return pis::bench::ReductionFigureMain(
+      argc, argv, "Figure 10: reduction ratio Yt/Yp", /*default_query_edges=*/24,
+      {1.0, 3.0, 5.0});
+}

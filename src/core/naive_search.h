@@ -1,0 +1,30 @@
+// Naive SSSD baseline (paper §2): scan the whole database and verify every
+// graph. The correctness oracle for the other engines.
+#ifndef PIS_CORE_NAIVE_SEARCH_H_
+#define PIS_CORE_NAIVE_SEARCH_H_
+
+#include <vector>
+
+#include "core/stats.h"
+#include "core/verifier.h"
+#include "distance/distance_spec.h"
+#include "graph/graph.h"
+
+namespace pis {
+
+struct SearchResult {
+  /// Ids of graphs with d(Q, G) <= sigma, ascending.
+  std::vector<int> answers;
+  /// Candidate ids that reached verification (the filtering output; equals
+  /// the whole database for naive search).
+  std::vector<int> candidates;
+  QueryStats stats;
+};
+
+/// Verifies every database graph against the query.
+SearchResult NaiveSearch(const GraphDatabase& db, const Graph& query,
+                         const DistanceSpec& spec, double sigma);
+
+}  // namespace pis
+
+#endif  // PIS_CORE_NAIVE_SEARCH_H_

@@ -1,0 +1,3 @@
+// Intentionally empty: PisOptions is a plain aggregate. This TU anchors the
+// header in the build so misuse surfaces as compile errors early.
+#include "core/options.h"

@@ -1,0 +1,64 @@
+// Partition selection: the overlapping-relation graph and maximum weighted
+// independent set heuristics of paper §5 (Algorithm 1, EnhancedGreedy(k),
+// plus an exact solver for tests and ablations).
+#ifndef PIS_CORE_PARTITION_H_
+#define PIS_CORE_PARTITION_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace pis {
+
+/// A candidate partition member: an indexed query fragment with its
+/// selectivity weight and the query vertices it covers.
+struct WeightedFragment {
+  double weight = 0;
+  /// Sorted query vertex ids covered by the fragment. Two fragments overlap
+  /// when these intersect (Definition 3 requires vertex-disjointness).
+  std::vector<VertexId> vertices;
+};
+
+/// \brief The overlapping-relation graph Q̃ (paper Figure 6).
+class OverlapGraph {
+ public:
+  explicit OverlapGraph(const std::vector<WeightedFragment>& fragments);
+
+  int size() const { return static_cast<int>(adjacency_.size()); }
+  double weight(int v) const { return weights_[v]; }
+  const std::vector<int>& neighbors(int v) const { return adjacency_[v]; }
+  bool Adjacent(int a, int b) const;
+
+  /// True iff `set` is an independent set.
+  bool IsIndependent(const std::vector<int>& set) const;
+  double TotalWeight(const std::vector<int>& set) const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+/// Algorithm 1 (Greedy): O(cn) with optimality ratio 1/c.
+std::vector<int> GreedyMwis(const OverlapGraph& graph);
+
+/// EnhancedGreedy(k): picks a maximum-weight independent k-set per round;
+/// optimality ratio c/k in O(c k n^k). k >= 1 (k = 1 equals Greedy).
+std::vector<int> EnhancedGreedyMwis(const OverlapGraph& graph, int k);
+
+/// Exact MWIS by branch and bound. Exponential: intended for the small
+/// overlap graphs of tests/ablations (size <= ~40 recommended).
+std::vector<int> ExactMwis(const OverlapGraph& graph);
+
+/// Single heaviest vertex (ablation baseline: "no partition, best fragment
+/// only").
+std::vector<int> SingleBestMwis(const OverlapGraph& graph);
+
+/// Dispatches on the configured algorithm.
+std::vector<int> SelectPartition(const OverlapGraph& graph,
+                                 PartitionAlgorithm algorithm, int enhanced_k);
+
+}  // namespace pis
+
+#endif  // PIS_CORE_PARTITION_H_

@@ -1,0 +1,55 @@
+// The PIS engine: partition-based graph index and search (paper Algorithm 2
+// plus candidate verification). This is the library's primary entry point.
+#ifndef PIS_CORE_PIS_H_
+#define PIS_CORE_PIS_H_
+
+#include <vector>
+
+#include "core/naive_search.h"
+#include "core/options.h"
+#include "core/partition.h"
+#include "core/query_fragments.h"
+#include "core/stats.h"
+#include "index/fragment_index.h"
+#include "util/status.h"
+
+namespace pis {
+
+/// Output of the filtering phase (Algorithm 2) — everything the benchmark
+/// harness needs without paying for verification.
+struct FilterResult {
+  /// Candidate answer set CQ after partition lower-bound pruning (Yp).
+  std::vector<int> candidates;
+  /// Positions (into `fragments`) of the selected partition P.
+  std::vector<int> partition;
+  /// All kept query fragments with their selectivity weights.
+  std::vector<QueryFragment> fragments;
+  std::vector<double> selectivities;
+  QueryStats stats;
+};
+
+/// \brief Partition-based search engine over a fragment index.
+class PisEngine {
+ public:
+  /// `db` and `index` must outlive the engine; the index must have been
+  /// built over exactly this database.
+  PisEngine(const GraphDatabase* db, const FragmentIndex* index,
+            const PisOptions& options = {});
+
+  /// Algorithm 2: returns the pruned candidate set and filtering stats.
+  Result<FilterResult> Filter(const Graph& query) const;
+
+  /// Filter + verification: the exact SSSD answer set.
+  Result<SearchResult> Search(const Graph& query) const;
+
+  const PisOptions& options() const { return options_; }
+
+ private:
+  const GraphDatabase* db_;
+  const FragmentIndex* index_;
+  PisOptions options_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_CORE_PIS_H_

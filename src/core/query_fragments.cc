@@ -1,0 +1,45 @@
+#include "core/query_fragments.h"
+
+#include <algorithm>
+
+#include "index/fragment_enum.h"
+
+namespace pis {
+
+Result<std::vector<QueryFragment>> EnumerateIndexedQueryFragments(
+    const FragmentIndex& index, const Graph& query, size_t max_fragments) {
+  FragmentEnumOptions enum_opts;
+  enum_opts.min_edges = index.options().min_fragment_edges;
+  enum_opts.max_edges = index.options().max_fragment_edges;
+  std::vector<QueryFragment> fragments;
+  Status failure = Status::OK();
+  EnumerateConnectedEdgeSubgraphs(query, enum_opts,
+                                  [&](const std::vector<EdgeId>& subset) {
+    std::vector<VertexId> vertex_map;
+    Graph sub = query.EdgeSubgraph(subset, &vertex_map);
+    Result<PreparedFragment> prepared = index.Prepare(sub);
+    if (!prepared.ok()) {
+      if (prepared.status().code() == StatusCode::kNotFound) return true;
+      failure = prepared.status();
+      return false;
+    }
+    QueryFragment qf;
+    qf.prepared = prepared.MoveValue();
+    qf.vertices = std::move(vertex_map);
+    std::sort(qf.vertices.begin(), qf.vertices.end());
+    fragments.push_back(std::move(qf));
+    return true;
+  });
+  PIS_RETURN_NOT_OK(failure);
+  if (max_fragments > 0 && fragments.size() > max_fragments) {
+    // Keep the largest fragments: they carry the pruning power.
+    std::stable_sort(fragments.begin(), fragments.end(),
+                     [](const QueryFragment& a, const QueryFragment& b) {
+                       return a.prepared.num_edges > b.prepared.num_edges;
+                     });
+    fragments.resize(max_fragments);
+  }
+  return fragments;
+}
+
+}  // namespace pis

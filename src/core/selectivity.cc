@@ -1,0 +1,20 @@
+#include "core/selectivity.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pis {
+
+double ComputeSelectivity(const std::vector<double>& found_distances, int db_size,
+                          double sigma, double lambda) {
+  if (db_size <= 0) return 0.0;  // empty database: nothing to discriminate
+  PIS_DCHECK(static_cast<int>(found_distances.size()) <= db_size);
+  const double cutoff = lambda * sigma;
+  double total = 0;
+  for (double d : found_distances) total += std::min(d, cutoff);
+  total += static_cast<double>(db_size - found_distances.size()) * cutoff;
+  return total / static_cast<double>(db_size);
+}
+
+}  // namespace pis

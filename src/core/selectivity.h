@@ -1,0 +1,19 @@
+// Selectivity (paper Definition 5 and Algorithm 2 line 18): the average
+// minimum distance between a fragment and the database, with the cutoff
+// generalized to λ·σ for the Figure 11 sensitivity study.
+#ifndef PIS_CORE_SELECTIVITY_H_
+#define PIS_CORE_SELECTIVITY_H_
+
+#include <vector>
+
+namespace pis {
+
+/// w(g) = [ Σ_{G ∈ T} min(d(g,G), λσ) + (n - |T|) · λσ ] / n
+/// where `found_distances` are the per-graph minimum distances of the range
+/// query result T (each <= σ), `db_size` is n, and the cutoff is λσ.
+double ComputeSelectivity(const std::vector<double>& found_distances, int db_size,
+                          double sigma, double lambda);
+
+}  // namespace pis
+
+#endif  // PIS_CORE_SELECTIVITY_H_

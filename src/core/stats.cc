@@ -1,0 +1,16 @@
+#include "core/stats.h"
+
+#include "util/string_util.h"
+
+namespace pis {
+
+std::string QueryStats::ToString() const {
+  return StrFormat(
+      "fragments=%zu kept=%zu range_queries=%zu partition=%zu (w=%.3f) "
+      "cand_intersect=%zu cand_final=%zu answers=%zu filter=%.3fms verify=%.3fms",
+      fragments_enumerated, fragments_kept, range_queries, partition_size,
+      partition_weight, candidates_after_intersection, candidates_final, answers,
+      filter_seconds * 1e3, verify_seconds * 1e3);
+}
+
+}  // namespace pis

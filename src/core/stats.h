@@ -1,0 +1,37 @@
+// Per-query statistics reported by the search engines; the benchmark
+// harness aggregates these into the paper's figures.
+#ifndef PIS_CORE_STATS_H_
+#define PIS_CORE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace pis {
+
+struct QueryStats {
+  /// Indexed fragments enumerated in the query (Algorithm 2 lines 3-4).
+  size_t fragments_enumerated = 0;
+  /// Fragments surviving the ε selectivity filter (line 5).
+  size_t fragments_kept = 0;
+  /// Range queries issued against the index.
+  size_t range_queries = 0;
+  /// Fragments in the selected partition P (line 20).
+  size_t partition_size = 0;
+  /// Total selectivity weight of P.
+  double partition_weight = 0;
+  /// |CQ| after the per-fragment intersections (line 17).
+  size_t candidates_after_intersection = 0;
+  /// |CQ| after partition lower-bound pruning (lines 21-23) — the
+  /// candidate count the paper plots (Yp).
+  size_t candidates_final = 0;
+  /// Number of answers after verification.
+  size_t answers = 0;
+  double filter_seconds = 0;
+  double verify_seconds = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace pis
+
+#endif  // PIS_CORE_STATS_H_

@@ -1,0 +1,70 @@
+#include "core/topo_prune.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/query_fragments.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace pis {
+
+TopoPruneEngine::TopoPruneEngine(const GraphDatabase* db,
+                                 const FragmentIndex* index)
+    : db_(db), index_(index) {
+  PIS_CHECK(db_ != nullptr && index_ != nullptr);
+}
+
+Result<std::vector<int>> TopoPruneEngine::Filter(const Graph& query,
+                                                 QueryStats* stats) const {
+  Timer timer;
+  PIS_ASSIGN_OR_RETURN(std::vector<QueryFragment> fragments,
+                       EnumerateIndexedQueryFragments(*index_, query));
+  // Distinct classes only: containment is a class property.
+  std::unordered_set<int> class_ids;
+  for (const QueryFragment& qf : fragments) {
+    class_ids.insert(qf.prepared.class_id);
+  }
+  std::vector<char> alive(db_->size(), 1);
+  size_t alive_count = db_->size();
+  for (int class_id : class_ids) {
+    const std::vector<int>& containing =
+        index_->class_at(class_id).containing_graphs();
+    std::vector<char> keep(db_->size(), 0);
+    for (int gid : containing) keep[gid] = 1;
+    for (int gid = 0; gid < db_->size(); ++gid) {
+      if (alive[gid] && !keep[gid]) {
+        alive[gid] = 0;
+        --alive_count;
+      }
+    }
+    if (alive_count == 0) break;
+  }
+  std::vector<int> candidates;
+  candidates.reserve(alive_count);
+  for (int gid = 0; gid < db_->size(); ++gid) {
+    if (alive[gid]) candidates.push_back(gid);
+  }
+  if (stats != nullptr) {
+    stats->fragments_enumerated = fragments.size();
+    stats->range_queries = class_ids.size();
+    stats->candidates_after_intersection = candidates.size();
+    stats->candidates_final = candidates.size();
+    stats->filter_seconds = timer.Seconds();
+  }
+  return candidates;
+}
+
+Result<SearchResult> TopoPruneEngine::Search(const Graph& query,
+                                             double sigma) const {
+  SearchResult result;
+  PIS_ASSIGN_OR_RETURN(result.candidates, Filter(query, &result.stats));
+  VerifyResult verified = VerifyCandidates(*db_, query, result.candidates,
+                                           index_->options().spec, sigma);
+  result.answers = std::move(verified.answers);
+  result.stats.answers = result.answers.size();
+  result.stats.verify_seconds = verified.seconds;
+  return result;
+}
+
+}  // namespace pis

@@ -1,0 +1,32 @@
+// Candidate verification (paper framework step 3): compute the real minimum
+// superimposed distance for each candidate and keep those within σ.
+#ifndef PIS_CORE_VERIFIER_H_
+#define PIS_CORE_VERIFIER_H_
+
+#include <vector>
+
+#include "distance/distance_spec.h"
+#include "graph/graph.h"
+
+namespace pis {
+
+struct VerifyResult {
+  /// Ids of candidate graphs with d(Q, G) <= sigma, ascending.
+  std::vector<int> answers;
+  /// Realized minimum distances, parallel to `answers`.
+  std::vector<double> distances;
+  double seconds = 0;
+};
+
+/// Verifies `candidates` (database ids) against the query using the
+/// cost-bounded superposition search. With `num_threads > 1` candidates are
+/// verified in parallel (each search is independent); results are returned
+/// in ascending id order either way.
+VerifyResult VerifyCandidates(const GraphDatabase& db, const Graph& query,
+                              const std::vector<int>& candidates,
+                              const DistanceSpec& spec, double sigma,
+                              int num_threads = 1);
+
+}  // namespace pis
+
+#endif  // PIS_CORE_VERIFIER_H_

@@ -1,0 +1,61 @@
+// DistanceSpec: a value type naming which superimposed distance an index or
+// engine is configured for, with its parameters. One spec governs index
+// construction, range queries, and verification so they cannot disagree.
+#ifndef PIS_DISTANCE_DISTANCE_SPEC_H_
+#define PIS_DISTANCE_DISTANCE_SPEC_H_
+
+#include <memory>
+
+#include "distance/linear.h"
+#include "distance/mutation.h"
+#include "distance/score_matrix.h"
+
+namespace pis {
+
+enum class DistanceType {
+  /// Mutation Distance: categorical labels scored by matrices.
+  kMutation,
+  /// Linear Mutation Distance: numeric weights scored by |w - w'|.
+  kLinear,
+};
+
+/// \brief Configuration of the superimposed distance.
+struct DistanceSpec {
+  DistanceType type = DistanceType::kMutation;
+
+  // Mutation distance parameters. Defaults reproduce the paper's
+  // evaluation: edge labels count, vertex labels ignored.
+  ScoreMatrix vertex_scores = ScoreMatrix::Zero();
+  ScoreMatrix edge_scores = ScoreMatrix::Unit();
+
+  // Linear distance parameters.
+  bool use_vertex_weights = false;
+  bool use_edge_weights = true;
+
+  /// The paper's evaluation distance (edge mutation distance).
+  static DistanceSpec EdgeMutation() { return DistanceSpec{}; }
+  /// Full mutation distance with unit scores on vertices and edges.
+  static DistanceSpec FullMutation() {
+    DistanceSpec spec;
+    spec.vertex_scores = ScoreMatrix::Unit();
+    return spec;
+  }
+  /// Linear distance over edge weights.
+  static DistanceSpec EdgeLinear() {
+    DistanceSpec spec;
+    spec.type = DistanceType::kLinear;
+    return spec;
+  }
+
+  /// Materializes the matching cost model for verification searches.
+  std::unique_ptr<SuperimposeCostModel> MakeCostModel() const {
+    if (type == DistanceType::kMutation) {
+      return std::make_unique<MutationCostModel>(vertex_scores, edge_scores);
+    }
+    return std::make_unique<LinearCostModel>(use_vertex_weights, use_edge_weights);
+  }
+};
+
+}  // namespace pis
+
+#endif  // PIS_DISTANCE_DISTANCE_SPEC_H_

@@ -1,0 +1,51 @@
+#include "distance/score_matrix.h"
+
+namespace pis {
+
+Status ScoreMatrix::Set(Label a, Label b, double cost) {
+  if (cost < 0) {
+    return Status::InvalidArgument("mutation costs must be non-negative");
+  }
+  overrides_[PairKey(a, b)] = cost;
+  return Status::OK();
+}
+
+bool ScoreMatrix::IsZero() const {
+  if (default_mismatch_ != 0) return false;
+  for (const auto& [key, cost] : overrides_) {
+    if (cost != 0) return false;
+  }
+  return true;
+}
+
+double ScoreMatrix::Cost(Label a, Label b) const {
+  if (a == b) return 0.0;
+  auto it = overrides_.find(PairKey(a, b));
+  if (it != overrides_.end()) return it->second;
+  return default_mismatch_;
+}
+
+void ScoreMatrix::Serialize(BinaryWriter* writer) const {
+  writer->F64(default_mismatch_);
+  writer->U64(overrides_.size());
+  for (const auto& [key, cost] : overrides_) {
+    writer->U64(key);
+    writer->F64(cost);
+  }
+}
+
+Result<ScoreMatrix> ScoreMatrix::Deserialize(BinaryReader* reader) {
+  ScoreMatrix m(reader->F64());
+  uint64_t n = reader->U64();
+  PIS_RETURN_NOT_OK(reader->Check("score matrix header"));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = reader->U64();
+    double cost = reader->F64();
+    PIS_RETURN_NOT_OK(reader->Check("score matrix entry"));
+    if (cost < 0) return Status::ParseError("negative score matrix entry");
+    m.overrides_[key] = cost;
+  }
+  return m;
+}
+
+}  // namespace pis

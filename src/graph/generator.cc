@@ -1,0 +1,181 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pis {
+
+MoleculeGenerator::MoleculeGenerator(const MoleculeGeneratorOptions& options)
+    : options_(options),
+      vocab_(MakeDefaultChemicalVocabulary()),
+      rng_(options.seed) {
+  carbon_ = vocab_.atoms.GetOrAdd("C");
+  nitrogen_ = vocab_.atoms.GetOrAdd("N");
+  oxygen_ = vocab_.atoms.GetOrAdd("O");
+  sulfur_ = vocab_.atoms.GetOrAdd("S");
+  single_ = vocab_.bonds.GetOrAdd("single");
+  double_ = vocab_.bonds.GetOrAdd("double");
+  triple_ = vocab_.bonds.GetOrAdd("triple");
+  aromatic_ = vocab_.bonds.GetOrAdd("aromatic");
+}
+
+Label MoleculeGenerator::RandomAtom() {
+  if (rng_.Bernoulli(options_.carbon_frac)) return carbon_;
+  // Hetero-atom mix loosely matching organic compounds.
+  size_t pick = rng_.Categorical({0.40, 0.40, 0.12, 0.08});
+  switch (pick) {
+    case 0:
+      return nitrogen_;
+    case 1:
+      return oxygen_;
+    case 2:
+      return sulfur_;
+    default: {
+      Label halogens[] = {vocab_.atoms.GetOrAdd("F"), vocab_.atoms.GetOrAdd("Cl"),
+                          vocab_.atoms.GetOrAdd("Br")};
+      return halogens[rng_.UniformIndex(3)];
+    }
+  }
+}
+
+Label MoleculeGenerator::ChainBond() {
+  double x = rng_.UniformDouble();
+  if (x < options_.triple_bond_prob) return triple_;
+  if (x < options_.triple_bond_prob + options_.double_bond_prob) return double_;
+  return single_;
+}
+
+double MoleculeGenerator::BondWeight(Label bond) {
+  // Pseudo bond lengths (Angstrom-like) with jitter; gives the linear
+  // distance something physically plausible to range over.
+  double base = 1.54;
+  if (bond == double_) base = 1.34;
+  if (bond == triple_) base = 1.20;
+  if (bond == aromatic_) base = 1.40;
+  return base + rng_.UniformDouble(-0.05, 0.05);
+}
+
+void MoleculeGenerator::AddRing(Graph* g, EdgeId fuse_edge, VertexId spiro_vertex) {
+  int size = 3 + static_cast<int>(rng_.Categorical(options_.ring_size_weights));
+  bool aromatic = size == 6 && rng_.Bernoulli(options_.aromatic_prob);
+  Label bond = aromatic ? aromatic_ : single_;
+
+  std::vector<VertexId> cycle;
+  if (fuse_edge != kInvalidEdge) {
+    // Share an existing edge: the new ring is (u, new..., v, u).
+    const Edge& e = g->GetEdge(fuse_edge);
+    cycle.push_back(e.u);
+    for (int i = 0; i < size - 2; ++i) {
+      cycle.push_back(g->AddVertex(aromatic ? carbon_ : RandomAtom()));
+    }
+    cycle.push_back(e.v);
+  } else if (spiro_vertex != kInvalidVertex) {
+    cycle.push_back(spiro_vertex);
+    for (int i = 0; i < size - 1; ++i) {
+      cycle.push_back(g->AddVertex(aromatic ? carbon_ : RandomAtom()));
+    }
+  } else {
+    for (int i = 0; i < size; ++i) {
+      cycle.push_back(g->AddVertex(aromatic ? carbon_ : RandomAtom()));
+    }
+  }
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    VertexId a = cycle[i];
+    VertexId b = cycle[(i + 1) % cycle.size()];
+    if (g->HasEdge(a, b)) continue;  // the fused edge already exists
+    Label b_label = aromatic ? bond : (rng_.Bernoulli(0.15) ? double_ : bond);
+    auto added = g->AddEdge(a, b, b_label,
+                            options_.assign_weights ? BondWeight(b_label) : 0.0);
+    PIS_CHECK(added.ok()) << added.status().ToString();
+  }
+}
+
+void MoleculeGenerator::AddChain(Graph* g, VertexId from) {
+  int len = rng_.UniformInt(1, 4);
+  VertexId prev = from;
+  for (int i = 0; i < len; ++i) {
+    VertexId next = g->AddVertex(RandomAtom());
+    Label bond = ChainBond();
+    auto added = g->AddEdge(prev, next, bond,
+                            options_.assign_weights ? BondWeight(bond) : 0.0);
+    PIS_CHECK(added.ok()) << added.status().ToString();
+    prev = next;
+  }
+}
+
+Graph MoleculeGenerator::Next() {
+  int target = rng_.HeavyTailInt(options_.min_vertices, options_.mean_vertices,
+                                 options_.max_vertices);
+  Graph g;
+  AddRing(&g, kInvalidEdge, kInvalidVertex);
+  // Growth loop; each step adds a fused ring, a spiro ring, or a chain.
+  while (g.NumVertices() < target) {
+    double x = rng_.UniformDouble();
+    if (x < options_.fuse_prob && g.NumEdges() > 0) {
+      EdgeId e = static_cast<EdgeId>(rng_.UniformIndex(g.NumEdges()));
+      // Fusing on an edge whose endpoints are already saturated creates
+      // implausible dense clusters; cap endpoint degree at 3.
+      const Edge& edge = g.GetEdge(e);
+      if (g.Degree(edge.u) <= 3 && g.Degree(edge.v) <= 3) {
+        AddRing(&g, e, kInvalidVertex);
+        continue;
+      }
+    } else if (x < options_.fuse_prob + options_.spiro_prob) {
+      VertexId v = static_cast<VertexId>(rng_.UniformIndex(g.NumVertices()));
+      if (g.Degree(v) <= 2) {
+        AddRing(&g, kInvalidEdge, v);
+        continue;
+      }
+    }
+    // Chains attach at low-degree vertices (valence).
+    VertexId v = static_cast<VertexId>(rng_.UniformIndex(g.NumVertices()));
+    if (g.Degree(v) <= 3) AddChain(&g, v);
+  }
+  PIS_DCHECK(g.IsConnected());
+  return g;
+}
+
+GraphDatabase MoleculeGenerator::Generate(int n) {
+  GraphDatabase db;
+  for (int i = 0; i < n; ++i) db.Add(Next());
+  return db;
+}
+
+Graph GenerateRandomConnectedGraph(const RandomGraphOptions& options, Rng* rng) {
+  PIS_CHECK(options.num_vertices >= 1);
+  Graph g;
+  auto rand_vlabel = [&]() {
+    return static_cast<Label>(rng->UniformInt(1, std::max(1, options.vertex_alphabet)));
+  };
+  auto rand_elabel = [&]() {
+    return static_cast<Label>(rng->UniformInt(1, std::max(1, options.edge_alphabet)));
+  };
+  for (int i = 0; i < options.num_vertices; ++i) {
+    g.AddVertex(rand_vlabel(), rng->UniformDouble(0, options.max_weight));
+  }
+  // Random spanning tree: connect each vertex i>0 to a random earlier one.
+  for (int i = 1; i < options.num_vertices; ++i) {
+    VertexId parent = static_cast<VertexId>(rng->UniformIndex(i));
+    auto added = g.AddEdge(parent, i, rand_elabel(),
+                           rng->UniformDouble(0, options.max_weight));
+    PIS_CHECK(added.ok());
+  }
+  long long max_edges =
+      static_cast<long long>(options.num_vertices) * (options.num_vertices - 1) / 2;
+  int want = static_cast<int>(std::clamp<long long>(
+      options.num_edges, options.num_vertices - 1, max_edges));
+  int attempts = 0;
+  while (g.NumEdges() < want && attempts < 50 * want + 100) {
+    ++attempts;
+    VertexId u = static_cast<VertexId>(rng->UniformIndex(options.num_vertices));
+    VertexId v = static_cast<VertexId>(rng->UniformIndex(options.num_vertices));
+    if (u == v || g.HasEdge(u, v)) continue;
+    auto added =
+        g.AddEdge(u, v, rand_elabel(), rng->UniformDouble(0, options.max_weight));
+    PIS_CHECK(added.ok());
+  }
+  return g;
+}
+
+}  // namespace pis

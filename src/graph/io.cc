@@ -1,0 +1,156 @@
+#include "graph/io.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace pis {
+
+namespace {
+
+// Exception-free numeric parsing: std::stoi throws on junk, which fuzzed
+// inputs reach trivially.
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+Status ParseInto(std::istream& in, GraphDatabase* db) {
+  std::string line;
+  Graph current;
+  bool have_graph = false;
+  int line_no = 0;
+  auto flush = [&]() {
+    if (have_graph) {
+      db->Add(std::move(current));
+      current = Graph();
+    }
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> tok = SplitWhitespace(line);
+    if (tok.empty()) continue;
+    const std::string where = " at line " + std::to_string(line_no);
+    if (tok[0] == "t") {
+      flush();
+      have_graph = true;
+    } else if (tok[0] == "v") {
+      if (!have_graph) return Status::ParseError("'v' before 't'" + where);
+      if (tok.size() < 3) return Status::ParseError("'v' needs id and label" + where);
+      int id = 0;
+      int label = 0;
+      double weight = 0.0;
+      if (!ParseInt(tok[1], &id) || !ParseInt(tok[2], &label) ||
+          (tok.size() >= 4 && !ParseDouble(tok[3], &weight))) {
+        return Status::ParseError("bad 'v' fields" + where);
+      }
+      VertexId got = current.AddVertex(label, weight);
+      if (got != id) {
+        return Status::ParseError("vertex ids must be dense and ordered" + where);
+      }
+    } else if (tok[0] == "e") {
+      if (!have_graph) return Status::ParseError("'e' before 't'" + where);
+      if (tok.size() < 4) {
+        return Status::ParseError("'e' needs endpoints and label" + where);
+      }
+      int u = 0;
+      int v = 0;
+      int label = 0;
+      double weight = 0.0;
+      if (!ParseInt(tok[1], &u) || !ParseInt(tok[2], &v) ||
+          !ParseInt(tok[3], &label) ||
+          (tok.size() >= 5 && !ParseDouble(tok[4], &weight))) {
+        return Status::ParseError("bad 'e' fields" + where);
+      }
+      auto added = current.AddEdge(u, v, label, weight);
+      if (!added.ok()) {
+        return Status::ParseError(added.status().message() + where);
+      }
+    } else if (tok[0][0] == '#') {
+      continue;  // comment
+    } else {
+      return Status::ParseError("unrecognized line '" + tok[0] + "'" + where);
+    }
+  }
+  flush();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GraphDatabase> ReadGraphDatabase(std::istream& in) {
+  GraphDatabase db;
+  PIS_RETURN_NOT_OK(ParseInto(in, &db));
+  return db;
+}
+
+Result<GraphDatabase> ReadGraphDatabaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadGraphDatabase(in);
+}
+
+Status WriteGraphDatabase(const GraphDatabase& db, std::ostream& out) {
+  for (int i = 0; i < db.size(); ++i) {
+    out << FormatGraph(db.at(i), i);
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteGraphDatabaseFile(const GraphDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteGraphDatabase(db, out);
+}
+
+Result<Graph> ParseGraph(const std::string& text) {
+  std::istringstream in(text);
+  GraphDatabase db;
+  PIS_RETURN_NOT_OK(ParseInto(in, &db));
+  if (db.size() != 1) {
+    return Status::ParseError("expected exactly one graph record, got " +
+                              std::to_string(db.size()));
+  }
+  return db.at(0);
+}
+
+std::string FormatGraph(const Graph& g, int id) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact doubles
+  os << "t # " << id << "\n";
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    os << "v " << v << " " << g.VertexLabel(v);
+    if (g.VertexWeight(v) != 0.0) os << " " << g.VertexWeight(v);
+    os << "\n";
+  }
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    const Edge& edge = g.GetEdge(e);
+    os << "e " << edge.u << " " << edge.v << " " << edge.label;
+    if (edge.weight != 0.0) os << " " << edge.weight;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pis

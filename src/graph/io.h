@@ -1,0 +1,41 @@
+// Native text format for graph databases (gSpan-compatible superset).
+//
+//   t # <graph-id>
+//   v <vertex-id> <label> [weight]
+//   e <u> <v> <label> [weight]
+//
+// Vertex ids must be dense and in order; '#'-prefixed lines outside records
+// and blank lines are ignored.
+#ifndef PIS_GRAPH_IO_H_
+#define PIS_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace pis {
+
+/// Parses a database from a stream in the native text format.
+Result<GraphDatabase> ReadGraphDatabase(std::istream& in);
+
+/// Parses a database from a file path.
+Result<GraphDatabase> ReadGraphDatabaseFile(const std::string& path);
+
+/// Serializes a database to the native text format.
+Status WriteGraphDatabase(const GraphDatabase& db, std::ostream& out);
+
+/// Serializes a database to a file path.
+Status WriteGraphDatabaseFile(const GraphDatabase& db, const std::string& path);
+
+/// Parses a single graph from the native text format (expects exactly one
+/// record).
+Result<Graph> ParseGraph(const std::string& text);
+
+/// Serializes a single graph as one record with the given id.
+std::string FormatGraph(const Graph& g, int id);
+
+}  // namespace pis
+
+#endif  // PIS_GRAPH_IO_H_

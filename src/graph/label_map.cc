@@ -1,0 +1,42 @@
+#include "graph/label_map.h"
+
+namespace pis {
+
+Label LabelMap::GetOrAdd(const std::string& name) {
+  if (name.empty()) return kNoLabel;
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  Label id = static_cast<Label>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+Result<Label> LabelMap::Find(const std::string& name) const {
+  if (name.empty()) return kNoLabel;
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound("label not interned: " + name);
+  }
+  return it->second;
+}
+
+Result<std::string> LabelMap::Name(Label label) const {
+  if (label < 0 || label >= size()) {
+    return Status::OutOfRange("label id out of range: " + std::to_string(label));
+  }
+  return names_[label];
+}
+
+ChemicalVocabulary MakeDefaultChemicalVocabulary() {
+  ChemicalVocabulary vocab;
+  for (const char* atom : {"C", "N", "O", "S", "P", "F", "Cl", "Br", "I"}) {
+    vocab.atoms.GetOrAdd(atom);
+  }
+  for (const char* bond : {"single", "double", "triple", "aromatic"}) {
+    vocab.bonds.GetOrAdd(bond);
+  }
+  return vocab;
+}
+
+}  // namespace pis

@@ -1,0 +1,52 @@
+// Bidirectional string <-> Label dictionary (atom symbols, bond names).
+#ifndef PIS_GRAPH_LABEL_MAP_H_
+#define PIS_GRAPH_LABEL_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace pis {
+
+/// \brief Interns strings as dense Label ids.
+///
+/// Id 0 is reserved for kNoLabel and maps to "". Lookup of an unknown name
+/// via GetOrAdd inserts it; Find returns NotFound.
+class LabelMap {
+ public:
+  LabelMap() { names_.push_back(""); }
+
+  /// Returns the id for `name`, interning it if new. "" maps to kNoLabel.
+  Label GetOrAdd(const std::string& name);
+
+  /// Returns the id for `name` or NotFound.
+  Result<Label> Find(const std::string& name) const;
+
+  /// Returns the name for an id, or OutOfRange.
+  Result<std::string> Name(Label label) const;
+
+  /// Number of distinct labels including the reserved empty label.
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Label> ids_;
+};
+
+/// Shared vocabulary for a chemical dataset: atoms and bonds.
+struct ChemicalVocabulary {
+  LabelMap atoms;
+  LabelMap bonds;
+};
+
+/// Builds the vocabulary used by the synthetic generator and SDF parser:
+/// atoms C,N,O,S,P,F,Cl,Br,I and bonds single,double,triple,aromatic
+/// (interned in that order, so e.g. "single" gets a stable id).
+ChemicalVocabulary MakeDefaultChemicalVocabulary();
+
+}  // namespace pis
+
+#endif  // PIS_GRAPH_LABEL_MAP_H_

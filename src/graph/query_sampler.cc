@@ -1,0 +1,84 @@
+#include "graph/query_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pis {
+
+Result<Graph> SampleConnectedSubgraph(const Graph& g, int num_edges, Rng* rng) {
+  if (num_edges <= 0) return Status::InvalidArgument("num_edges must be > 0");
+  if (g.NumEdges() < num_edges) {
+    return Status::OutOfRange("graph has fewer edges than requested");
+  }
+  std::vector<EdgeId> chosen;
+  std::vector<bool> edge_in(g.NumEdges(), false);
+  std::vector<bool> vertex_in(g.NumVertices(), false);
+  std::vector<EdgeId> frontier;  // incident edges not yet chosen
+
+  auto add_edge = [&](EdgeId e) {
+    chosen.push_back(e);
+    edge_in[e] = true;
+    for (VertexId v : {g.GetEdge(e).u, g.GetEdge(e).v}) {
+      if (vertex_in[v]) continue;
+      vertex_in[v] = true;
+      for (EdgeId inc : g.IncidentEdges(v)) {
+        if (!edge_in[inc]) frontier.push_back(inc);
+      }
+    }
+  };
+
+  add_edge(static_cast<EdgeId>(rng->UniformIndex(g.NumEdges())));
+  while (static_cast<int>(chosen.size()) < num_edges) {
+    // Compact the frontier lazily: drop already-chosen edges.
+    while (!frontier.empty()) {
+      size_t pick = rng->UniformIndex(frontier.size());
+      EdgeId e = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (!edge_in[e]) {
+        add_edge(e);
+        break;
+      }
+    }
+    if (frontier.empty() && static_cast<int>(chosen.size()) < num_edges) {
+      // Connected component exhausted before reaching the target size.
+      return Status::OutOfRange("component smaller than requested edge count");
+    }
+  }
+  return g.EdgeSubgraph(chosen);
+}
+
+QuerySampler::QuerySampler(const GraphDatabase* db, const QuerySamplerOptions& options)
+    : db_(db), options_(options), rng_(options.seed) {
+  PIS_CHECK(db_ != nullptr);
+}
+
+Result<Graph> QuerySampler::Sample(int num_edges) {
+  if (db_->empty()) return Status::InvalidArgument("empty database");
+  constexpr int kMaxAttempts = 256;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const Graph& host = db_->at(static_cast<int>(rng_.UniformIndex(db_->size())));
+    if (host.NumEdges() < num_edges) continue;
+    Result<Graph> sub = SampleConnectedSubgraph(host, num_edges, &rng_);
+    if (!sub.ok()) continue;
+    Graph q = sub.MoveValue();
+    if (options_.strip_vertex_labels) {
+      for (VertexId v = 0; v < q.NumVertices(); ++v) q.SetVertexLabel(v, kNoLabel);
+    }
+    return q;
+  }
+  return Status::NotFound("no database graph admits a query of requested size");
+}
+
+Result<std::vector<Graph>> QuerySampler::SampleSet(int num_edges, int count) {
+  std::vector<Graph> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    PIS_ASSIGN_OR_RETURN(Graph q, Sample(num_edges));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace pis

@@ -1,0 +1,49 @@
+// Samples query workloads from a graph database, following the paper's
+// protocol: "query graphs are directly sampled from the database and are
+// grouped together according to their size" (#edges).
+#ifndef PIS_GRAPH_QUERY_SAMPLER_H_
+#define PIS_GRAPH_QUERY_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pis {
+
+struct QuerySamplerOptions {
+  uint64_t seed = 7;
+  /// Strip vertex labels from sampled queries; the paper ignores vertex
+  /// labels "to make the problem hard".
+  bool strip_vertex_labels = true;
+};
+
+/// \brief Draws connected m-edge query graphs from database graphs.
+class QuerySampler {
+ public:
+  QuerySampler(const GraphDatabase* db, const QuerySamplerOptions& options = {});
+
+  /// Samples one connected query with exactly `num_edges` edges, grown by a
+  /// random edge-expansion walk inside a random database graph (retrying
+  /// other graphs if the host is too small). Fails only if no database
+  /// graph has `num_edges` edges.
+  Result<Graph> Sample(int num_edges);
+
+  /// Samples a whole query set Q_m.
+  Result<std::vector<Graph>> SampleSet(int num_edges, int count);
+
+ private:
+  const GraphDatabase* db_;
+  QuerySamplerOptions options_;
+  Rng rng_;
+};
+
+/// Grows a uniform connected edge subset of `g` with `num_edges` edges via
+/// random incremental expansion; returns the extracted subgraph. Fails if
+/// the graph has fewer than `num_edges` edges.
+Result<Graph> SampleConnectedSubgraph(const Graph& g, int num_edges, Rng* rng);
+
+}  // namespace pis
+
+#endif  // PIS_GRAPH_QUERY_SAMPLER_H_

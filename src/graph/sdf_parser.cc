@@ -1,0 +1,143 @@
+#include "graph/sdf_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace pis {
+
+namespace {
+
+// Fixed-column integer field of an MDL counts/bond line, tolerant of the
+// free-format variants produced by some exporters.
+Result<int> FieldInt(const std::string& line, size_t pos, size_t width) {
+  if (pos >= line.size()) return Status::ParseError("short line: " + line);
+  std::string field = Trim(line.substr(pos, width));
+  if (field.empty()) return Status::ParseError("empty field in: " + line);
+  try {
+    return std::stoi(field);
+  } catch (const std::exception&) {
+    return Status::ParseError("bad integer field '" + field + "'");
+  }
+}
+
+const char* BondName(int code) {
+  switch (code) {
+    case 1:
+      return "single";
+    case 2:
+      return "double";
+    case 3:
+      return "triple";
+    case 4:
+      return "aromatic";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+Result<Graph> ParseMolBlock(const std::string& block, ChemicalVocabulary* vocab) {
+  std::istringstream in(block);
+  std::string line;
+  // Header: 3 lines (name, program, comment).
+  for (int i = 0; i < 3; ++i) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated MOL header");
+  }
+  if (!std::getline(in, line)) return Status::ParseError("missing counts line");
+  PIS_ASSIGN_OR_RETURN(int num_atoms, FieldInt(line, 0, 3));
+  PIS_ASSIGN_OR_RETURN(int num_bonds, FieldInt(line, 3, 3));
+  if (num_atoms < 0 || num_bonds < 0) {
+    return Status::ParseError("negative counts");
+  }
+  Graph g;
+  for (int i = 0; i < num_atoms; ++i) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated atom block");
+    // Atom line: x y z (10 chars each) then symbol (3 chars at col 31).
+    std::string symbol;
+    if (line.size() >= 34) {
+      symbol = Trim(line.substr(31, 3));
+    } else {
+      // Fall back to whitespace tokenization: 4th token is the symbol.
+      std::vector<std::string> tok = SplitWhitespace(line);
+      if (tok.size() < 4) return Status::ParseError("bad atom line: " + line);
+      symbol = tok[3];
+    }
+    if (symbol.empty()) return Status::ParseError("empty atom symbol");
+    g.AddVertex(vocab->atoms.GetOrAdd(symbol));
+  }
+  for (int i = 0; i < num_bonds; ++i) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated bond block");
+    PIS_ASSIGN_OR_RETURN(int a, FieldInt(line, 0, 3));
+    PIS_ASSIGN_OR_RETURN(int b, FieldInt(line, 3, 3));
+    PIS_ASSIGN_OR_RETURN(int type, FieldInt(line, 6, 3));
+    const char* bond = BondName(type);
+    if (bond == nullptr) {
+      return Status::ParseError("unsupported bond type " + std::to_string(type));
+    }
+    if (a < 1 || b < 1 || a > num_atoms || b > num_atoms) {
+      return Status::ParseError("bond endpoint out of range");
+    }
+    auto added = g.AddEdge(a - 1, b - 1, vocab->bonds.GetOrAdd(bond));
+    if (!added.ok()) return added.status();
+  }
+  return g;
+}
+
+Result<GraphDatabase> ReadSdf(std::istream& in, ChemicalVocabulary* vocab,
+                              const SdfOptions& options) {
+  GraphDatabase db;
+  std::string line;
+  std::string block;
+  bool in_properties = false;
+  auto flush = [&]() -> Status {
+    if (Trim(block).empty()) {
+      block.clear();
+      return Status::OK();
+    }
+    Result<Graph> g = ParseMolBlock(block, vocab);
+    block.clear();
+    if (!g.ok()) {
+      if (options.skip_malformed) return Status::OK();
+      return g.status();
+    }
+    if (options.require_connected && !g.value().IsConnected()) {
+      return Status::OK();
+    }
+    db.Add(g.MoveValue());
+    return Status::OK();
+  };
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "$$$$")) {
+      PIS_RETURN_NOT_OK(flush());
+      in_properties = false;
+      if (options.max_molecules > 0 && db.size() >= options.max_molecules) {
+        return db;
+      }
+      continue;
+    }
+    if (StartsWith(line, "M  END")) {
+      in_properties = true;  // ignore data items until $$$$
+      continue;
+    }
+    if (!in_properties) {
+      block += line;
+      block += '\n';
+    }
+  }
+  PIS_RETURN_NOT_OK(flush());
+  return db;
+}
+
+Result<GraphDatabase> ReadSdfFile(const std::string& path,
+                                  ChemicalVocabulary* vocab,
+                                  const SdfOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadSdf(in, vocab, options);
+}
+
+}  // namespace pis

@@ -1,0 +1,42 @@
+// Parser for MDL SDF / MOL V2000 connection tables, so the real NCI AIDS
+// antiviral screen file (AIDO99SD) can be loaded when available. Atom
+// symbols and bond types are interned through a ChemicalVocabulary.
+#ifndef PIS_GRAPH_SDF_PARSER_H_
+#define PIS_GRAPH_SDF_PARSER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/label_map.h"
+#include "util/status.h"
+
+namespace pis {
+
+struct SdfOptions {
+  /// Skip molecules that fail to parse instead of failing the whole read.
+  bool skip_malformed = true;
+  /// Drop disconnected molecules (salts etc.); the paper's workload uses
+  /// connected compounds.
+  bool require_connected = false;
+  /// Stop after this many molecules (0 = no limit).
+  int max_molecules = 0;
+};
+
+/// Reads an SDF stream into a database. Bond type codes 1,2,3,4 map to
+/// labels "single","double","triple","aromatic" via `vocab->bonds`; atom
+/// symbols are interned in `vocab->atoms`.
+Result<GraphDatabase> ReadSdf(std::istream& in, ChemicalVocabulary* vocab,
+                              const SdfOptions& options = {});
+
+/// Reads an SDF file by path.
+Result<GraphDatabase> ReadSdfFile(const std::string& path,
+                                  ChemicalVocabulary* vocab,
+                                  const SdfOptions& options = {});
+
+/// Parses a single MOL block (header + counts line + atoms + bonds).
+Result<Graph> ParseMolBlock(const std::string& block, ChemicalVocabulary* vocab);
+
+}  // namespace pis
+
+#endif  // PIS_GRAPH_SDF_PARSER_H_

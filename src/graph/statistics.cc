@@ -1,0 +1,81 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pis {
+
+void ScalarSummary::Add(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  sum += v;
+  ++count;
+}
+
+double DatabaseStatistics::VertexLabelFraction(Label label) const {
+  size_t total = 0;
+  for (const auto& [l, c] : vertex_label_counts) total += c;
+  if (total == 0) return 0;
+  auto it = vertex_label_counts.find(label);
+  return it == vertex_label_counts.end()
+             ? 0
+             : static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+double DatabaseStatistics::EdgeLabelFraction(Label label) const {
+  size_t total = 0;
+  for (const auto& [l, c] : edge_label_counts) total += c;
+  if (total == 0) return 0;
+  auto it = edge_label_counts.find(label);
+  return it == edge_label_counts.end()
+             ? 0
+             : static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+std::string DatabaseStatistics::ToString() const {
+  std::ostringstream os;
+  os << "graphs: " << num_graphs << "\n";
+  os << "vertices/graph: mean " << vertices_per_graph.Mean() << " max "
+     << vertices_per_graph.max << "\n";
+  os << "edges/graph: mean " << edges_per_graph.Mean() << " max "
+     << edges_per_graph.max << "\n";
+  os << "degree: mean " << degree.Mean() << " max " << degree.max << "\n";
+  os << "vertex labels:";
+  for (const auto& [label, count] : vertex_label_counts) {
+    os << " " << label << ":" << count;
+  }
+  os << "\nedge labels:";
+  for (const auto& [label, count] : edge_label_counts) {
+    os << " " << label << ":" << count;
+  }
+  os << "\ncycle rank:";
+  for (const auto& [rank, count] : cycle_rank_counts) {
+    os << " " << rank << ":" << count;
+  }
+  os << "\n";
+  return os.str();
+}
+
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db) {
+  DatabaseStatistics stats;
+  stats.num_graphs = db.size();
+  for (const Graph& g : db.graphs()) {
+    stats.vertices_per_graph.Add(g.NumVertices());
+    stats.edges_per_graph.Add(g.NumEdges());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      stats.degree.Add(g.Degree(v));
+      stats.vertex_label_counts[g.VertexLabel(v)]++;
+    }
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      stats.edge_label_counts[g.GetEdge(e).label]++;
+    }
+    stats.cycle_rank_counts[g.NumEdges() - g.NumVertices() + 1]++;
+  }
+  return stats;
+}
+
+}  // namespace pis

@@ -1,0 +1,53 @@
+// Dataset statistics: the numbers the paper quotes about its workload
+// ("25 nodes and 27 edges on average", "most of the atoms are carbons") and
+// the histograms needed to validate the synthetic substitution in
+// EXPERIMENTS.md.
+#ifndef PIS_GRAPH_STATISTICS_H_
+#define PIS_GRAPH_STATISTICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pis {
+
+/// Simple accumulator for scalar samples.
+struct ScalarSummary {
+  size_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  void Add(double v);
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+/// Aggregate statistics over a graph database.
+struct DatabaseStatistics {
+  int num_graphs = 0;
+  ScalarSummary vertices_per_graph;
+  ScalarSummary edges_per_graph;
+  ScalarSummary degree;
+  /// label -> number of vertices / edges carrying it, over the database.
+  std::map<Label, size_t> vertex_label_counts;
+  std::map<Label, size_t> edge_label_counts;
+  /// Count of graphs by cyclomatic number (#edges - #vertices + 1).
+  std::map<int, size_t> cycle_rank_counts;
+
+  /// Fraction of vertices carrying `label` (0 when the database is empty).
+  double VertexLabelFraction(Label label) const;
+  /// Fraction of edges carrying `label`.
+  double EdgeLabelFraction(Label label) const;
+
+  /// Human-readable multi-line report.
+  std::string ToString() const;
+};
+
+/// Scans a database once and computes all statistics.
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db);
+
+}  // namespace pis
+
+#endif  // PIS_GRAPH_STATISTICS_H_

@@ -1,0 +1,256 @@
+#include "index/class_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pis {
+
+ClassBackend DefaultBackend(DistanceType type) {
+  return type == DistanceType::kMutation ? ClassBackend::kTrie
+                                         : ClassBackend::kRTree;
+}
+
+EquivalenceClassIndex::EquivalenceClassIndex(std::string key, int num_vertices,
+                                             int num_edges, ClassBackend backend,
+                                             const DistanceSpec* spec)
+    : key_(std::move(key)),
+      num_vertices_(num_vertices),
+      num_edges_(num_edges),
+      backend_(backend),
+      spec_(spec) {
+  PIS_CHECK(spec_ != nullptr);
+  switch (backend_) {
+    case ClassBackend::kTrie:
+      trie_ = std::make_unique<LabelTrie>(NumVertexPositions() + num_edges_);
+      break;
+    case ClassBackend::kRTree:
+      rtree_ = std::make_unique<RTree>(WeightDims());
+      break;
+    case ClassBackend::kVpTree:
+      break;  // buffered until Finalize
+  }
+}
+
+int EquivalenceClassIndex::WeightDims() const {
+  int dims = 0;
+  if (spec_->use_vertex_weights) dims += num_vertices_;
+  if (spec_->use_edge_weights) dims += num_edges_;
+  return std::max(dims, 1);
+}
+
+int EquivalenceClassIndex::NumVertexPositions() const {
+  // Cost-free vertex positions would only widen the trie walk; skip them.
+  return spec_->vertex_scores.IsZero() ? 0 : num_vertices_;
+}
+
+SequenceCostModel EquivalenceClassIndex::MakeSequenceModel() const {
+  SequenceCostModel model;
+  model.vertex_scores = &spec_->vertex_scores;
+  model.edge_scores = &spec_->edge_scores;
+  model.num_vertex_positions = NumVertexPositions();
+  return model;
+}
+
+void EquivalenceClassIndex::Insert(const std::vector<Label>& labels,
+                                   const std::vector<double>& weights,
+                                   int graph_id) {
+  // Inserts after Finalize() are allowed for incremental maintenance; the
+  // owner must call Refinalize() before the next query.
+  ++num_fragments_;
+  if (containing_graphs_.empty() || containing_graphs_.back() != graph_id) {
+    containing_graphs_.push_back(graph_id);
+  }
+  switch (backend_) {
+    case ClassBackend::kTrie:
+      trie_->Insert(labels, graph_id);
+      break;
+    case ClassBackend::kRTree:
+      rtree_->Insert(weights, graph_id);
+      break;
+    case ClassBackend::kVpTree:
+      vp_labels_.push_back(labels);
+      vp_weights_.push_back(weights);
+      vp_graph_ids_.push_back(graph_id);
+      break;
+  }
+}
+
+void EquivalenceClassIndex::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  std::sort(containing_graphs_.begin(), containing_graphs_.end());
+  containing_graphs_.erase(
+      std::unique(containing_graphs_.begin(), containing_graphs_.end()),
+      containing_graphs_.end());
+  switch (backend_) {
+    case ClassBackend::kTrie:
+      trie_->Finalize();
+      break;
+    case ClassBackend::kRTree:
+      break;
+    case ClassBackend::kVpTree: {
+      if (vp_graph_ids_.empty()) break;
+      if (spec_->type == DistanceType::kMutation) {
+        SequenceCostModel model = MakeSequenceModel();
+        auto metric = [this, model](size_t a, size_t b) {
+          double d = 0;
+          for (size_t i = 0; i < vp_labels_[a].size(); ++i) {
+            d += model.Cost(static_cast<int>(i), vp_labels_[a][i], vp_labels_[b][i]);
+          }
+          return d;
+        };
+        vptree_ = std::make_unique<VpTree>(vp_graph_ids_.size(), vp_graph_ids_,
+                                           metric);
+      } else {
+        auto metric = [this](size_t a, size_t b) {
+          double d = 0;
+          for (size_t i = 0; i < vp_weights_[a].size(); ++i) {
+            d += std::abs(vp_weights_[a][i] - vp_weights_[b][i]);
+          }
+          return d;
+        };
+        vptree_ = std::make_unique<VpTree>(vp_graph_ids_.size(), vp_graph_ids_,
+                                           metric);
+      }
+      break;
+    }
+  }
+}
+
+void EquivalenceClassIndex::Refinalize() {
+  finalized_ = false;
+  vptree_.reset();  // rebuilt from the retained buffers
+  Finalize();
+}
+
+Status EquivalenceClassIndex::Serialize(BinaryWriter* writer) const {
+  if (!finalized_) return Status::Internal("serialize before Finalize()");
+  writer->Str(key_);
+  writer->I32(num_vertices_);
+  writer->I32(num_edges_);
+  writer->U8(static_cast<uint8_t>(backend_));
+  writer->U64(num_fragments_);
+  writer->VecInt(containing_graphs_);
+  switch (backend_) {
+    case ClassBackend::kTrie:
+      trie_->Serialize(writer);
+      break;
+    case ClassBackend::kRTree:
+      rtree_->Serialize(writer);
+      break;
+    case ClassBackend::kVpTree:
+      writer->U64(vp_graph_ids_.size());
+      for (size_t i = 0; i < vp_graph_ids_.size(); ++i) {
+        writer->VecI32(vp_labels_[i]);
+        writer->VecF64(vp_weights_[i]);
+        writer->I32(vp_graph_ids_[i]);
+      }
+      break;
+  }
+  if (!writer->ok()) return Status::IOError("class index write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<EquivalenceClassIndex>> EquivalenceClassIndex::Deserialize(
+    BinaryReader* reader, const DistanceSpec* spec) {
+  std::string key = reader->Str();
+  int32_t nv = reader->I32();
+  int32_t ne = reader->I32();
+  uint8_t backend_tag = reader->U8();
+  PIS_RETURN_NOT_OK(reader->Check("class index header"));
+  if (nv < 1 || ne < 0 || backend_tag > 2) {
+    return Status::ParseError("bad class index header");
+  }
+  auto backend = static_cast<ClassBackend>(backend_tag);
+  auto cls = std::make_unique<EquivalenceClassIndex>(key, nv, ne, backend, spec);
+  cls->num_fragments_ = reader->U64();
+  cls->containing_graphs_ = reader->VecInt();
+  PIS_RETURN_NOT_OK(reader->Check("class index containment list"));
+  switch (backend) {
+    case ClassBackend::kTrie: {
+      PIS_ASSIGN_OR_RETURN(LabelTrie trie, LabelTrie::Deserialize(reader));
+      if (trie.sequence_length() != cls->NumVertexPositions() + ne) {
+        return Status::ParseError("trie length inconsistent with class/spec");
+      }
+      cls->trie_ = std::make_unique<LabelTrie>(std::move(trie));
+      break;
+    }
+    case ClassBackend::kRTree: {
+      PIS_ASSIGN_OR_RETURN(RTree rtree, RTree::Deserialize(reader));
+      if (rtree.dimensions() != cls->WeightDims()) {
+        return Status::ParseError("rtree dims inconsistent with class/spec");
+      }
+      cls->rtree_ = std::make_unique<RTree>(std::move(rtree));
+      break;
+    }
+    case ClassBackend::kVpTree: {
+      uint64_t n = reader->ReadCount(20);  // two vectors + id per item
+      PIS_RETURN_NOT_OK(reader->Check("vp item count"));
+      for (uint64_t i = 0; i < n; ++i) {
+        cls->vp_labels_.push_back(reader->VecI32());
+        cls->vp_weights_.push_back(reader->VecF64());
+        cls->vp_graph_ids_.push_back(reader->I32());
+      }
+      PIS_RETURN_NOT_OK(reader->Check("vp items"));
+      break;
+    }
+  }
+  // Finalize rebuilds the VP-tree (deterministic) and marks the class
+  // queryable; trie/rtree payloads were stored finalized.
+  cls->Finalize();
+  return cls;
+}
+
+Status EquivalenceClassIndex::RangeQuery(const std::vector<Label>& labels,
+                                         const std::vector<double>& weights,
+                                         double sigma,
+                                         const ClassMatchCallback& cb) const {
+  if (!finalized_) {
+    return Status::Internal("class index queried before Finalize()");
+  }
+  switch (backend_) {
+    case ClassBackend::kTrie: {
+      if (static_cast<int>(labels.size()) != NumVertexPositions() + num_edges_) {
+        return Status::InvalidArgument("label sequence length mismatch");
+      }
+      trie_->RangeQuery(labels, MakeSequenceModel(), sigma, cb);
+      return Status::OK();
+    }
+    case ClassBackend::kRTree: {
+      if (static_cast<int>(weights.size()) != WeightDims()) {
+        return Status::InvalidArgument("weight vector length mismatch");
+      }
+      rtree_->RangeQueryL1(weights, sigma, cb);
+      return Status::OK();
+    }
+    case ClassBackend::kVpTree: {
+      if (vptree_ == nullptr) return Status::OK();  // empty class
+      if (spec_->type == DistanceType::kMutation) {
+        SequenceCostModel model = MakeSequenceModel();
+        auto to_query = [this, model, &labels](size_t item) {
+          double d = 0;
+          for (size_t i = 0; i < labels.size(); ++i) {
+            d += model.Cost(static_cast<int>(i), labels[i], vp_labels_[item][i]);
+          }
+          return d;
+        };
+        vptree_->RangeQuery(to_query, sigma, cb);
+      } else {
+        auto to_query = [this, &weights](size_t item) {
+          double d = 0;
+          for (size_t i = 0; i < weights.size(); ++i) {
+            d += std::abs(weights[i] - vp_weights_[item][i]);
+          }
+          return d;
+        };
+        vptree_->RangeQuery(to_query, sigma, cb);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable backend");
+}
+
+}  // namespace pis

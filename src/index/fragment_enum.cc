@@ -1,0 +1,110 @@
+#include "index/fragment_enum.h"
+
+#include "util/logging.h"
+
+namespace pis {
+
+namespace {
+
+// ESU (Wernicke, 2006) on the line graph: subsets containing root edge r use
+// only edges > r; the extension set grows by *exclusive* neighbors of the
+// newest edge, which guarantees each subset has exactly one generation path.
+class EdgeEsu {
+ public:
+  EdgeEsu(const Graph& g, const FragmentEnumOptions& options,
+          const EdgeSubsetCallback& cb)
+      : g_(g), options_(options), cb_(cb) {
+    in_subset_.assign(g.NumEdges(), false);
+    neighbor_of_subset_.assign(g.NumEdges(), false);
+  }
+
+  size_t Run() {
+    for (EdgeId root = 0; root < g_.NumEdges(); ++root) {
+      if (stopped_) break;
+      root_ = root;
+      subset_ = {root};
+      in_subset_[root] = true;
+      std::vector<EdgeId> fresh = EligibleNeighbors(root);
+      for (EdgeId e : fresh) neighbor_of_subset_[e] = true;
+      Extend(fresh);
+      for (EdgeId e : fresh) neighbor_of_subset_[e] = false;
+      in_subset_[root] = false;
+    }
+    return emitted_;
+  }
+
+ private:
+  // Edge-neighbors of `e` that are allowed in subsets rooted at root_
+  // (id > root_) and not already adjacent to the subset.
+  std::vector<EdgeId> EligibleNeighbors(EdgeId e) const {
+    std::vector<EdgeId> out;
+    const Edge& edge = g_.GetEdge(e);
+    for (VertexId endpoint : {edge.u, edge.v}) {
+      for (EdgeId nb : g_.IncidentEdges(endpoint)) {
+        if (nb == e || nb <= root_) continue;
+        if (in_subset_[nb] || neighbor_of_subset_[nb]) continue;
+        out.push_back(nb);
+      }
+    }
+    return out;
+  }
+
+  void Emit() {
+    if (static_cast<int>(subset_.size()) >= options_.min_edges) {
+      ++emitted_;
+      if (!cb_(subset_)) stopped_ = true;
+    }
+  }
+
+  // `extension`: candidate edges that may still be added at this node.
+  void Extend(std::vector<EdgeId> extension) {
+    Emit();
+    if (stopped_) return;
+    if (static_cast<int>(subset_.size()) >= options_.max_edges) return;
+    while (!extension.empty()) {
+      EdgeId w = extension.back();
+      extension.pop_back();
+      // Children may use the remaining extension plus exclusive neighbors
+      // of w (edges adjacent to w but not to the current subset).
+      subset_.push_back(w);
+      in_subset_[w] = true;
+      std::vector<EdgeId> fresh = EligibleNeighbors(w);
+      for (EdgeId e : fresh) neighbor_of_subset_[e] = true;
+      std::vector<EdgeId> child_ext = extension;
+      child_ext.insert(child_ext.end(), fresh.begin(), fresh.end());
+      Extend(std::move(child_ext));
+      for (EdgeId e : fresh) neighbor_of_subset_[e] = false;
+      in_subset_[w] = false;
+      subset_.pop_back();
+      if (stopped_) return;
+    }
+  }
+
+  const Graph& g_;
+  FragmentEnumOptions options_;
+  const EdgeSubsetCallback& cb_;
+  EdgeId root_ = 0;
+  std::vector<EdgeId> subset_;
+  std::vector<bool> in_subset_;
+  std::vector<bool> neighbor_of_subset_;
+  size_t emitted_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+size_t EnumerateConnectedEdgeSubgraphs(const Graph& g,
+                                       const FragmentEnumOptions& options,
+                                       const EdgeSubsetCallback& cb) {
+  PIS_CHECK(options.min_edges >= 1 && options.max_edges >= options.min_edges);
+  EdgeEsu esu(g, options, cb);
+  return esu.Run();
+}
+
+size_t CountConnectedEdgeSubgraphs(const Graph& g,
+                                   const FragmentEnumOptions& options) {
+  return EnumerateConnectedEdgeSubgraphs(
+      g, options, [](const std::vector<EdgeId>&) { return true; });
+}
+
+}  // namespace pis

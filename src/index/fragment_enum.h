@@ -1,0 +1,35 @@
+// Connected edge-subgraph enumeration: every connected subset of edges up
+// to a size cap, each emitted exactly once (ESU adapted to the line graph).
+// Both index construction (fragments of database graphs) and query
+// processing (fragments of the query graph, Algorithm 2 lines 3-4) use it.
+#ifndef PIS_INDEX_FRAGMENT_ENUM_H_
+#define PIS_INDEX_FRAGMENT_ENUM_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pis {
+
+struct FragmentEnumOptions {
+  int min_edges = 1;
+  int max_edges = 6;
+};
+
+/// Receives each connected edge subset (edge ids of the host graph, in
+/// discovery order). Return false to stop the enumeration early.
+using EdgeSubsetCallback = std::function<bool(const std::vector<EdgeId>&)>;
+
+/// Enumerates every connected edge subset of `g` with size in
+/// [min_edges, max_edges], exactly once each. Returns the number emitted.
+size_t EnumerateConnectedEdgeSubgraphs(const Graph& g,
+                                       const FragmentEnumOptions& options,
+                                       const EdgeSubsetCallback& cb);
+
+/// Counts without materializing (for capacity planning and tests).
+size_t CountConnectedEdgeSubgraphs(const Graph& g, const FragmentEnumOptions& options);
+
+}  // namespace pis
+
+#endif  // PIS_INDEX_FRAGMENT_ENUM_H_

@@ -1,0 +1,356 @@
+#include "index/fragment_index.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "canonical/min_dfs.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/serde.h"
+#include "util/timer.h"
+
+namespace pis {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+uint64_t StructureSignature(const Graph& g) {
+  std::vector<int> degrees(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) degrees[v] = g.Degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  uint64_t h = HashCombine(static_cast<uint64_t>(g.NumVertices()),
+                           static_cast<uint64_t>(g.NumEdges()) * 1315423911ULL);
+  for (int d : degrees) h = HashCombine(h, static_cast<uint64_t>(d));
+  return h;
+}
+
+void FragmentIndex::BuildVectors(const Graph& fragment,
+                                 const std::vector<VertexId>& vorder,
+                                 const std::vector<EdgeId>& eorder,
+                                 std::vector<Label>* labels,
+                                 std::vector<double>* weights) const {
+  labels->clear();
+  weights->clear();
+  labels->reserve(vorder.size() + eorder.size());
+  // Mirror EquivalenceClassIndex::NumVertexPositions(): vertex labels are
+  // omitted when the vertex score matrix can never contribute cost.
+  if (!options_.spec.vertex_scores.IsZero()) {
+    for (VertexId v : vorder) labels->push_back(fragment.VertexLabel(v));
+  }
+  for (EdgeId e : eorder) labels->push_back(fragment.GetEdge(e).label);
+  if (options_.spec.type == DistanceType::kLinear) {
+    if (options_.spec.use_vertex_weights) {
+      for (VertexId v : vorder) weights->push_back(fragment.VertexWeight(v));
+    }
+    if (options_.spec.use_edge_weights) {
+      for (EdgeId e : eorder) weights->push_back(fragment.GetEdge(e).weight);
+    }
+    if (weights->empty()) weights->push_back(0.0);  // degenerate 1-dim point
+  }
+}
+
+Result<FragmentIndex> FragmentIndex::Build(const GraphDatabase& db,
+                                           const std::vector<Graph>& features,
+                                           const FragmentIndexOptions& options) {
+  if (options.min_fragment_edges < 1 ||
+      options.max_fragment_edges < options.min_fragment_edges) {
+    return Status::InvalidArgument("invalid fragment size bounds");
+  }
+  Timer timer;
+  FragmentIndex index;
+  index.options_ = options;
+  index.spec_holder_ = std::make_shared<const DistanceSpec>(options.spec);
+  index.db_size_ = db.size();
+  ClassBackend backend =
+      options.backend.value_or(DefaultBackend(options.spec.type));
+
+  // Register classes from the feature set.
+  CanonicalOptions skeleton_opts;
+  skeleton_opts.use_labels = false;
+  skeleton_opts.first_embedding_only = true;
+  for (const Graph& f : features) {
+    if (f.NumEdges() < options.min_fragment_edges ||
+        f.NumEdges() > options.max_fragment_edges) {
+      continue;
+    }
+    PIS_ASSIGN_OR_RETURN(CanonicalForm form, MinDfsCode(f, skeleton_opts));
+    std::string key = form.Key();
+    if (index.class_by_key_.count(key) > 0) continue;
+    int class_id = static_cast<int>(index.classes_.size());
+    index.class_by_key_.emplace(key, class_id);
+    index.classes_.push_back(std::make_unique<EquivalenceClassIndex>(
+        key, f.NumVertices(), f.NumEdges(), backend, index.spec_holder_.get()));
+    index.signatures_.insert(StructureSignature(f));
+  }
+  index.stats_.num_classes = index.classes_.size();
+
+  // Scan the database: every connected fragment whose skeleton is a
+  // registered class is inserted under all its automorphism-induced
+  // sequences. Extraction (canonicalization — the expensive part) is
+  // parallel; insertion stays sequential in graph-id order so per-class
+  // dedup assumptions hold.
+  if (options.num_threads > 1) {
+    std::vector<std::vector<PendingInsert>> pending(db.size());
+    std::vector<ExtractStats> stats(db.size());
+    std::vector<Status> failures(db.size());
+    ParallelFor(db.size(), options.num_threads, [&](size_t gid) {
+      failures[gid] =
+          index.ExtractGraphFragments(db.at(static_cast<int>(gid)),
+                                      &pending[gid], &stats[gid]);
+    });
+    for (int gid = 0; gid < db.size(); ++gid) {
+      PIS_RETURN_NOT_OK(failures[gid]);
+      index.ApplyExtraction(gid, pending[gid], stats[gid]);
+    }
+  } else {
+    for (int gid = 0; gid < db.size(); ++gid) {
+      PIS_RETURN_NOT_OK(index.InsertGraphFragments(gid, db.at(gid)));
+    }
+  }
+  for (auto& cls : index.classes_) cls->Finalize();
+  index.stats_.build_seconds = timer.Seconds();
+  return index;
+}
+
+Status FragmentIndex::ExtractGraphFragments(const Graph& g,
+                                            std::vector<PendingInsert>* out,
+                                            ExtractStats* stats) const {
+  FragmentEnumOptions enum_opts;
+  enum_opts.min_edges = options_.min_fragment_edges;
+  enum_opts.max_edges = options_.max_fragment_edges;
+  CanonicalOptions all_embeddings;
+  all_embeddings.use_labels = false;
+  all_embeddings.first_embedding_only = false;
+
+  Status failure = Status::OK();
+  std::vector<Label> labels;
+  std::vector<double> weights;
+  EnumerateConnectedEdgeSubgraphs(g, enum_opts, [&](const std::vector<EdgeId>&
+                                                        subset) {
+    ++stats->subsets;
+    Graph fragment = g.EdgeSubgraph(subset);
+    if (signatures_.count(StructureSignature(fragment)) == 0) {
+      ++stats->skipped_by_signature;
+      return true;
+    }
+    Result<CanonicalForm> form = MinDfsCode(fragment, all_embeddings);
+    if (!form.ok()) {
+      failure = form.status();
+      return false;
+    }
+    auto it = class_by_key_.find(form.value().Key());
+    if (it == class_by_key_.end()) return true;
+    ++stats->occurrences;
+    // Distinct sequences only: symmetric labels make many automorphisms
+    // collide.
+    size_t first = out->size();
+    for (const CanonicalEmbedding& emb : form.value().embeddings) {
+      BuildVectors(fragment, emb.vertex_order, emb.edge_order, &labels, &weights);
+      bool duplicate = false;
+      for (size_t i = first; i < out->size(); ++i) {
+        if ((*out)[i].labels == labels && (*out)[i].weights == weights) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      out->push_back(PendingInsert{it->second, labels, weights});
+    }
+    return true;
+  });
+  return failure;
+}
+
+void FragmentIndex::ApplyExtraction(int gid,
+                                    const std::vector<PendingInsert>& pending,
+                                    const ExtractStats& stats) {
+  for (const PendingInsert& p : pending) {
+    classes_[p.class_id]->Insert(p.labels, p.weights, gid);
+  }
+  stats_.num_subsets_enumerated += stats.subsets;
+  stats_.num_subsets_skipped_by_signature += stats.skipped_by_signature;
+  stats_.num_fragment_occurrences += stats.occurrences;
+  stats_.num_sequences_inserted += pending.size();
+}
+
+Status FragmentIndex::InsertGraphFragments(int gid, const Graph& g) {
+  std::vector<PendingInsert> pending;
+  ExtractStats stats;
+  PIS_RETURN_NOT_OK(ExtractGraphFragments(g, &pending, &stats));
+  ApplyExtraction(gid, pending, stats);
+  return Status::OK();
+}
+
+Result<int> FragmentIndex::AddGraph(const Graph& g) {
+  int gid = db_size_;
+  PIS_RETURN_NOT_OK(InsertGraphFragments(gid, g));
+  ++db_size_;
+  // Re-finalize so postings stay sorted/deduplicated and lazily built
+  // backends (VP-tree) refresh.
+  for (auto& cls : classes_) cls->Refinalize();
+  return gid;
+}
+
+Result<PreparedFragment> FragmentIndex::Prepare(const Graph& fragment) const {
+  CanonicalOptions opts;
+  opts.use_labels = false;
+  opts.first_embedding_only = true;
+  PIS_ASSIGN_OR_RETURN(CanonicalForm form, MinDfsCode(fragment, opts));
+  auto it = class_by_key_.find(form.Key());
+  if (it == class_by_key_.end()) {
+    return Status::NotFound("fragment skeleton is not an indexed class");
+  }
+  PreparedFragment prepared;
+  prepared.class_id = it->second;
+  prepared.num_edges = fragment.NumEdges();
+  BuildVectors(fragment, form.embeddings[0].vertex_order,
+               form.embeddings[0].edge_order, &prepared.labels,
+               &prepared.weights);
+  return prepared;
+}
+
+Status FragmentIndex::RangeQuery(const PreparedFragment& fragment, double sigma,
+                                 const ClassMatchCallback& cb) const {
+  if (fragment.class_id < 0 ||
+      fragment.class_id >= static_cast<int>(classes_.size())) {
+    return Status::InvalidArgument("bad prepared fragment");
+  }
+  return classes_[fragment.class_id]->RangeQuery(fragment.labels,
+                                                 fragment.weights, sigma, cb);
+}
+
+Status FragmentIndex::RangeQuery(const Graph& fragment, double sigma,
+                                 const ClassMatchCallback& cb) const {
+  PIS_ASSIGN_OR_RETURN(PreparedFragment prepared, Prepare(fragment));
+  return RangeQuery(prepared, sigma, cb);
+}
+
+namespace {
+constexpr uint32_t kIndexMagic = 0x50495358;  // "PISX"
+constexpr uint32_t kIndexVersion = 1;
+
+void SerializeSpec(const DistanceSpec& spec, BinaryWriter* writer) {
+  writer->U8(static_cast<uint8_t>(spec.type));
+  spec.vertex_scores.Serialize(writer);
+  spec.edge_scores.Serialize(writer);
+  writer->U8(spec.use_vertex_weights ? 1 : 0);
+  writer->U8(spec.use_edge_weights ? 1 : 0);
+}
+
+Result<DistanceSpec> DeserializeSpec(BinaryReader* reader) {
+  DistanceSpec spec;
+  uint8_t type = reader->U8();
+  if (type > 1) return Status::ParseError("bad distance type");
+  spec.type = static_cast<DistanceType>(type);
+  PIS_ASSIGN_OR_RETURN(spec.vertex_scores, ScoreMatrix::Deserialize(reader));
+  PIS_ASSIGN_OR_RETURN(spec.edge_scores, ScoreMatrix::Deserialize(reader));
+  spec.use_vertex_weights = reader->U8() != 0;
+  spec.use_edge_weights = reader->U8() != 0;
+  PIS_RETURN_NOT_OK(reader->Check("distance spec"));
+  return spec;
+}
+}  // namespace
+
+Status FragmentIndex::Save(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.U32(kIndexMagic);
+  writer.U32(kIndexVersion);
+  writer.I32(options_.min_fragment_edges);
+  writer.I32(options_.max_fragment_edges);
+  SerializeSpec(options_.spec, &writer);
+  writer.U8(options_.backend.has_value() ? 1 : 0);
+  if (options_.backend.has_value()) {
+    writer.U8(static_cast<uint8_t>(*options_.backend));
+  }
+  writer.I32(db_size_);
+  // Build statistics (informational, preserved across load).
+  writer.U64(stats_.num_fragment_occurrences);
+  writer.U64(stats_.num_sequences_inserted);
+  writer.U64(stats_.num_subsets_enumerated);
+  writer.U64(stats_.num_subsets_skipped_by_signature);
+  // Signature set for the subset prefilter.
+  writer.U64(signatures_.size());
+  for (uint64_t sig : signatures_) writer.U64(sig);
+  writer.U64(classes_.size());
+  for (const auto& cls : classes_) {
+    PIS_RETURN_NOT_OK(cls->Serialize(&writer));
+  }
+  if (!writer.ok()) return Status::IOError("index write failed");
+  return Status::OK();
+}
+
+Status FragmentIndex::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return Save(out);
+}
+
+Result<FragmentIndex> FragmentIndex::Load(std::istream& in) {
+  BinaryReader reader(in);
+  if (reader.U32() != kIndexMagic) {
+    return Status::ParseError("not a PIS index file (bad magic)");
+  }
+  uint32_t version = reader.U32();
+  if (version != kIndexVersion) {
+    return Status::ParseError("unsupported index version " +
+                              std::to_string(version));
+  }
+  FragmentIndex index;
+  index.options_.min_fragment_edges = reader.I32();
+  index.options_.max_fragment_edges = reader.I32();
+  PIS_ASSIGN_OR_RETURN(index.options_.spec, DeserializeSpec(&reader));
+  if (reader.U8() != 0) {
+    uint8_t backend = reader.U8();
+    if (backend > 2) return Status::ParseError("bad backend tag");
+    index.options_.backend = static_cast<ClassBackend>(backend);
+  }
+  index.spec_holder_ = std::make_shared<const DistanceSpec>(index.options_.spec);
+  index.db_size_ = reader.I32();
+  index.stats_.num_fragment_occurrences = reader.U64();
+  index.stats_.num_sequences_inserted = reader.U64();
+  index.stats_.num_subsets_enumerated = reader.U64();
+  index.stats_.num_subsets_skipped_by_signature = reader.U64();
+  uint64_t num_signatures = reader.ReadCount(8);
+  PIS_RETURN_NOT_OK(reader.Check("index header"));
+  for (uint64_t i = 0; i < num_signatures; ++i) {
+    index.signatures_.insert(reader.U64());
+  }
+  uint64_t num_classes = reader.ReadCount(16);
+  PIS_RETURN_NOT_OK(reader.Check("index signatures"));
+  for (uint64_t i = 0; i < num_classes; ++i) {
+    PIS_ASSIGN_OR_RETURN(
+        std::unique_ptr<EquivalenceClassIndex> cls,
+        EquivalenceClassIndex::Deserialize(&reader, index.spec_holder_.get()));
+    int class_id = static_cast<int>(index.classes_.size());
+    if (!index.class_by_key_.emplace(cls->key(), class_id).second) {
+      return Status::ParseError("duplicate class key in index file");
+    }
+    index.classes_.push_back(std::move(cls));
+  }
+  index.stats_.num_classes = index.classes_.size();
+  return index;
+}
+
+Result<FragmentIndex> FragmentIndex::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return Load(in);
+}
+
+bool FragmentIndex::HasClass(const Graph& fragment) const {
+  CanonicalOptions opts;
+  opts.use_labels = false;
+  opts.first_embedding_only = true;
+  Result<CanonicalForm> form = MinDfsCode(fragment, opts);
+  if (!form.ok()) return false;
+  return class_by_key_.count(form.value().Key()) > 0;
+}
+
+}  // namespace pis

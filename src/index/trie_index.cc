@@ -1,0 +1,157 @@
+#include "index/trie_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pis {
+
+LabelTrie::LabelTrie(int sequence_length) : sequence_length_(sequence_length) {
+  PIS_CHECK(sequence_length >= 1);
+  nodes_.emplace_back();  // root
+}
+
+int32_t LabelTrie::FindChild(int32_t node, Label symbol) const {
+  const auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), symbol,
+      [](const std::pair<Label, int32_t>& c, Label s) { return c.first < s; });
+  if (it != children.end() && it->first == symbol) return it->second;
+  return -1;
+}
+
+int32_t LabelTrie::ChildOrCreate(int32_t node, Label symbol) {
+  int32_t child = FindChild(node, symbol);
+  if (child >= 0) return child;
+  child = static_cast<int32_t>(nodes_.size());
+  auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), symbol,
+      [](const std::pair<Label, int32_t>& c, Label s) { return c.first < s; });
+  children.insert(it, {symbol, child});
+  nodes_.emplace_back();
+  return child;
+}
+
+void LabelTrie::Insert(const std::vector<Label>& seq, int graph_id) {
+  PIS_DCHECK(static_cast<int>(seq.size()) == sequence_length_);
+  int32_t node = 0;
+  for (Label symbol : seq) {
+    node = ChildOrCreate(node, symbol);
+  }
+  if (nodes_[node].postings < 0) {
+    nodes_[node].postings = static_cast<int32_t>(postings_.size());
+    postings_.emplace_back();
+    ++num_leaves_;
+  }
+  std::vector<int>& list = postings_[nodes_[node].postings];
+  // Graphs are inserted in non-decreasing id order; skip immediate repeats
+  // to keep lists short (Finalize fully deduplicates).
+  if (list.empty() || list.back() != graph_id) list.push_back(graph_id);
+}
+
+void LabelTrie::Finalize() {
+  for (std::vector<int>& list : postings_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+size_t LabelTrie::NumPostings() const {
+  size_t total = 0;
+  for (const auto& list : postings_) total += list.size();
+  return total;
+}
+
+void LabelTrie::RangeQuery(const std::vector<Label>& seq,
+                           const SequenceCostModel& model, double sigma,
+                           const SequenceMatchCallback& cb) const {
+  PIS_DCHECK(static_cast<int>(seq.size()) == sequence_length_);
+  // Iterative DFS with the residual budget; budgets never increase so the
+  // walk prunes whole subtrees as soon as the accumulated cost exceeds
+  // sigma.
+  struct Frame {
+    int32_t node;
+    int depth;
+    double cost;
+  };
+  std::vector<Frame> stack = {{0, 0, 0.0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.depth == sequence_length_) {
+      int32_t pid = nodes_[f.node].postings;
+      if (pid >= 0) {
+        for (int gid : postings_[pid]) cb(gid, f.cost);
+      }
+      continue;
+    }
+    for (const auto& [symbol, child] : nodes_[f.node].children) {
+      double c = f.cost + model.Cost(f.depth, seq[f.depth], symbol);
+      if (c <= sigma) stack.push_back({child, f.depth + 1, c});
+    }
+  }
+}
+
+void LabelTrie::Serialize(BinaryWriter* writer) const {
+  writer->I32(sequence_length_);
+  writer->U64(num_leaves_);
+  writer->U64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer->I32(node.postings);
+    writer->U64(node.children.size());
+    for (const auto& [symbol, child] : node.children) {
+      writer->I32(symbol);
+      writer->I32(child);
+    }
+  }
+  writer->U64(postings_.size());
+  for (const std::vector<int>& list : postings_) writer->VecInt(list);
+}
+
+Result<LabelTrie> LabelTrie::Deserialize(BinaryReader* reader) {
+  int32_t length = reader->I32();
+  PIS_RETURN_NOT_OK(reader->Check("trie header"));
+  if (length < 1) return Status::ParseError("bad trie sequence length");
+  LabelTrie trie(length);
+  trie.num_leaves_ = reader->U64();
+  uint64_t num_nodes = reader->ReadCount(12);  // postings + fanout per node
+  PIS_RETURN_NOT_OK(reader->Check("trie node count"));
+  trie.nodes_.clear();
+  trie.nodes_.reserve(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    Node node;
+    node.postings = reader->I32();
+    uint64_t fanout = reader->ReadCount(8);  // (symbol, child) per entry
+    PIS_RETURN_NOT_OK(reader->Check("trie node"));
+    node.children.reserve(fanout);
+    for (uint64_t c = 0; c < fanout; ++c) {
+      Label symbol = reader->I32();
+      int32_t child = reader->I32();
+      node.children.emplace_back(symbol, child);
+    }
+    trie.nodes_.push_back(std::move(node));
+  }
+  uint64_t num_postings = reader->ReadCount(8);
+  PIS_RETURN_NOT_OK(reader->Check("trie postings count"));
+  trie.postings_.clear();
+  trie.postings_.reserve(num_postings);
+  for (uint64_t i = 0; i < num_postings; ++i) {
+    trie.postings_.push_back(reader->VecInt());
+  }
+  PIS_RETURN_NOT_OK(reader->Check("trie postings"));
+  // Structural sanity: child and posting indices in range.
+  for (const Node& node : trie.nodes_) {
+    if (node.postings >= static_cast<int32_t>(trie.postings_.size())) {
+      return Status::ParseError("trie postings index out of range");
+    }
+    for (const auto& [symbol, child] : node.children) {
+      if (child < 0 || child >= static_cast<int32_t>(trie.nodes_.size())) {
+        return Status::ParseError("trie child index out of range");
+      }
+    }
+  }
+  return trie;
+}
+
+}  // namespace pis

@@ -1,0 +1,82 @@
+// Trie over fixed-length label sequences with cost-bounded range search:
+// the paper's index structure for the mutation distance ("for the mutation
+// distance, we can use a trie", §4).
+#ifndef PIS_INDEX_TRIE_INDEX_H_
+#define PIS_INDEX_TRIE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "distance/score_matrix.h"
+#include "graph/graph.h"
+#include "util/serde.h"
+
+namespace pis {
+
+/// Per-position cost model for sequence mutation distance: positions
+/// [0, num_vertex_positions) score with the vertex matrix, the rest with
+/// the edge matrix.
+struct SequenceCostModel {
+  const ScoreMatrix* vertex_scores = nullptr;
+  const ScoreMatrix* edge_scores = nullptr;
+  int num_vertex_positions = 0;
+
+  double Cost(int position, Label a, Label b) const {
+    const ScoreMatrix* m =
+        position < num_vertex_positions ? vertex_scores : edge_scores;
+    return m->Cost(a, b);
+  }
+};
+
+/// Receives (graph_id, mutation cost) for a matching stored sequence. One
+/// call per (leaf, graph) pair; callers aggregate the per-graph minimum.
+using SequenceMatchCallback = std::function<void(int graph_id, double cost)>;
+
+/// \brief Fixed-depth trie keyed by label sequences, postings at the leaves.
+///
+/// Insertions happen in non-decreasing graph-id order (the index builder
+/// scans the database sequentially); Finalize() deduplicates postings.
+class LabelTrie {
+ public:
+  explicit LabelTrie(int sequence_length);
+
+  /// Inserts a sequence for a graph. `seq` must have the trie's length.
+  void Insert(const std::vector<Label>& seq, int graph_id);
+
+  /// Sorts and deduplicates all posting lists. Call once after all inserts.
+  void Finalize();
+
+  /// Finds every stored sequence whose mutation cost against `seq` is
+  /// <= sigma and invokes the callback per (leaf, graph) posting.
+  void RangeQuery(const std::vector<Label>& seq, const SequenceCostModel& model,
+                  double sigma, const SequenceMatchCallback& cb) const;
+
+  int sequence_length() const { return sequence_length_; }
+  size_t NumLeaves() const { return num_leaves_; }
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumPostings() const;
+
+  /// Binary persistence: the structural node array and posting lists.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<LabelTrie> Deserialize(BinaryReader* reader);
+
+ private:
+  struct Node {
+    // Sorted by symbol; small fan-out expected (few bond/atom types).
+    std::vector<std::pair<Label, int32_t>> children;
+    int32_t postings = -1;  // index into postings_, leaves only
+  };
+
+  int32_t ChildOrCreate(int32_t node, Label symbol);
+  int32_t FindChild(int32_t node, Label symbol) const;
+
+  int sequence_length_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<int>> postings_;
+  size_t num_leaves_ = 0;
+};
+
+}  // namespace pis
+
+#endif  // PIS_INDEX_TRIE_INDEX_H_

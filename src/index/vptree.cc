@@ -1,0 +1,69 @@
+#include "index/vptree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pis {
+
+VpTree::VpTree(size_t n, std::vector<int> payloads, const ItemPairDistance& metric,
+               uint64_t seed)
+    : payloads_(std::move(payloads)) {
+  PIS_CHECK(payloads_.size() == n);
+  if (n == 0) return;
+  std::vector<size_t> items(n);
+  for (size_t i = 0; i < n; ++i) items[i] = i;
+  Rng rng(seed);
+  nodes_.reserve(n);
+  root_ = Build(&items, 0, n, metric, &rng);
+}
+
+int32_t VpTree::Build(std::vector<size_t>* items, size_t begin, size_t end,
+                      const ItemPairDistance& metric, Rng* rng) {
+  if (begin >= end) return -1;
+  int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  // Random vantage point avoids adversarial orderings.
+  size_t pick = begin + rng->UniformIndex(end - begin);
+  std::swap((*items)[begin], (*items)[pick]);
+  size_t vp = (*items)[begin];
+  nodes_[id].item = vp;
+  if (end - begin == 1) return id;
+
+  size_t mid = begin + 1 + (end - begin - 1) / 2;
+  std::nth_element(items->begin() + begin + 1, items->begin() + mid,
+                   items->begin() + end, [&](size_t a, size_t b) {
+                     return metric(vp, a) < metric(vp, b);
+                   });
+  double threshold = metric(vp, (*items)[mid]);
+  int32_t inside = Build(items, begin + 1, mid + 1, metric, rng);
+  int32_t outside = Build(items, mid + 1, end, metric, rng);
+  // Children were built after `id`; reference via index (vector may have
+  // reallocated).
+  nodes_[id].threshold = threshold;
+  nodes_[id].inside = inside;
+  nodes_[id].outside = outside;
+  return id;
+}
+
+void VpTree::RangeQuery(const ItemQueryDistance& to_query, double radius,
+                        const ItemMatchCallback& cb) const {
+  if (root_ < 0) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[id];
+    double d = to_query(node.item);
+    if (d <= radius) cb(payloads_[node.item], d);
+    // Triangle inequality bounds which side(s) can contain matches.
+    if (node.inside >= 0 && d - radius <= node.threshold) {
+      stack.push_back(node.inside);
+    }
+    if (node.outside >= 0 && d + radius >= node.threshold) {
+      stack.push_back(node.outside);
+    }
+  }
+}
+
+}  // namespace pis

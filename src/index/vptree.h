@@ -1,0 +1,57 @@
+// Vantage-point tree: the "metric-based index" alternative the paper cites
+// (Hjaltason & Samet, TODS'03 — reference [6]). Works for any metric
+// distance over stored items, e.g. Hamming distance on label sequences.
+#ifndef PIS_INDEX_VPTREE_H_
+#define PIS_INDEX_VPTREE_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pis {
+
+/// Distance between stored item `i` and the query (closed over by caller).
+using ItemQueryDistance = std::function<double(size_t item)>;
+/// Distance between two stored items.
+using ItemPairDistance = std::function<double(size_t a, size_t b)>;
+/// Receives (payload, distance) for an item within the radius.
+using ItemMatchCallback = std::function<void(int payload, double distance)>;
+
+/// \brief Static VP-tree built once over n items.
+///
+/// The tree stores item indices only; callers provide the metric. The
+/// metric must satisfy the triangle inequality or range queries may miss
+/// results (unit-score mutation distance and L1 both qualify).
+class VpTree {
+ public:
+  /// Builds over items 0..n-1 with payloads and a pairwise metric.
+  VpTree(size_t n, std::vector<int> payloads, const ItemPairDistance& metric,
+         uint64_t seed = 1);
+
+  /// Finds all items with distance(query, item) <= radius; `to_query` must
+  /// be consistent with the construction metric.
+  void RangeQuery(const ItemQueryDistance& to_query, double radius,
+                  const ItemMatchCallback& cb) const;
+
+  size_t size() const { return payloads_.size(); }
+
+ private:
+  struct Node {
+    size_t item = 0;       // vantage point
+    double threshold = 0;  // median distance to the vantage point
+    int32_t inside = -1;   // items with d <= threshold
+    int32_t outside = -1;  // items with d > threshold
+  };
+
+  int32_t Build(std::vector<size_t>* items, size_t begin, size_t end,
+                const ItemPairDistance& metric, Rng* rng);
+
+  std::vector<Node> nodes_;
+  std::vector<int> payloads_;
+  int32_t root_ = -1;
+};
+
+}  // namespace pis
+
+#endif  // PIS_INDEX_VPTREE_H_

@@ -1,0 +1,29 @@
+// Shared types for subgraph isomorphism matchers.
+#ifndef PIS_ISOMORPHISM_MATCHER_H_
+#define PIS_ISOMORPHISM_MATCHER_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pis {
+
+/// Controls what a match must preserve. The paper's subgraph isomorphism
+/// "only considers the structure of a graph" (§2) — that is the default
+/// here; label-preserving matching implements the `⊑` relation.
+struct MatchOptions {
+  bool match_vertex_labels = false;
+  bool match_edge_labels = false;
+  /// Require an induced match: target non-edges between mapped vertices are
+  /// rejected. The paper uses non-induced (monomorphism) semantics.
+  bool induced = false;
+};
+
+/// Receives one embedding: `mapping[qv]` is the target vertex for pattern
+/// vertex `qv`. Return false to stop enumeration.
+using EmbeddingCallback = std::function<bool(const std::vector<VertexId>&)>;
+
+}  // namespace pis
+
+#endif  // PIS_ISOMORPHISM_MATCHER_H_

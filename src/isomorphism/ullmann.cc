@@ -1,0 +1,161 @@
+#include "isomorphism/ullmann.h"
+
+#include <algorithm>
+
+namespace pis {
+
+UllmannMatcher::UllmannMatcher(const Graph& pattern, const Graph& target,
+                               const MatchOptions& options)
+    : pattern_(pattern), target_(target), options_(options) {
+  words_ = (target_.NumVertices() + 63) / 64;
+  assignment_.assign(pattern_.NumVertices(), kInvalidVertex);
+  target_used_.assign(target_.NumVertices(), false);
+}
+
+// Ullmann refinement: candidate (p, t) survives only if every pattern
+// neighbor of p still has at least one candidate among target neighbors of
+// t. Iterates to a fixed point; returns false if some row becomes empty.
+bool UllmannMatcher::Refine(std::vector<BitRow>* cand) const {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId p = 0; p < pattern_.NumVertices(); ++p) {
+      for (VertexId t = 0; t < target_.NumVertices(); ++t) {
+        if (!TestBit((*cand)[p], t)) continue;
+        bool ok = true;
+        for (EdgeId pe : pattern_.IncidentEdges(p)) {
+          VertexId pn = pattern_.GetEdge(pe).Other(p);
+          bool neighbor_ok = false;
+          for (EdgeId te : target_.IncidentEdges(t)) {
+            VertexId tn = target_.GetEdge(te).Other(t);
+            if (!TestBit((*cand)[pn], tn)) continue;
+            if (options_.match_edge_labels &&
+                target_.GetEdge(te).label != pattern_.GetEdge(pe).label) {
+              continue;
+            }
+            neighbor_ok = true;
+            break;
+          }
+          if (!neighbor_ok) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) {
+          ClearBit(&(*cand)[p], t);
+          changed = true;
+        }
+      }
+      bool empty = true;
+      for (uint64_t w : (*cand)[p]) {
+        if (w != 0) {
+          empty = false;
+          break;
+        }
+      }
+      if (empty) return false;
+    }
+  }
+  return true;
+}
+
+bool UllmannMatcher::Recurse(int row, std::vector<BitRow>& cand,
+                             const EmbeddingCallback& cb, size_t* count) {
+  if (row == pattern_.NumVertices()) {
+    ++*count;
+    return cb(assignment_);
+  }
+  for (VertexId t = 0; t < target_.NumVertices(); ++t) {
+    if (target_used_[t] || !TestBit(cand[row], t)) continue;
+    // Check adjacency against rows already assigned (cheap incremental
+    // verification; full refinement per node is the classic variant but is
+    // slower in practice on sparse molecule graphs).
+    bool ok = true;
+    for (EdgeId pe : pattern_.IncidentEdges(row)) {
+      VertexId pn = pattern_.GetEdge(pe).Other(row);
+      if (pn >= row || assignment_[pn] == kInvalidVertex) continue;
+      EdgeId te = target_.FindEdge(t, assignment_[pn]);
+      if (te == kInvalidEdge) {
+        ok = false;
+        break;
+      }
+      if (options_.match_edge_labels &&
+          target_.GetEdge(te).label != pattern_.GetEdge(pe).label) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (options_.induced) {
+      for (EdgeId te : target_.IncidentEdges(t)) {
+        VertexId tn = target_.GetEdge(te).Other(t);
+        if (!target_used_[tn]) continue;
+        VertexId owner = kInvalidVertex;
+        for (VertexId p = 0; p < row; ++p) {
+          if (assignment_[p] == tn) {
+            owner = p;
+            break;
+          }
+        }
+        if (owner != kInvalidVertex && !pattern_.HasEdge(row, owner)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+    }
+    assignment_[row] = t;
+    target_used_[t] = true;
+    bool keep_going = Recurse(row + 1, cand, cb, count);
+    assignment_[row] = kInvalidVertex;
+    target_used_[t] = false;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+size_t UllmannMatcher::EnumerateAll(const EmbeddingCallback& cb) {
+  if (pattern_.NumVertices() > target_.NumVertices() ||
+      pattern_.NumEdges() > target_.NumEdges()) {
+    return 0;
+  }
+  if (pattern_.NumVertices() == 0) {
+    std::vector<VertexId> empty;
+    cb(empty);
+    return 1;
+  }
+  // Initial candidate matrix from degree and label compatibility.
+  std::vector<BitRow> cand(pattern_.NumVertices(), BitRow(words_, 0));
+  for (VertexId p = 0; p < pattern_.NumVertices(); ++p) {
+    for (VertexId t = 0; t < target_.NumVertices(); ++t) {
+      if (target_.Degree(t) < pattern_.Degree(p)) continue;
+      if (options_.match_vertex_labels &&
+          pattern_.VertexLabel(p) != target_.VertexLabel(t)) {
+        continue;
+      }
+      cand[p][t >> 6] |= uint64_t{1} << (t & 63);
+    }
+  }
+  if (!Refine(&cand)) return 0;
+  size_t count = 0;
+  Recurse(0, cand, cb, &count);
+  return count;
+}
+
+bool UllmannMatcher::FindFirst(std::vector<VertexId>* mapping) {
+  bool found = false;
+  EnumerateAll([&](const std::vector<VertexId>& m) {
+    found = true;
+    if (mapping != nullptr) *mapping = m;
+    return false;
+  });
+  return found;
+}
+
+bool IsSubgraphUllmann(const Graph& pattern, const Graph& target,
+                       const MatchOptions& options) {
+  UllmannMatcher matcher(pattern, target, options);
+  return matcher.FindFirst();
+}
+
+}  // namespace pis

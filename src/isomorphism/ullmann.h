@@ -1,0 +1,55 @@
+// Ullmann's subgraph isomorphism algorithm (J. ACM 1976) with candidate
+// matrix refinement. Kept as an independent oracle to cross-check VF2 and
+// as a baseline in the micro-benchmarks.
+#ifndef PIS_ISOMORPHISM_ULLMANN_H_
+#define PIS_ISOMORPHISM_ULLMANN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "isomorphism/matcher.h"
+
+namespace pis {
+
+/// \brief Ullmann matcher over bit-packed candidate matrices.
+class UllmannMatcher {
+ public:
+  UllmannMatcher(const Graph& pattern, const Graph& target,
+                 const MatchOptions& options = {});
+
+  /// True if at least one embedding exists; fills `mapping` if non-null.
+  bool FindFirst(std::vector<VertexId>* mapping = nullptr);
+
+  /// Invokes `cb` for every embedding; returns the number visited.
+  size_t EnumerateAll(const EmbeddingCallback& cb);
+
+ private:
+  using BitRow = std::vector<uint64_t>;
+
+  bool Refine(std::vector<BitRow>* cand) const;
+  bool Recurse(int row, std::vector<BitRow>& cand, const EmbeddingCallback& cb,
+               size_t* count);
+
+  static bool TestBit(const BitRow& row, int i) {
+    return (row[i >> 6] >> (i & 63)) & 1;
+  }
+  static void ClearBit(BitRow* row, int i) {
+    (*row)[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  MatchOptions options_;
+  int words_ = 0;
+  std::vector<VertexId> assignment_;  // pattern vertex -> target vertex
+  std::vector<bool> target_used_;
+};
+
+/// Convenience: containment test via Ullmann.
+bool IsSubgraphUllmann(const Graph& pattern, const Graph& target,
+                       const MatchOptions& options = {});
+
+}  // namespace pis
+
+#endif  // PIS_ISOMORPHISM_ULLMANN_H_

@@ -1,0 +1,62 @@
+// VF2-style subgraph isomorphism (Cordella et al.), adapted to undirected
+// labeled graphs with non-induced (monomorphism) semantics by default.
+#ifndef PIS_ISOMORPHISM_VF2_H_
+#define PIS_ISOMORPHISM_VF2_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "isomorphism/matcher.h"
+
+namespace pis {
+
+/// \brief Enumerates embeddings of a pattern graph in a target graph.
+///
+/// The matcher orders pattern vertices once (connectivity-first, high degree
+/// first) and then backtracks over candidate target vertices with degree and
+/// adjacency feasibility checks. Instances are single-shot cheap objects;
+/// construct per (pattern, target) pair.
+class Vf2Matcher {
+ public:
+  Vf2Matcher(const Graph& pattern, const Graph& target,
+             const MatchOptions& options = {});
+
+  /// True if at least one embedding exists; fills `mapping` (pattern vertex
+  /// -> target vertex) if non-null.
+  bool FindFirst(std::vector<VertexId>* mapping = nullptr);
+
+  /// Invokes `cb` for every embedding until exhaustion or the callback
+  /// returns false. Returns the number of embeddings visited.
+  size_t EnumerateAll(const EmbeddingCallback& cb);
+
+ private:
+  bool Feasible(VertexId pv, VertexId tv) const;
+  bool Recurse(int depth, const EmbeddingCallback& cb, size_t* count);
+
+  const Graph& pattern_;
+  const Graph& target_;
+  MatchOptions options_;
+  std::vector<VertexId> order_;        // pattern matching order
+  std::vector<int> order_parent_;      // index into order_ of a mapped neighbor, or -1
+  std::vector<VertexId> core_;         // pattern vertex -> target vertex
+  std::vector<bool> target_used_;      // target vertex already mapped
+};
+
+/// True iff `pattern` is subgraph-isomorphic to `target` under `options`
+/// (the paper's `⊆` for structure-only, `⊑` with labels).
+bool IsSubgraph(const Graph& pattern, const Graph& target,
+                const MatchOptions& options = {});
+
+/// True iff the two graphs are isomorphic under `options` (same vertex and
+/// edge counts plus mutual embedding feasibility via induced matching).
+bool AreIsomorphic(const Graph& a, const Graph& b, const MatchOptions& options = {});
+
+/// Enumerates all automorphisms of `g` (structure-only when
+/// `options.match_*_labels` are false). The identity is always included.
+std::vector<std::vector<VertexId>> EnumerateAutomorphisms(
+    const Graph& g, const MatchOptions& options = {});
+
+}  // namespace pis
+
+#endif  // PIS_ISOMORPHISM_VF2_H_

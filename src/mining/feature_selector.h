@@ -1,0 +1,38 @@
+// Discriminative feature selection in the style of gIndex (Yan, Yu & Han,
+// SIGMOD'04 — reference [16] of the paper): a frequent pattern is kept only
+// if it is substantially more selective than the conjunction of its already
+// selected subpatterns.
+#ifndef PIS_MINING_FEATURE_SELECTOR_H_
+#define PIS_MINING_FEATURE_SELECTOR_H_
+
+#include <vector>
+
+#include "mining/pattern.h"
+#include "util/status.h"
+
+namespace pis {
+
+struct FeatureSelectorOptions {
+  /// Discriminative ratio γ: pattern p is selected when
+  /// |∩ supports(selected subpatterns of p)| >= gamma * |support(p)|.
+  /// γ = 1 keeps everything frequent; larger γ keeps fewer features.
+  double gamma = 1.5;
+  /// Always keep patterns with at most this many edges regardless of γ
+  /// (single edges guarantee every query decomposes into indexed
+  /// fragments).
+  int always_keep_max_edges = 1;
+  /// Cap on selected features, 0 = unlimited. Patterns are considered in
+  /// ascending size so the cap favors small, broadly reusable features.
+  size_t max_features = 0;
+};
+
+/// Returns indexes into `patterns` of the selected features, in ascending
+/// pattern-size order. `patterns` must come from MineFrequentSubgraphs on a
+/// database of `db_size` graphs.
+Result<std::vector<size_t>> SelectDiscriminativeFeatures(
+    const std::vector<Pattern>& patterns, int db_size,
+    const FeatureSelectorOptions& options = {});
+
+}  // namespace pis
+
+#endif  // PIS_MINING_FEATURE_SELECTOR_H_

@@ -1,0 +1,212 @@
+#include "mining/gspan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "canonical/min_dfs.h"
+#include "util/logging.h"
+
+namespace pis {
+
+namespace {
+
+// One embedding step: graph edge `edge` realizes the code entry, oriented
+// from `from` to `to`; `prev` chains to the parent projection entry (stable:
+// parent lists outlive children on the recursion stack).
+struct PDFS {
+  int gid = -1;
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+  const PDFS* prev = nullptr;
+};
+
+using Projected = std::vector<PDFS>;
+
+// Strict weak order for grouping extension tuples (any total order works;
+// plain lexicographic keeps map iteration deterministic).
+struct DfsEdgeLess {
+  bool operator()(const DfsEdge& a, const DfsEdge& b) const {
+    auto ta = std::tie(a.from, a.to, a.from_label, a.edge_label, a.to_label);
+    auto tb = std::tie(b.from, b.to, b.from_label, b.edge_label, b.to_label);
+    return ta < tb;
+  }
+};
+
+// Rightmost path of a code as code positions, deepest edge first.
+std::vector<int> BuildRmPath(const DfsCode& code) {
+  std::vector<int> rmpath;
+  int old_from = -1;
+  for (int i = static_cast<int>(code.size()) - 1; i >= 0; --i) {
+    const DfsEdge& e = code[i];
+    if (e.IsForward() && (rmpath.empty() || e.to == old_from)) {
+      rmpath.push_back(i);
+      old_from = e.from;
+    }
+  }
+  return rmpath;
+}
+
+// Unrolled embedding: code-position -> graph edge plus dfs-index -> vertex.
+struct History {
+  std::vector<EdgeId> edges;       // code position -> graph edge
+  std::vector<VertexId> vertex_of;  // dfs index -> graph vertex
+  std::vector<bool> edge_used;
+  std::vector<bool> vertex_used;
+
+  History(const Graph& g, const DfsCode& code, const PDFS& last) {
+    std::vector<const PDFS*> chain;
+    for (const PDFS* p = &last; p != nullptr; p = p->prev) chain.push_back(p);
+    std::reverse(chain.begin(), chain.end());
+    PIS_DCHECK(chain.size() == code.size());
+    edges.resize(chain.size());
+    vertex_of.assign(code.NumVertices(), kInvalidVertex);
+    edge_used.assign(g.NumEdges(), false);
+    vertex_used.assign(g.NumVertices(), false);
+    for (size_t i = 0; i < chain.size(); ++i) {
+      edges[i] = chain[i]->edge;
+      edge_used[chain[i]->edge] = true;
+      vertex_of[code[i].from] = chain[i]->from;
+      vertex_of[code[i].to] = chain[i]->to;
+      vertex_used[chain[i]->from] = true;
+      vertex_used[chain[i]->to] = true;
+    }
+  }
+};
+
+class GspanMiner {
+ public:
+  GspanMiner(const GraphDatabase& db, const GspanOptions& options)
+      : db_(db), options_(options) {}
+
+  Result<std::vector<Pattern>> Run() {
+    if (options_.min_support < 1) {
+      return Status::InvalidArgument("min_support must be >= 1");
+    }
+    if (options_.max_edges < 1) {
+      return Status::InvalidArgument("max_edges must be >= 1");
+    }
+    // Root level: group single edges by (la, le, lb), la <= lb (other
+    // orientations cannot start a minimal code).
+    std::map<DfsEdge, Projected, DfsEdgeLess> roots;
+    for (int gid = 0; gid < db_.size(); ++gid) {
+      const Graph& g = db_.at(gid);
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        const Edge& edge = g.GetEdge(e);
+        for (bool u_first : {true, false}) {
+          VertexId a = u_first ? edge.u : edge.v;
+          VertexId b = u_first ? edge.v : edge.u;
+          if (g.VertexLabel(a) > g.VertexLabel(b)) continue;
+          DfsEdge t{0, 1, g.VertexLabel(a), edge.label, g.VertexLabel(b)};
+          roots[t].push_back(PDFS{gid, a, b, e, nullptr});
+        }
+      }
+    }
+    DfsCode code;
+    for (auto& [tuple, projected] : roots) {
+      code.Append(tuple);
+      Subgraph(&code, projected);
+      code.PopBack();
+      if (Done()) break;
+    }
+    return std::move(patterns_);
+  }
+
+ private:
+  bool Done() const {
+    return options_.max_patterns > 0 && patterns_.size() >= options_.max_patterns;
+  }
+
+  static std::vector<int> SupportSet(const Projected& projected) {
+    std::vector<int> gids;
+    int last = -1;
+    for (const PDFS& p : projected) {
+      if (p.gid != last) {
+        gids.push_back(p.gid);
+        last = p.gid;
+      }
+    }
+    // Projections are built in gid order, but guard against future changes.
+    std::sort(gids.begin(), gids.end());
+    gids.erase(std::unique(gids.begin(), gids.end()), gids.end());
+    return gids;
+  }
+
+  void Subgraph(DfsCode* code, const Projected& projected) {
+    if (Done()) return;
+    std::vector<int> support_set = SupportSet(projected);
+    if (static_cast<int>(support_set.size()) < options_.min_support) return;
+    Result<bool> is_min = IsMinDfsCode(*code);
+    PIS_CHECK(is_min.ok()) << is_min.status().ToString();
+    if (!is_min.value()) return;
+
+    if (static_cast<int>(code->size()) >= options_.min_edges) {
+      Pattern pattern;
+      pattern.code = *code;
+      Result<Graph> g = code->ToGraph();
+      PIS_CHECK(g.ok()) << g.status().ToString();
+      pattern.graph = g.MoveValue();
+      pattern.support_set = std::move(support_set);
+      patterns_.push_back(std::move(pattern));
+      if (Done()) return;
+    }
+    if (static_cast<int>(code->size()) >= options_.max_edges) return;
+
+    const std::vector<int> rmpath = BuildRmPath(*code);
+    const int maxtoc = (*code)[rmpath[0]].to;  // rightmost dfs index
+
+    std::map<DfsEdge, Projected, DfsEdgeLess> extensions;
+    for (const PDFS& p : projected) {
+      const Graph& g = db_.at(p.gid);
+      History history(g, *code, p);
+      VertexId rmv = history.vertex_of[maxtoc];
+      // Backward: rightmost vertex -> rightmost-path ancestors.
+      for (size_t ri = rmpath.size(); ri-- > 0;) {
+        int pos = rmpath[ri];
+        int anc_idx = (*code)[pos].from;
+        if (ri == 0) continue;  // skip (there is no backward to maxtoc itself)
+        VertexId anc = history.vertex_of[anc_idx];
+        EdgeId be = g.FindEdge(rmv, anc);
+        if (be == kInvalidEdge || history.edge_used[be]) continue;
+        DfsEdge t{maxtoc, anc_idx, g.VertexLabel(rmv), g.GetEdge(be).label,
+                  g.VertexLabel(anc)};
+        extensions[t].push_back(PDFS{p.gid, rmv, anc, be, &p});
+      }
+      // Forward: from every rightmost-path vertex (the rightmost vertex
+      // itself plus each rmpath ancestor) to an unmapped vertex.
+      std::vector<int> forward_from = {maxtoc};
+      for (int pos : rmpath) forward_from.push_back((*code)[pos].from);
+      for (int from_idx : forward_from) {
+        VertexId from_v = history.vertex_of[from_idx];
+        for (EdgeId fe : g.IncidentEdges(from_v)) {
+          if (history.edge_used[fe]) continue;
+          VertexId w = g.GetEdge(fe).Other(from_v);
+          if (history.vertex_used[w]) continue;
+          DfsEdge t{from_idx, maxtoc + 1, g.VertexLabel(from_v),
+                    g.GetEdge(fe).label, g.VertexLabel(w)};
+          extensions[t].push_back(PDFS{p.gid, from_v, w, fe, &p});
+        }
+      }
+    }
+    for (auto& [tuple, child] : extensions) {
+      code->Append(tuple);
+      Subgraph(code, child);
+      code->PopBack();
+      if (Done()) return;
+    }
+  }
+
+  const GraphDatabase& db_;
+  GspanOptions options_;
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace
+
+Result<std::vector<Pattern>> MineFrequentSubgraphs(const GraphDatabase& db,
+                                                   const GspanOptions& options) {
+  GspanMiner miner(db, options);
+  return miner.Run();
+}
+
+}  // namespace pis

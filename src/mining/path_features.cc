@@ -1,0 +1,99 @@
+#include "mining/path_features.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "canonical/min_dfs.h"
+#include "util/logging.h"
+
+namespace pis {
+
+namespace {
+
+// Enumerates simple paths (edge sequences) of length [1, max_edges] from
+// each start vertex; each undirected path is visited twice (once per
+// direction) and deduplicated by canonical code downstream.
+void EnumeratePaths(const Graph& g, int max_edges,
+                    const std::function<void(const std::vector<EdgeId>&)>& emit) {
+  std::vector<EdgeId> path_edges;
+  std::vector<bool> on_path(g.NumVertices(), false);
+  std::function<void(VertexId)> extend = [&](VertexId v) {
+    if (static_cast<int>(path_edges.size()) >= 1) emit(path_edges);
+    if (static_cast<int>(path_edges.size()) >= max_edges) return;
+    for (EdgeId e : g.IncidentEdges(v)) {
+      VertexId w = g.GetEdge(e).Other(v);
+      if (on_path[w]) continue;
+      on_path[w] = true;
+      path_edges.push_back(e);
+      extend(w);
+      path_edges.pop_back();
+      on_path[w] = false;
+    }
+  };
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    on_path[v] = true;
+    extend(v);
+    on_path[v] = false;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Pattern>> MinePathFeatures(const GraphDatabase& db,
+                                              const PathFeatureOptions& options) {
+  if (options.max_edges < options.min_edges || options.min_edges < 1) {
+    return Status::InvalidArgument("invalid path length bounds");
+  }
+  struct Accum {
+    Pattern pattern;
+    int last_gid = -1;
+  };
+  std::unordered_map<std::string, Accum> by_key;
+  Status failure = Status::OK();
+  for (int gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.at(gid);
+    EnumeratePaths(g, options.max_edges, [&](const std::vector<EdgeId>& edges) {
+      if (!failure.ok()) return;
+      if (static_cast<int>(edges.size()) < options.min_edges) return;
+      Graph sub = g.EdgeSubgraph(edges);
+      CanonicalOptions copts;
+      copts.first_embedding_only = true;
+      Result<CanonicalForm> form = MinDfsCode(sub, copts);
+      if (!form.ok()) {
+        failure = form.status();
+        return;
+      }
+      std::string key = form.value().Key();
+      auto [it, inserted] = by_key.try_emplace(key);
+      Accum& acc = it->second;
+      if (inserted) {
+        acc.pattern.code = form.value().code;
+        Result<Graph> pg = acc.pattern.code.ToGraph();
+        if (!pg.ok()) {
+          failure = pg.status();
+          return;
+        }
+        acc.pattern.graph = pg.MoveValue();
+      }
+      if (acc.last_gid != gid) {
+        acc.pattern.support_set.push_back(gid);
+        acc.last_gid = gid;
+      }
+    });
+    PIS_RETURN_NOT_OK(failure);
+  }
+  std::vector<Pattern> out;
+  out.reserve(by_key.size());
+  for (auto& [key, acc] : by_key) {
+    if (acc.pattern.support() < options.min_support) continue;
+    out.push_back(std::move(acc.pattern));
+  }
+  std::sort(out.begin(), out.end(), [](const Pattern& a, const Pattern& b) {
+    if (a.num_edges() != b.num_edges()) return a.num_edges() < b.num_edges();
+    return a.code.ToKey() < b.code.ToKey();
+  });
+  return out;
+}
+
+}  // namespace pis

@@ -1,0 +1,30 @@
+// GraphGrep-style path features (Shasha, Wang & Giugno, PODS'02 — reference
+// [12] of the paper): all simple paths up to a length cap. The paper notes
+// "PIS can take paths as features to build the index"; this module provides
+// that alternative feature source.
+#ifndef PIS_MINING_PATH_FEATURES_H_
+#define PIS_MINING_PATH_FEATURES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "mining/pattern.h"
+#include "util/status.h"
+
+namespace pis {
+
+struct PathFeatureOptions {
+  int min_edges = 1;
+  int max_edges = 4;
+  /// Absolute minimum support.
+  int min_support = 1;
+};
+
+/// Enumerates the simple paths (as canonical patterns with support sets)
+/// occurring in the database, deduplicated by minimum DFS code.
+Result<std::vector<Pattern>> MinePathFeatures(const GraphDatabase& db,
+                                              const PathFeatureOptions& options = {});
+
+}  // namespace pis
+
+#endif  // PIS_MINING_PATH_FEATURES_H_

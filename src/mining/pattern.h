@@ -1,0 +1,28 @@
+// A mined pattern: graph + canonical code + support set.
+#ifndef PIS_MINING_PATTERN_H_
+#define PIS_MINING_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "canonical/dfs_code.h"
+#include "graph/graph.h"
+
+namespace pis {
+
+/// One frequent subgraph produced by the miner.
+struct Pattern {
+  /// Minimum DFS code (canonical).
+  DfsCode code;
+  /// The pattern graph (vertex ids = DFS indices of `code`).
+  Graph graph;
+  /// Sorted ids of the database graphs containing the pattern.
+  std::vector<int> support_set;
+
+  int support() const { return static_cast<int>(support_set.size()); }
+  int num_edges() const { return graph.NumEdges(); }
+};
+
+}  // namespace pis
+
+#endif  // PIS_MINING_PATTERN_H_

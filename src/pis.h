@@ -1,0 +1,55 @@
+// Umbrella header for the PIS library: substructure search with
+// superimposed distance (Yan, Zhu, Han & Yu, ICDE 2006).
+//
+// Typical usage:
+//
+//   pis::MoleculeGenerator gen;                     // or ReadSdfFile(...)
+//   pis::GraphDatabase db = gen.Generate(10000);
+//
+//   auto patterns = pis::MineFrequentSubgraphs(Skeletons(db), mine_opts);
+//   auto selected = pis::SelectDiscriminativeFeatures(...);
+//
+//   pis::FragmentIndexOptions idx_opts;             // edge mutation distance
+//   auto index = pis::FragmentIndex::Build(db, features, idx_opts);
+//
+//   pis::PisOptions opts;  opts.sigma = 2;
+//   pis::PisEngine engine(&db, &index.value(), opts);
+//   auto result = engine.Search(query);             // exact SSSD answers
+#ifndef PIS_PIS_H_
+#define PIS_PIS_H_
+
+#include "canonical/dfs_code.h"      // IWYU pragma: export
+#include "canonical/min_dfs.h"       // IWYU pragma: export
+#include "core/naive_search.h"       // IWYU pragma: export
+#include "core/options.h"            // IWYU pragma: export
+#include "core/partition.h"          // IWYU pragma: export
+#include "core/pis.h"                // IWYU pragma: export
+#include "core/query_fragments.h"    // IWYU pragma: export
+#include "core/selectivity.h"        // IWYU pragma: export
+#include "core/stats.h"              // IWYU pragma: export
+#include "core/topk.h"               // IWYU pragma: export
+#include "core/topo_prune.h"         // IWYU pragma: export
+#include "core/verifier.h"           // IWYU pragma: export
+#include "distance/combined.h"       // IWYU pragma: export
+#include "distance/distance_spec.h"  // IWYU pragma: export
+#include "distance/linear.h"         // IWYU pragma: export
+#include "distance/mutation.h"       // IWYU pragma: export
+#include "distance/score_matrix.h"   // IWYU pragma: export
+#include "distance/superimposed.h"   // IWYU pragma: export
+#include "graph/generator.h"         // IWYU pragma: export
+#include "graph/graph.h"             // IWYU pragma: export
+#include "graph/io.h"                // IWYU pragma: export
+#include "graph/label_map.h"         // IWYU pragma: export
+#include "graph/query_sampler.h"     // IWYU pragma: export
+#include "graph/sdf_parser.h"        // IWYU pragma: export
+#include "graph/statistics.h"        // IWYU pragma: export
+#include "index/fragment_enum.h"     // IWYU pragma: export
+#include "index/fragment_index.h"    // IWYU pragma: export
+#include "isomorphism/ullmann.h"     // IWYU pragma: export
+#include "isomorphism/vf2.h"         // IWYU pragma: export
+#include "mining/feature_selector.h" // IWYU pragma: export
+#include "mining/gspan.h"            // IWYU pragma: export
+#include "mining/path_features.h"    // IWYU pragma: export
+#include "util/parallel.h"           // IWYU pragma: export
+
+#endif  // PIS_PIS_H_

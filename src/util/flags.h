@@ -1,0 +1,56 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+//
+// Usage:
+//   FlagSet flags;
+//   int db_size = 10000;
+//   flags.AddInt("db_size", &db_size, "number of graphs in the database");
+//   PIS_CHECK(flags.Parse(argc, argv).ok());
+//
+// Accepts "--name=value" and "--name value". Unknown flags are an error;
+// "--help" prints usage and is reported via Status code kAlreadyExists so
+// callers can exit(0).
+#ifndef PIS_UTIL_FLAGS_H_
+#define PIS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pis {
+
+/// Registry of typed command-line flags.
+class FlagSet {
+ public:
+  void AddInt(const std::string& name, int* target, const std::string& help);
+  void AddInt64(const std::string& name, int64_t* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target, const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target, const std::string& help);
+
+  /// Parses argv. Returns InvalidArgument on unknown flags or bad values,
+  /// AlreadyExists after printing usage for --help, OK otherwise.
+  Status Parse(int argc, char** argv) const;
+
+  /// Renders a usage string listing all registered flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kInt64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status Apply(const Flag& flag, const std::string& value) const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_FLAGS_H_

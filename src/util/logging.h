@@ -1,0 +1,57 @@
+// Lightweight leveled logging and check macros.
+#ifndef PIS_UTIL_LOGGING_H_
+#define PIS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pis {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum level that is actually emitted (default: Info).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pis
+
+#define PIS_LOG(level) \
+  ::pis::internal::LogMessage(::pis::LogLevel::k##level, __FILE__, __LINE__)
+
+// PIS_CHECK aborts on failure in all build types; use for invariants whose
+// violation would corrupt results (index postings, search state).
+#define PIS_CHECK(cond)                                              \
+  if (!(cond))                                                       \
+  ::pis::internal::LogMessage(::pis::LogLevel::kFatal, __FILE__,     \
+                              __LINE__)                              \
+      << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define PIS_DCHECK(cond) PIS_CHECK(cond)
+#else
+#define PIS_DCHECK(cond) \
+  if (false) ::pis::internal::LogMessage(::pis::LogLevel::kFatal, __FILE__, __LINE__)
+#endif
+
+#endif  // PIS_UTIL_LOGGING_H_

@@ -1,0 +1,38 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pis {
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  int workers = std::min<size_t>(static_cast<size_t>(num_threads), n);
+  std::atomic<size_t> next{0};
+  auto run = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (int t = 1; t < workers; ++t) threads.emplace_back(run);
+  run();
+  for (std::thread& t : threads) t.join();
+}
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace pis

@@ -1,0 +1,57 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pis {
+
+int Rng::UniformInt(int lo, int hi) {
+  PIS_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  PIS_DCHECK(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+int Rng::HeavyTailInt(int lo, double mean, int cap) {
+  PIS_DCHECK(mean > lo);
+  std::exponential_distribution<double> dist(1.0 / (mean - lo));
+  int v = lo + static_cast<int>(std::floor(dist(engine_)));
+  return std::min(v, cap);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  PIS_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace pis

@@ -1,0 +1,48 @@
+// Seeded PRNG wrapper so every dataset / workload in the repo is reproducible.
+#ifndef PIS_UTIL_RANDOM_H_
+#define PIS_UTIL_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pis {
+
+/// \brief Deterministic random source used by generators and samplers.
+///
+/// Thin wrapper over std::mt19937_64 with convenience draws. Not
+/// thread-safe; create one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+  /// Uniform size_t in [0, n-1]; n must be > 0.
+  size_t UniformIndex(size_t n);
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+  /// Geometric-ish heavy-tail integer: lo + floor(Exp(mean - lo)), capped.
+  int HeavyTailInt(int lo, double mean, int cap);
+  /// Draws an index according to non-negative weights (need not sum to 1).
+  size_t Categorical(const std::vector<double>& weights);
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_RANDOM_H_

@@ -1,0 +1,136 @@
+// Status and Result<T>: exception-free error propagation for the public API,
+// following the Arrow/RocksDB idiom.
+#ifndef PIS_UTIL_STATUS_H_
+#define PIS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pis {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kParseError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A `Status` is cheap to copy in the OK case (no allocation). Non-OK
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A value or an error, never both.
+///
+/// Minimal `StatusOr` analogue. Accessing `value()` on an error aborts in
+/// debug builds; check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pis
+
+/// Propagates a non-OK status to the caller.
+#define PIS_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::pis::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define PIS_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto PIS_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!PIS_CONCAT_(_res_, __LINE__).ok())                \
+    return PIS_CONCAT_(_res_, __LINE__).status();        \
+  lhs = PIS_CONCAT_(_res_, __LINE__).MoveValue()
+
+#define PIS_CONCAT_INNER_(a, b) a##b
+#define PIS_CONCAT_(a, b) PIS_CONCAT_INNER_(a, b)
+
+#endif  // PIS_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared by parsers and report writers.
+#ifndef PIS_UTIL_STRING_UTIL_H_
+#define PIS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace pis {
+
+/// Splits on a delimiter; empty tokens are kept.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Splits on arbitrary runs of whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(const std::string& s);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Joins tokens with a separator.
+std::string Join(const std::vector<std::string>& tokens, const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harness and query stats.
+#ifndef PIS_UTIL_TIMER_H_
+#define PIS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pis {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_TIMER_H_

@@ -1,0 +1,132 @@
+// Degenerate-configuration behaviour: empty feature sets, empty databases,
+// queries with no indexed fragments — the engines must degrade to correct
+// (if unpruned) answers, never crash or drop results.
+#include <gtest/gtest.h>
+
+#include "core/naive_search.h"
+#include "core/pis.h"
+#include "core/topo_prune.h"
+#include "graph/generator.h"
+#include "graph/query_sampler.h"
+#include "index/fragment_index.h"
+
+namespace pis {
+namespace {
+
+Graph SingleEdgeFeature() {
+  Graph edge;
+  edge.AddVertex(kNoLabel);
+  edge.AddVertex(kNoLabel);
+  EXPECT_TRUE(edge.AddEdge(0, 1).ok());
+  return edge;
+}
+
+TEST(EdgeCasesTest, EmptyFeatureSetDegradesToNoPruning) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 5;
+  gopt.mean_vertices = 12;
+  gopt.max_vertices = 25;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(10);
+  auto index = FragmentIndex::Build(db, {}, {});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().num_classes(), 0);
+
+  QuerySampler sampler(&db, {.seed = 2, .strip_vertex_labels = true});
+  auto query = sampler.Sample(6);
+  ASSERT_TRUE(query.ok());
+  PisOptions options;
+  options.sigma = 1;
+  PisEngine engine(&db, &index.value(), options);
+  auto result = engine.Search(query.value());
+  ASSERT_TRUE(result.ok());
+  // No fragments -> no pruning -> whole database verified; answers exact.
+  EXPECT_EQ(result.value().candidates.size(), static_cast<size_t>(db.size()));
+  SearchResult naive =
+      NaiveSearch(db, query.value(), index.value().options().spec, 1);
+  EXPECT_EQ(result.value().answers, naive.answers);
+
+  TopoPruneEngine topo(&db, &index.value());
+  auto topo_result = topo.Search(query.value(), 1);
+  ASSERT_TRUE(topo_result.ok());
+  EXPECT_EQ(topo_result.value().answers, naive.answers);
+}
+
+TEST(EdgeCasesTest, EmptyDatabase) {
+  GraphDatabase db;
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  Graph query = SingleEdgeFeature();
+  PisEngine engine(&db, &index.value(), {});
+  auto result = engine.Search(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().answers.empty());
+}
+
+TEST(EdgeCasesTest, SingleEdgeQuery) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 9;
+  gopt.mean_vertices = 10;
+  gopt.max_vertices = 20;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(8);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  Graph query = SingleEdgeFeature();
+  query.SetEdgeLabel(0, 1);  // "single" bond label from the generator vocab
+  PisOptions options;
+  options.sigma = 0;
+  PisEngine engine(&db, &index.value(), options);
+  auto result = engine.Search(query);
+  ASSERT_TRUE(result.ok());
+  SearchResult naive = NaiveSearch(db, query, index.value().options().spec, 0);
+  EXPECT_EQ(result.value().answers, naive.answers);
+  EXPECT_FALSE(result.value().answers.empty());  // single bonds are ubiquitous
+}
+
+TEST(EdgeCasesTest, QueryLargerThanEveryGraph) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 11;
+  gopt.mean_vertices = 10;
+  gopt.max_vertices = 16;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(6);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  // A long path no 16-vertex molecule can contain.
+  Graph query;
+  query.AddVertex(kNoLabel);
+  for (int i = 0; i < 40; ++i) {
+    query.AddVertex(kNoLabel);
+    ASSERT_TRUE(query.AddEdge(i, i + 1, 1).ok());
+  }
+  PisOptions options;
+  options.sigma = 3;
+  PisEngine engine(&db, &index.value(), options);
+  auto result = engine.Search(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().answers.empty());
+}
+
+TEST(EdgeCasesTest, MismatchedIndexAndDatabaseIsFatalInDebug) {
+  MoleculeGenerator gen;
+  GraphDatabase db = gen.Generate(4);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  GraphDatabase other = gen.Generate(7);
+  EXPECT_DEATH({ PisEngine engine(&other, &index.value(), {}); },
+               "different database");
+}
+
+TEST(EdgeCasesTest, InvalidBuildOptionsRejected) {
+  GraphDatabase db;
+  FragmentIndexOptions bad;
+  bad.min_fragment_edges = 0;
+  EXPECT_FALSE(FragmentIndex::Build(db, {}, bad).ok());
+  bad.min_fragment_edges = 5;
+  bad.max_fragment_edges = 3;
+  EXPECT_FALSE(FragmentIndex::Build(db, {}, bad).ok());
+}
+
+}  // namespace
+}  // namespace pis

@@ -1,0 +1,115 @@
+#include "index/fragment_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generator.h"
+#include "util/random.h"
+
+namespace pis {
+namespace {
+
+Graph Cycle(int n) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddVertex(1);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(i, (i + 1) % n, 1).ok());
+  }
+  return g;
+}
+
+// Oracle: enumerate all edge subsets by bitmask and keep the connected ones.
+std::set<std::vector<EdgeId>> BruteForceSubsets(const Graph& g, int min_edges,
+                                                int max_edges) {
+  std::set<std::vector<EdgeId>> out;
+  int m = g.NumEdges();
+  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+    std::vector<EdgeId> subset;
+    for (int e = 0; e < m; ++e) {
+      if (mask & (1u << e)) subset.push_back(e);
+    }
+    int k = static_cast<int>(subset.size());
+    if (k < min_edges || k > max_edges) continue;
+    Graph sub = g.EdgeSubgraph(subset);
+    if (!sub.IsConnected()) continue;
+    out.insert(subset);
+  }
+  return out;
+}
+
+std::set<std::vector<EdgeId>> EsuSubsets(const Graph& g, int min_edges,
+                                         int max_edges) {
+  std::set<std::vector<EdgeId>> out;
+  FragmentEnumOptions options;
+  options.min_edges = min_edges;
+  options.max_edges = max_edges;
+  EnumerateConnectedEdgeSubgraphs(g, options, [&](const std::vector<EdgeId>& s) {
+    std::vector<EdgeId> sorted = s;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(out.insert(sorted).second) << "duplicate subset emitted";
+    return true;
+  });
+  return out;
+}
+
+TEST(FragmentEnumTest, SingleEdgeGraph) {
+  Graph g;
+  g.AddVertex(1);
+  g.AddVertex(1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+  EXPECT_EQ(CountConnectedEdgeSubgraphs(g, {1, 3}), 1u);
+}
+
+TEST(FragmentEnumTest, TriangleCounts) {
+  Graph g = Cycle(3);
+  // Connected subsets: 3 single edges, 3 two-edge paths, 1 triangle.
+  EXPECT_EQ(CountConnectedEdgeSubgraphs(g, {1, 3}), 7u);
+  EXPECT_EQ(CountConnectedEdgeSubgraphs(g, {2, 2}), 3u);
+  EXPECT_EQ(CountConnectedEdgeSubgraphs(g, {3, 3}), 1u);
+}
+
+TEST(FragmentEnumTest, EarlyStop) {
+  Graph g = Cycle(6);
+  size_t seen = 0;
+  EnumerateConnectedEdgeSubgraphs(g, {1, 6}, [&](const std::vector<EdgeId>&) {
+    ++seen;
+    return seen < 4;
+  });
+  EXPECT_EQ(seen, 4u);
+}
+
+TEST(FragmentEnumTest, MatchesBruteForceOnCycle) {
+  Graph g = Cycle(6);
+  EXPECT_EQ(EsuSubsets(g, 1, 6), BruteForceSubsets(g, 1, 6));
+}
+
+// Property sweep: ESU equals the bitmask oracle on random graphs.
+class FragmentEnumOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FragmentEnumOracleTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  RandomGraphOptions options;
+  options.num_vertices = 5 + GetParam() % 4;
+  options.num_edges = options.num_vertices + GetParam() % 5;
+  Graph g = GenerateRandomConnectedGraph(options, &rng);
+  ASSERT_LE(g.NumEdges(), 14);
+  for (int max_edges : {2, 4, g.NumEdges()}) {
+    EXPECT_EQ(EsuSubsets(g, 1, max_edges), BruteForceSubsets(g, 1, max_edges))
+        << "max_edges=" << max_edges;
+  }
+  EXPECT_EQ(EsuSubsets(g, 3, 5), BruteForceSubsets(g, 3, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentEnumOracleTest, ::testing::Range(0, 25));
+
+TEST(FragmentEnumTest, MoleculeScaleSmoke) {
+  MoleculeGenerator gen;
+  Graph g = gen.Next();
+  size_t count = CountConnectedEdgeSubgraphs(g, {1, 6});
+  EXPECT_GT(count, static_cast<size_t>(g.NumEdges()));
+}
+
+}  // namespace
+}  // namespace pis

@@ -1,0 +1,254 @@
+#include "index/fragment_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "distance/superimposed.h"
+#include "graph/generator.h"
+#include "graph/query_sampler.h"
+#include "index/fragment_enum.h"
+#include "util/random.h"
+
+namespace pis {
+namespace {
+
+Graph Cycle(int n, Label elabel = 1) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddVertex(1);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(i, (i + 1) % n, elabel).ok());
+  }
+  return g;
+}
+
+Graph PathGraph(int edges, Label elabel = 1) {
+  Graph g;
+  g.AddVertex(1);
+  for (int i = 0; i < edges; ++i) {
+    g.AddVertex(1);
+    EXPECT_TRUE(g.AddEdge(i, i + 1, elabel).ok());
+  }
+  return g;
+}
+
+// Skeleton feature set: paths of 1..k edges plus cycles 5,6.
+std::vector<Graph> BasicFeatures(int max_path_edges) {
+  std::vector<Graph> features;
+  for (int k = 1; k <= max_path_edges; ++k) {
+    features.push_back(PathGraph(k).Skeleton());
+  }
+  features.push_back(Cycle(5).Skeleton());
+  features.push_back(Cycle(6).Skeleton());
+  return features;
+}
+
+// Oracle for d(g, G): min over all same-skeleton fragments of G of the
+// isomorphic mutation distance, computed by exhaustive enumeration.
+double OracleFragmentDistance(const Graph& fragment, const Graph& target,
+                              const SuperimposeCostModel& model) {
+  return MinSuperimposedDistance(fragment, target, model);
+}
+
+TEST(FragmentIndexTest, BuildRegistersClasses) {
+  GraphDatabase db;
+  db.Add(Cycle(6));
+  db.Add(PathGraph(4));
+  FragmentIndexOptions options;
+  options.max_fragment_edges = 6;
+  auto index = FragmentIndex::Build(db, BasicFeatures(4), options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index.value().num_classes(), 6);  // 4 paths + 2 cycles
+  EXPECT_GT(index.value().stats().num_sequences_inserted, 0u);
+}
+
+TEST(FragmentIndexTest, PrepareRejectsUnindexedSkeleton) {
+  GraphDatabase db;
+  db.Add(Cycle(6));
+  FragmentIndexOptions options;
+  auto index = FragmentIndex::Build(db, {PathGraph(1).Skeleton()}, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index.value().HasClass(PathGraph(1)));
+  EXPECT_FALSE(index.value().HasClass(Cycle(3)));
+  EXPECT_EQ(index.value().Prepare(Cycle(3)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FragmentIndexTest, RangeQueryFindsExactFragment) {
+  GraphDatabase db;
+  Graph g = Cycle(6, 1);
+  g.SetEdgeLabel(0, 2);
+  db.Add(g);            // ring with one double bond
+  db.Add(Cycle(6, 1));  // plain ring
+  FragmentIndexOptions options;
+  options.max_fragment_edges = 6;
+  auto index = FragmentIndex::Build(db, BasicFeatures(3), options);
+  ASSERT_TRUE(index.ok());
+
+  Graph query_ring = Cycle(6, 1);
+  std::map<int, double> hits;
+  ASSERT_TRUE(index.value()
+                  .RangeQuery(query_ring, 0.0,
+                              [&](int gid, double d) {
+                                auto [it, ok] = hits.emplace(gid, d);
+                                if (!ok) it->second = std::min(it->second, d);
+                              })
+                  .ok());
+  // Only graph 1 contains the all-single ring at distance 0.
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits.count(1), 1u);
+
+  hits.clear();
+  ASSERT_TRUE(index.value()
+                  .RangeQuery(query_ring, 1.0,
+                              [&](int gid, double d) {
+                                auto [it, ok] = hits.emplace(gid, d);
+                                if (!ok) it->second = std::min(it->second, d);
+                              })
+                  .ok());
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(hits[0], 1.0);
+  EXPECT_DOUBLE_EQ(hits[1], 0.0);
+}
+
+TEST(FragmentIndexTest, AutomorphismInsertionGivesExactMinimum) {
+  // A ring labeled [2,1,1,1,1,1] vs query ring [1,1,2,1,1,1]: rotations
+  // align them at distance 0; without automorphism-aware insertion the trie
+  // would report 2.
+  GraphDatabase db;
+  Graph g = Cycle(6, 1);
+  g.SetEdgeLabel(0, 2);
+  db.Add(g);
+  FragmentIndexOptions options;
+  options.max_fragment_edges = 6;
+  auto index = FragmentIndex::Build(db, BasicFeatures(2), options);
+  ASSERT_TRUE(index.ok());
+  Graph query = Cycle(6, 1);
+  query.SetEdgeLabel(2, 2);
+  double best = -1;
+  ASSERT_TRUE(index.value()
+                  .RangeQuery(query, 6.0,
+                              [&](int, double d) {
+                                best = best < 0 ? d : std::min(best, d);
+                              })
+                  .ok());
+  EXPECT_DOUBLE_EQ(best, 0.0);
+}
+
+TEST(FragmentIndexTest, LinearDistanceViaRTree) {
+  GraphDatabase db;
+  Graph a = PathGraph(2);
+  a.SetEdgeWeight(0, 1.0);
+  a.SetEdgeWeight(1, 2.0);
+  db.Add(a);
+  Graph b = PathGraph(2);
+  b.SetEdgeWeight(0, 5.0);
+  b.SetEdgeWeight(1, 5.0);
+  db.Add(b);
+  FragmentIndexOptions options;
+  options.spec = DistanceSpec::EdgeLinear();
+  options.max_fragment_edges = 2;
+  auto index = FragmentIndex::Build(db, BasicFeatures(2), options);
+  ASSERT_TRUE(index.ok());
+
+  Graph query = PathGraph(2);
+  query.SetEdgeWeight(0, 1.25);
+  query.SetEdgeWeight(1, 2.0);
+  std::map<int, double> hits;
+  ASSERT_TRUE(index.value()
+                  .RangeQuery(query, 0.5,
+                              [&](int gid, double d) {
+                                auto [it, ok] = hits.emplace(gid, d);
+                                if (!ok) it->second = std::min(it->second, d);
+                              })
+                  .ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NEAR(hits[0], 0.25, 1e-9);
+}
+
+TEST(FragmentIndexTest, VpTreeBackendAgreesWithTrie) {
+  MoleculeGenerator gen;
+  GraphDatabase db = gen.Generate(30);
+  std::vector<Graph> features = BasicFeatures(4);
+  FragmentIndexOptions trie_opts;
+  trie_opts.max_fragment_edges = 4;
+  auto trie_index = FragmentIndex::Build(db, features, trie_opts);
+  ASSERT_TRUE(trie_index.ok());
+  FragmentIndexOptions vp_opts = trie_opts;
+  vp_opts.backend = ClassBackend::kVpTree;
+  auto vp_index = FragmentIndex::Build(db, features, vp_opts);
+  ASSERT_TRUE(vp_index.ok());
+
+  Rng rng(3);
+  QuerySampler sampler(&db, {.seed = 11, .strip_vertex_labels = true});
+  for (int trial = 0; trial < 5; ++trial) {
+    auto q = sampler.Sample(4);
+    ASSERT_TRUE(q.ok());
+    if (!trie_index.value().HasClass(q.value())) continue;
+    for (double sigma : {0.0, 1.0, 2.0}) {
+      std::map<int, double> trie_hits;
+      std::map<int, double> vp_hits;
+      auto collect = [](std::map<int, double>* out) {
+        return [out](int gid, double d) {
+          auto [it, ok] = out->emplace(gid, d);
+          if (!ok) it->second = std::min(it->second, d);
+        };
+      };
+      ASSERT_TRUE(
+          trie_index.value().RangeQuery(q.value(), sigma, collect(&trie_hits)).ok());
+      ASSERT_TRUE(
+          vp_index.value().RangeQuery(q.value(), sigma, collect(&vp_hits)).ok());
+      EXPECT_EQ(trie_hits, vp_hits) << "sigma=" << sigma;
+    }
+  }
+}
+
+// Property: index range-query distances equal the exact fragment
+// superimposed distance (the identity behind Eq. 3), on molecule data.
+class FragmentIndexOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FragmentIndexOracleTest, RangeDistancesAreExact) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 500 + GetParam();
+  gopt.mean_vertices = 14;
+  gopt.max_vertices = 30;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(12);
+  FragmentIndexOptions options;
+  options.max_fragment_edges = 4;
+  auto index = FragmentIndex::Build(db, BasicFeatures(4), options);
+  ASSERT_TRUE(index.ok());
+
+  auto model = options.spec.MakeCostModel();
+  QuerySampler sampler(&db,
+                       {.seed = 900 + static_cast<uint64_t>(GetParam()),
+                        .strip_vertex_labels = false});
+  const double sigma = 2.0;
+  for (int trial = 0; trial < 4; ++trial) {
+    auto fragment = sampler.Sample(3);
+    ASSERT_TRUE(fragment.ok());
+    if (!index.value().HasClass(fragment.value())) continue;
+    std::map<int, double> hits;
+    ASSERT_TRUE(index.value()
+                    .RangeQuery(fragment.value(), sigma,
+                                [&](int gid, double d) {
+                                  auto [it, ok] = hits.emplace(gid, d);
+                                  if (!ok) it->second = std::min(it->second, d);
+                                })
+                    .ok());
+    for (int gid = 0; gid < db.size(); ++gid) {
+      double exact = OracleFragmentDistance(fragment.value(), db.at(gid), *model);
+      if (exact <= sigma) {
+        ASSERT_EQ(hits.count(gid), 1u) << "gid " << gid << " missing";
+        EXPECT_DOUBLE_EQ(hits[gid], exact);
+      } else {
+        EXPECT_EQ(hits.count(gid), 0u) << "gid " << gid << " spurious";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentIndexOracleTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pis

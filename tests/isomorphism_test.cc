@@ -1,0 +1,196 @@
+#include "isomorphism/vf2.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.h"
+#include "isomorphism/cost_search.h"
+#include "isomorphism/ullmann.h"
+#include "util/random.h"
+
+namespace pis {
+namespace {
+
+Graph Path(int edges, Label vlabel = 1, Label elabel = 1) {
+  Graph g;
+  g.AddVertex(vlabel);
+  for (int i = 0; i < edges; ++i) {
+    g.AddVertex(vlabel);
+    EXPECT_TRUE(g.AddEdge(i, i + 1, elabel).ok());
+  }
+  return g;
+}
+
+Graph Cycle(int n, Label vlabel = 1, Label elabel = 1) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddVertex(vlabel);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(i, (i + 1) % n, elabel).ok());
+  }
+  return g;
+}
+
+TEST(Vf2Test, PathInCycle) {
+  Graph p = Path(3);
+  Graph c = Cycle(6);
+  EXPECT_TRUE(IsSubgraph(p, c));
+  EXPECT_FALSE(IsSubgraph(c, p));
+}
+
+TEST(Vf2Test, TriangleNotInTree) {
+  Graph triangle = Cycle(3);
+  Graph tree = Path(4);
+  EXPECT_FALSE(IsSubgraph(triangle, tree));
+}
+
+TEST(Vf2Test, EmptyPatternAlwaysMatches) {
+  Graph empty;
+  Graph c = Cycle(4);
+  EXPECT_TRUE(IsSubgraph(empty, c));
+}
+
+TEST(Vf2Test, LabelsRestrictMatching) {
+  Graph p = Path(1, 1, 5);
+  Graph t = Path(1, 1, 6);
+  MatchOptions structural;
+  EXPECT_TRUE(IsSubgraph(p, t, structural));
+  MatchOptions labeled;
+  labeled.match_edge_labels = true;
+  EXPECT_FALSE(IsSubgraph(p, t, labeled));
+  t.SetEdgeLabel(0, 5);
+  EXPECT_TRUE(IsSubgraph(p, t, labeled));
+}
+
+TEST(Vf2Test, VertexLabelsRestrictMatching) {
+  Graph p = Path(1, 2);
+  Graph t = Path(1, 1);
+  MatchOptions labeled;
+  labeled.match_vertex_labels = true;
+  EXPECT_FALSE(IsSubgraph(p, t, labeled));
+  EXPECT_TRUE(IsSubgraph(p, t, MatchOptions{}));
+}
+
+TEST(Vf2Test, InducedRejectsExtraEdges) {
+  Graph p = Path(2);        // 3 vertices, 2 edges
+  Graph t = Cycle(3);       // triangle
+  MatchOptions induced;
+  induced.induced = true;
+  EXPECT_TRUE(IsSubgraph(p, t, MatchOptions{}));  // monomorphism ok
+  EXPECT_FALSE(IsSubgraph(p, t, induced));        // induced not ok
+}
+
+TEST(Vf2Test, EmbeddingCountPathInCycle) {
+  // A 3-edge path embeds into a 6-cycle at 6 start points x 2 directions.
+  Graph p = Path(3);
+  Graph c = Cycle(6);
+  Vf2Matcher matcher(p, c);
+  size_t count = matcher.EnumerateAll(
+      [](const std::vector<VertexId>&) { return true; });
+  EXPECT_EQ(count, 12u);
+}
+
+TEST(Vf2Test, EnumerationStopsWhenCallbackReturnsFalse) {
+  Graph p = Path(1);
+  Graph c = Cycle(5);
+  Vf2Matcher matcher(p, c);
+  size_t seen = 0;
+  matcher.EnumerateAll([&](const std::vector<VertexId>&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(Vf2Test, MappingIsAValidEmbedding) {
+  Graph p = Cycle(4);
+  Graph t = Cycle(4);
+  t.AddVertex(1);
+  ASSERT_TRUE(t.AddEdge(0, 4, 1).ok());
+  std::vector<VertexId> mapping;
+  Vf2Matcher matcher(p, t);
+  ASSERT_TRUE(matcher.FindFirst(&mapping));
+  ASSERT_EQ(mapping.size(), 4u);
+  std::set<VertexId> images(mapping.begin(), mapping.end());
+  EXPECT_EQ(images.size(), 4u);  // injective
+  for (EdgeId e = 0; e < p.NumEdges(); ++e) {
+    EXPECT_TRUE(t.HasEdge(mapping[p.GetEdge(e).u], mapping[p.GetEdge(e).v]));
+  }
+}
+
+TEST(IsomorphismTest, CyclesAndPaths) {
+  EXPECT_TRUE(AreIsomorphic(Cycle(5), Cycle(5)));
+  EXPECT_FALSE(AreIsomorphic(Cycle(5), Cycle(6)));
+  EXPECT_FALSE(AreIsomorphic(Cycle(3), Path(3)));
+}
+
+TEST(AutomorphismTest, KnownGroups) {
+  EXPECT_EQ(EnumerateAutomorphisms(Path(2)).size(), 2u);
+  EXPECT_EQ(EnumerateAutomorphisms(Cycle(4)).size(), 8u);
+  EXPECT_EQ(EnumerateAutomorphisms(Cycle(3)).size(), 6u);
+  // Labels break symmetry.
+  Graph labeled = Cycle(3);
+  labeled.SetVertexLabel(0, 9);
+  MatchOptions with_labels;
+  with_labels.match_vertex_labels = true;
+  EXPECT_EQ(EnumerateAutomorphisms(labeled, with_labels).size(), 2u);
+}
+
+TEST(UllmannTest, AgreesOnBasics) {
+  EXPECT_TRUE(IsSubgraphUllmann(Path(3), Cycle(6)));
+  EXPECT_FALSE(IsSubgraphUllmann(Cycle(3), Path(4)));
+  Graph p = Path(1, 1, 5);
+  Graph t = Path(1, 1, 6);
+  MatchOptions labeled;
+  labeled.match_edge_labels = true;
+  EXPECT_FALSE(IsSubgraphUllmann(p, t, labeled));
+}
+
+TEST(UllmannTest, CountsMatchVf2) {
+  Graph p = Path(2);
+  Graph c = Cycle(5);
+  Vf2Matcher vf2(p, c);
+  UllmannMatcher ull(p, c);
+  auto count_all = [](auto& m) {
+    return m.EnumerateAll([](const std::vector<VertexId>&) { return true; });
+  };
+  EXPECT_EQ(count_all(vf2), count_all(ull));
+}
+
+// Property sweep: VF2 and Ullmann agree (existence and embedding count) on
+// random pattern/target pairs, with and without labels.
+class MatcherAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherAgreementTest, Vf2EqualsUllmann) {
+  Rng rng(GetParam());
+  RandomGraphOptions topt;
+  topt.num_vertices = 8;
+  topt.num_edges = 12;
+  topt.vertex_alphabet = 2;
+  topt.edge_alphabet = 2;
+  Graph target = GenerateRandomConnectedGraph(topt, &rng);
+  RandomGraphOptions popt;
+  popt.num_vertices = 3 + GetParam() % 3;
+  popt.num_edges = popt.num_vertices;
+  popt.vertex_alphabet = 2;
+  popt.edge_alphabet = 2;
+  Graph pattern = GenerateRandomConnectedGraph(popt, &rng);
+
+  for (bool vlabels : {false, true}) {
+    for (bool elabels : {false, true}) {
+      MatchOptions options;
+      options.match_vertex_labels = vlabels;
+      options.match_edge_labels = elabels;
+      Vf2Matcher vf2(pattern, target, options);
+      UllmannMatcher ull(pattern, target, options);
+      size_t nv = vf2.EnumerateAll([](const std::vector<VertexId>&) { return true; });
+      size_t nu = ull.EnumerateAll([](const std::vector<VertexId>&) { return true; });
+      EXPECT_EQ(nv, nu) << "vlabels=" << vlabels << " elabels=" << elabels;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherAgreementTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace pis

@@ -1,0 +1,290 @@
+#include "mining/gspan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "canonical/min_dfs.h"
+#include "graph/generator.h"
+#include "index/fragment_enum.h"
+#include "isomorphism/vf2.h"
+#include "mining/feature_selector.h"
+#include "mining/path_features.h"
+#include "util/random.h"
+
+namespace pis {
+namespace {
+
+Graph Path(int edges, Label vlabel = 1, Label elabel = 1) {
+  Graph g;
+  g.AddVertex(vlabel);
+  for (int i = 0; i < edges; ++i) {
+    g.AddVertex(vlabel);
+    EXPECT_TRUE(g.AddEdge(i, i + 1, elabel).ok());
+  }
+  return g;
+}
+
+Graph Cycle(int n, Label vlabel = 1, Label elabel = 1) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddVertex(vlabel);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(i, (i + 1) % n, elabel).ok());
+  }
+  return g;
+}
+
+// Oracle: frequent patterns by exhaustive fragment enumeration +
+// canonicalization.
+std::map<std::string, std::set<int>> BruteForceFrequent(const GraphDatabase& db,
+                                                        int max_edges) {
+  std::map<std::string, std::set<int>> supports;
+  for (int gid = 0; gid < db.size(); ++gid) {
+    EnumerateConnectedEdgeSubgraphs(db.at(gid), {1, max_edges},
+                                    [&](const std::vector<EdgeId>& subset) {
+      Graph sub = db.at(gid).EdgeSubgraph(subset);
+      CanonicalOptions opts;
+      opts.first_embedding_only = true;
+      auto form = MinDfsCode(sub, opts);
+      EXPECT_TRUE(form.ok());
+      supports[form.value().Key()].insert(gid);
+      return true;
+    });
+  }
+  return supports;
+}
+
+TEST(GspanTest, SingleGraphSingleEdge) {
+  GraphDatabase db;
+  db.Add(Path(1, 1, 5));
+  GspanOptions options;
+  options.min_support = 1;
+  options.max_edges = 1;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns.value().size(), 1u);
+  EXPECT_EQ(patterns.value()[0].support(), 1);
+  EXPECT_EQ(patterns.value()[0].graph.NumEdges(), 1);
+  EXPECT_EQ(patterns.value()[0].graph.GetEdge(0).label, 5);
+}
+
+TEST(GspanTest, SupportCountsGraphsNotEmbeddings) {
+  GraphDatabase db;
+  db.Add(Cycle(6));  // many embeddings of a 2-edge path
+  db.Add(Path(2));
+  GspanOptions options;
+  options.min_support = 2;
+  options.max_edges = 2;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  // Frequent in both: single edge, 2-edge path.
+  ASSERT_EQ(patterns.value().size(), 2u);
+  for (const Pattern& p : patterns.value()) {
+    EXPECT_EQ(p.support(), 2);
+    EXPECT_EQ(p.support_set, (std::vector<int>{0, 1}));
+  }
+}
+
+TEST(GspanTest, MinSupportFilters) {
+  GraphDatabase db;
+  db.Add(Cycle(3));
+  db.Add(Cycle(3));
+  db.Add(Path(3));
+  GspanOptions options;
+  options.min_support = 3;
+  options.max_edges = 3;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  // Triangle only in 2 graphs; paths up to 2 edges are in all 3 (the
+  // 3-edge path is not in the triangle).
+  std::set<std::string> keys;
+  for (const Pattern& p : patterns.value()) {
+    EXPECT_GE(p.support(), 3);
+    keys.insert(p.code.ToKey());
+  }
+  EXPECT_EQ(patterns.value().size(), 2u);  // 1-edge, 2-edge path
+}
+
+TEST(GspanTest, PatternsAreCanonicalAndUnique) {
+  Rng rng(7);
+  GraphDatabase db;
+  for (int i = 0; i < 8; ++i) {
+    RandomGraphOptions options;
+    options.num_vertices = 7;
+    options.num_edges = 9;
+    options.vertex_alphabet = 2;
+    options.edge_alphabet = 2;
+    db.Add(GenerateRandomConnectedGraph(options, &rng));
+  }
+  GspanOptions options;
+  options.min_support = 2;
+  options.max_edges = 4;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  std::set<std::string> keys;
+  for (const Pattern& p : patterns.value()) {
+    auto is_min = IsMinDfsCode(p.code);
+    ASSERT_TRUE(is_min.ok());
+    EXPECT_TRUE(is_min.value());
+    EXPECT_TRUE(keys.insert(p.code.ToKey()).second) << "duplicate pattern";
+  }
+}
+
+TEST(GspanTest, MaxPatternsCap) {
+  MoleculeGenerator gen;
+  GraphDatabase db = gen.Generate(20);
+  GspanOptions options;
+  options.min_support = 2;
+  options.max_edges = 3;
+  options.max_patterns = 5;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns.value().size(), 5u);
+}
+
+// Property: gSpan equals brute-force enumeration (pattern keys and
+// supports) on random labeled databases.
+class GspanOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GspanOracleTest, MatchesBruteForce) {
+  Rng rng(GetParam() * 13 + 5);
+  GraphDatabase db;
+  for (int i = 0; i < 6; ++i) {
+    RandomGraphOptions options;
+    options.num_vertices = 5 + GetParam() % 3;
+    options.num_edges = options.num_vertices + 2;
+    options.vertex_alphabet = 2;
+    options.edge_alphabet = 2;
+    db.Add(GenerateRandomConnectedGraph(options, &rng));
+  }
+  const int max_edges = 4;
+  const int min_support = 1 + GetParam() % 3;
+  auto oracle = BruteForceFrequent(db, max_edges);
+
+  GspanOptions options;
+  options.min_support = min_support;
+  options.max_edges = max_edges;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+
+  std::map<std::string, std::vector<int>> mined;
+  for (const Pattern& p : patterns.value()) {
+    // Recompute the key with vertex count prefix for comparison.
+    CanonicalOptions opts;
+    opts.first_embedding_only = true;
+    auto form = MinDfsCode(p.graph, opts);
+    ASSERT_TRUE(form.ok());
+    mined[form.value().Key()] = p.support_set;
+  }
+  size_t expected_count = 0;
+  for (const auto& [key, support] : oracle) {
+    if (static_cast<int>(support.size()) < min_support) continue;
+    ++expected_count;
+    ASSERT_EQ(mined.count(key), 1u) << "missing pattern " << key;
+    std::vector<int> expected_support(support.begin(), support.end());
+    EXPECT_EQ(mined[key], expected_support);
+  }
+  EXPECT_EQ(mined.size(), expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GspanOracleTest, ::testing::Range(0, 15));
+
+TEST(FeatureSelectorTest, GammaOneKeepsEverything) {
+  MoleculeGenerator gen;
+  GraphDatabase db = gen.Generate(30);
+  GspanOptions options;
+  options.min_support = 5;
+  options.max_edges = 3;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  FeatureSelectorOptions select;
+  select.gamma = 1.0;
+  auto selected = SelectDiscriminativeFeatures(patterns.value(), db.size(), select);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected.value().size(), patterns.value().size());
+}
+
+TEST(FeatureSelectorTest, LargerGammaSelectsFewer) {
+  MoleculeGenerator gen;
+  GraphDatabase db = gen.Generate(60);
+  GspanOptions options;
+  options.min_support = 6;
+  options.max_edges = 4;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  FeatureSelectorOptions loose;
+  loose.gamma = 1.0;
+  FeatureSelectorOptions tight;
+  tight.gamma = 2.0;
+  auto all = SelectDiscriminativeFeatures(patterns.value(), db.size(), loose);
+  auto few = SelectDiscriminativeFeatures(patterns.value(), db.size(), tight);
+  ASSERT_TRUE(all.ok() && few.ok());
+  EXPECT_LE(few.value().size(), all.value().size());
+  EXPECT_FALSE(few.value().empty());  // single edges always kept
+}
+
+TEST(FeatureSelectorTest, RejectsBadGamma) {
+  EXPECT_FALSE(SelectDiscriminativeFeatures({}, 10, {.gamma = 0.5}).ok());
+}
+
+TEST(FeatureSelectorTest, MaxFeaturesCap) {
+  MoleculeGenerator gen;
+  GraphDatabase db = gen.Generate(30);
+  GspanOptions options;
+  options.min_support = 3;
+  options.max_edges = 3;
+  auto patterns = MineFrequentSubgraphs(db, options);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_GT(patterns.value().size(), 3u);
+  FeatureSelectorOptions select;
+  select.gamma = 1.0;
+  select.max_features = 3;
+  auto selected = SelectDiscriminativeFeatures(patterns.value(), db.size(), select);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected.value().size(), 3u);
+}
+
+TEST(PathFeaturesTest, PathsOfACycle) {
+  GraphDatabase db;
+  db.Add(Cycle(5));
+  PathFeatureOptions options;
+  options.max_edges = 3;
+  auto features = MinePathFeatures(db, options);
+  ASSERT_TRUE(features.ok());
+  // Uniform labels: one path pattern per length 1..3.
+  ASSERT_EQ(features.value().size(), 3u);
+  for (const Pattern& p : features.value()) {
+    EXPECT_EQ(p.support(), 1);
+    EXPECT_EQ(p.graph.NumEdges(), p.graph.NumVertices() - 1);
+  }
+}
+
+TEST(PathFeaturesTest, LabelsSplitPatterns) {
+  GraphDatabase db;
+  Graph g = Path(2, 1, 1);
+  g.SetEdgeLabel(1, 2);
+  db.Add(g);
+  PathFeatureOptions options;
+  options.max_edges = 2;
+  auto features = MinePathFeatures(db, options);
+  ASSERT_TRUE(features.ok());
+  // Edges: label-1 and label-2 singles; one 2-edge path [1,2].
+  EXPECT_EQ(features.value().size(), 3u);
+}
+
+TEST(PathFeaturesTest, MinSupportFilters) {
+  GraphDatabase db;
+  db.Add(Path(1, 1, 1));
+  db.Add(Path(1, 1, 2));
+  PathFeatureOptions options;
+  options.max_edges = 1;
+  options.min_support = 2;
+  auto features = MinePathFeatures(db, options);
+  ASSERT_TRUE(features.ok());
+  EXPECT_TRUE(features.value().empty());  // each edge label in 1 graph only
+}
+
+}  // namespace
+}  // namespace pis

@@ -1,0 +1,169 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "core/selectivity.h"
+#include "util/random.h"
+
+namespace pis {
+namespace {
+
+WeightedFragment WF(double weight, std::vector<VertexId> vertices) {
+  WeightedFragment f;
+  f.weight = weight;
+  f.vertices = std::move(vertices);
+  return f;
+}
+
+TEST(OverlapGraphTest, EdgesFromVertexIntersection) {
+  std::vector<WeightedFragment> frags = {
+      WF(1, {0, 1}), WF(2, {1, 2}), WF(3, {3, 4})};
+  OverlapGraph g(frags);
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_TRUE(g.Adjacent(0, 1));
+  EXPECT_FALSE(g.Adjacent(0, 2));
+  EXPECT_FALSE(g.Adjacent(1, 2));
+  EXPECT_TRUE(g.IsIndependent({0, 2}));
+  EXPECT_FALSE(g.IsIndependent({0, 1}));
+  EXPECT_DOUBLE_EQ(g.TotalWeight({0, 2}), 4.0);
+}
+
+TEST(GreedyTest, PaperExample5) {
+  // Figure 7: path w1-w2-...-w7 with w4 >= w6 >= w5 >= w1 >= w7 >= w2 >= w3.
+  // Greedy picks w4, then w6 is removed? No: the figure is a path
+  // 1-2-3-4-5-6-7; picking 4 removes 3,5; then 6 removes 7; then 1 removes
+  // 2... the paper says the solution is {w4, w6?}.. it reports {w4, w5?}..
+  // It reports w4, w5, w2 for a different adjacency; we encode the path and
+  // the stated weight order and check the greedy invariant instead: the
+  // result is maximal and independent.
+  std::vector<WeightedFragment> frags;
+  double weights[7] = {4, 2, 1, 7, 5, 6, 3};  // w4 max, then w6, w5, w1, w7, w2, w3
+  for (int i = 0; i < 7; ++i) {
+    std::vector<VertexId> vs = {i, i + 1};  // path overlap structure
+    frags.push_back(WF(weights[i], vs));
+  }
+  OverlapGraph g(frags);
+  std::vector<int> s = GreedyMwis(g);
+  EXPECT_TRUE(g.IsIndependent(s));
+  // Greedy: picks 3 (w=7), removing 2 and 4; picks 5 (w=6), removing 6;
+  // picks 0 (w=4), removing 1. Result {0,3,5}.
+  EXPECT_EQ(s, (std::vector<int>{0, 3, 5}));
+}
+
+TEST(GreedyTest, EmptyGraph) {
+  OverlapGraph g({});
+  EXPECT_TRUE(GreedyMwis(g).empty());
+  EXPECT_TRUE(ExactMwis(g).empty());
+  EXPECT_TRUE(EnhancedGreedyMwis(g, 2).empty());
+  EXPECT_TRUE(SingleBestMwis(g).empty());
+}
+
+TEST(EnhancedGreedyTest, BeatsGreedyOnStarCounterexample) {
+  // Star: center weight 10, leaves 6+6+6. Greedy takes the center (10);
+  // the optimum takes the three leaves (18). EnhancedGreedy(2) finds a
+  // 2-set of leaves (12) first, then the remaining leaf.
+  std::vector<WeightedFragment> frags = {
+      WF(10, {0, 1, 2, 3}),  // center overlaps everyone
+      WF(6, {1}), WF(6, {2}), WF(6, {3})};
+  OverlapGraph g(frags);
+  std::vector<int> greedy = GreedyMwis(g);
+  EXPECT_EQ(g.TotalWeight(greedy), 10);
+  std::vector<int> enhanced = EnhancedGreedyMwis(g, 2);
+  EXPECT_EQ(g.TotalWeight(enhanced), 18);
+  std::vector<int> exact = ExactMwis(g);
+  EXPECT_EQ(g.TotalWeight(exact), 18);
+}
+
+TEST(ExactTest, SmallKnownInstance) {
+  // 4-cycle with weights 3,5,4,2: best independent set {1,3} = 7.
+  std::vector<WeightedFragment> frags = {WF(3, {0, 1}), WF(5, {1, 2}),
+                                         WF(4, {2, 3}), WF(2, {3, 0})};
+  OverlapGraph g(frags);
+  std::vector<int> s = ExactMwis(g);
+  EXPECT_EQ(s, (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(g.TotalWeight(s), 7.0);
+}
+
+TEST(SingleBestTest, PicksHeaviest) {
+  std::vector<WeightedFragment> frags = {WF(1, {0}), WF(9, {1}), WF(4, {2})};
+  OverlapGraph g(frags);
+  EXPECT_EQ(SingleBestMwis(g), (std::vector<int>{1}));
+}
+
+// Properties on random instances: independence, greedy ratio >= 1/c,
+// enhanced(k) >= greedy in the adversarial sense checked against exact.
+class MwisPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MwisPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  int n = 4 + GetParam() % 12;
+  std::vector<WeightedFragment> frags;
+  for (int i = 0; i < n; ++i) {
+    // Random small vertex sets over a universe of 12 vertices.
+    std::vector<VertexId> vs;
+    int k = rng.UniformInt(1, 3);
+    for (int j = 0; j < k; ++j) vs.push_back(rng.UniformInt(0, 11));
+    std::sort(vs.begin(), vs.end());
+    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+    frags.push_back(WF(rng.UniformDouble(0.1, 5.0), vs));
+  }
+  OverlapGraph g(frags);
+  std::vector<int> greedy = GreedyMwis(g);
+  std::vector<int> enhanced = EnhancedGreedyMwis(g, 2);
+  std::vector<int> exact = ExactMwis(g);
+  EXPECT_TRUE(g.IsIndependent(greedy));
+  EXPECT_TRUE(g.IsIndependent(enhanced));
+  EXPECT_TRUE(g.IsIndependent(exact));
+  // Exact dominates both heuristics; every heuristic is nonempty when the
+  // graph is.
+  EXPECT_GE(g.TotalWeight(exact) + 1e-9, g.TotalWeight(greedy));
+  EXPECT_GE(g.TotalWeight(exact) + 1e-9, g.TotalWeight(enhanced));
+  if (g.size() > 0) {
+    EXPECT_FALSE(greedy.empty());
+    EXPECT_FALSE(exact.empty());
+  }
+  // Maximality of greedy: no vertex can be added.
+  std::vector<bool> in_set(g.size(), false);
+  for (int v : greedy) in_set[v] = true;
+  for (int v = 0; v < g.size(); ++v) {
+    if (in_set[v]) continue;
+    bool adjacent = false;
+    for (int s : greedy) {
+      if (g.Adjacent(s, v)) {
+        adjacent = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(adjacent) << "greedy result not maximal";
+  }
+  // Theorem 2 ratio: w(greedy) >= w(exact) / c with c = |exact| as an
+  // upper bound witness of the max independent set size is not exact (the
+  // true c can exceed |exact|), so check the weaker, always-valid bound
+  // with c = n.
+  EXPECT_GE(g.TotalWeight(greedy) * g.size() + 1e-9, g.TotalWeight(exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwisPropertyTest, ::testing::Range(0, 30));
+
+TEST(SelectivityTest, Definition5WithCutoff) {
+  // n = 4, sigma = 2, lambda = 1; found distances {0, 1} -> two graphs at
+  // cutoff 2 each: w = (0 + 1 + 2 + 2) / 4.
+  EXPECT_DOUBLE_EQ(ComputeSelectivity({0, 1}, 4, 2, 1), 1.25);
+}
+
+TEST(SelectivityTest, LambdaCapsFoundDistances) {
+  // lambda = 0.25 -> cutoff 0.5; distances {0, 1} cap to {0, 0.5}; misses
+  // contribute 0.5: w = (0 + 0.5 + 0.5 + 0.5)/4.
+  EXPECT_DOUBLE_EQ(ComputeSelectivity({0, 1}, 4, 2, 0.25), 0.375);
+}
+
+TEST(SelectivityTest, LambdaAboveOneScalesMissTerm) {
+  EXPECT_DOUBLE_EQ(ComputeSelectivity({0, 1}, 4, 2, 2), (0 + 1 + 4 + 4) / 4.0);
+}
+
+TEST(SelectivityTest, AllGraphsContainFragmentAtZero) {
+  EXPECT_DOUBLE_EQ(ComputeSelectivity({0, 0, 0}, 3, 2, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace pis

@@ -1,0 +1,217 @@
+// Failure injection and adversarial-input robustness: corrupt index files,
+// malformed SDF/native inputs, and metric sanity properties of the
+// distances. Nothing here should crash — every failure must surface as a
+// Status.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "distance/mutation.h"
+#include "distance/superimposed.h"
+#include "graph/generator.h"
+#include "graph/io.h"
+#include "graph/query_sampler.h"
+#include "graph/sdf_parser.h"
+#include "index/fragment_index.h"
+#include "mining/gspan.h"
+#include "util/random.h"
+
+namespace pis {
+namespace {
+
+Result<FragmentIndex> BuildSmallIndex(GraphDatabase* db_out) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 900;
+  gopt.mean_vertices = 12;
+  gopt.max_vertices = 25;
+  MoleculeGenerator gen(gopt);
+  *db_out = gen.Generate(10);
+  Graph edge;
+  edge.AddVertex(kNoLabel);
+  edge.AddVertex(kNoLabel);
+  auto added = edge.AddEdge(0, 1);
+  EXPECT_TRUE(added.ok());
+  Graph path2 = edge;
+  VertexId v = path2.AddVertex(kNoLabel);
+  EXPECT_TRUE(path2.AddEdge(1, v).ok());
+  FragmentIndexOptions options;
+  options.max_fragment_edges = 3;
+  return FragmentIndex::Build(*db_out, {edge, path2}, options);
+}
+
+// Property: truncating a valid index file at any prefix length either
+// fails cleanly or (never) succeeds — no crashes, no PIS_CHECK aborts.
+TEST(IndexFuzzTest, TruncationAlwaysFailsCleanly) {
+  GraphDatabase db;
+  auto index = BuildSmallIndex(&db);
+  ASSERT_TRUE(index.ok());
+  std::stringstream buf;
+  ASSERT_TRUE(index.value().Save(buf).ok());
+  std::string bytes = buf.str();
+  ASSERT_GT(bytes.size(), 64u);
+  // Exhaustive near the header, sampled beyond.
+  for (size_t cut = 0; cut < bytes.size(); cut += (cut < 64 ? 1 : 97)) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto loaded = FragmentIndex::Load(truncated);
+    EXPECT_FALSE(loaded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(IndexFuzzTest, BitFlipsFailCleanlyOrLoad) {
+  GraphDatabase db;
+  auto index = BuildSmallIndex(&db);
+  ASSERT_TRUE(index.ok());
+  std::stringstream buf;
+  ASSERT_TRUE(index.value().Save(buf).ok());
+  std::string bytes = buf.str();
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    size_t pos = rng.UniformIndex(mutated.size());
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.UniformInt(0, 7)));
+    std::stringstream in(mutated);
+    // Either a clean error or a successful load (the flip may hit padding
+    // or an informational counter); must not crash.
+    auto loaded = FragmentIndex::Load(in);
+    if (loaded.ok()) {
+      EXPECT_GE(loaded.value().num_classes(), 0);
+    }
+  }
+}
+
+TEST(SdfFuzzTest, RandomTextNeverCrashes) {
+  Rng rng(5);
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text;
+    int lines = rng.UniformInt(1, 20);
+    for (int l = 0; l < lines; ++l) {
+      int len = rng.UniformInt(0, 30);
+      for (int c = 0; c < len; ++c) {
+        text += static_cast<char>(rng.UniformInt(32, 126));
+      }
+      text += '\n';
+    }
+    text += "$$$$\n";
+    std::istringstream in(text);
+    auto db = ReadSdf(in, &vocab);  // skip_malformed default: must be OK
+    EXPECT_TRUE(db.ok());
+  }
+}
+
+TEST(NativeFormatFuzzTest, RandomTokensNeverCrash) {
+  Rng rng(6);
+  const char* tokens[] = {"t", "v", "e", "#", "0", "1", "-1", "9999", "x", "2.5"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    int lines = rng.UniformInt(1, 15);
+    for (int l = 0; l < lines; ++l) {
+      int words = rng.UniformInt(1, 5);
+      for (int w = 0; w < words; ++w) {
+        text += tokens[rng.UniformIndex(10)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    std::istringstream in(text);
+    auto db = ReadGraphDatabase(in);  // OK or ParseError, never a crash
+    if (!db.ok()) {
+      EXPECT_EQ(db.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+// Metric sanity of the isomorphic mutation distance with unit scores:
+// symmetry and identity-of-indiscernibles over random label assignments of
+// a fixed skeleton.
+class MutationMetricTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationMetricTest, SymmetricAndZeroOnIsomorphic) {
+  Rng rng(GetParam() + 1);
+  RandomGraphOptions options;
+  options.num_vertices = 6;
+  options.num_edges = 8;
+  options.vertex_alphabet = 2;
+  options.edge_alphabet = 3;
+  Graph a = GenerateRandomConnectedGraph(options, &rng);
+  Graph b = a;
+  // Mutate a few edge labels of b.
+  int mutations = rng.UniformInt(0, 3);
+  for (int m = 0; m < mutations; ++m) {
+    EdgeId e = static_cast<EdgeId>(rng.UniformIndex(b.NumEdges()));
+    b.SetEdgeLabel(e, rng.UniformInt(1, 3));
+  }
+  MutationCostModel model = UnitMutationModel();
+  double ab = IsomorphicDistance(a, b, model);
+  double ba = IsomorphicDistance(b, a, model);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_LE(ab, mutations);  // at most the number of applied mutations
+  // Relabeled copy is at distance 0.
+  std::vector<VertexId> perm(a.NumVertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(&perm);
+  EXPECT_DOUBLE_EQ(IsomorphicDistance(a, a.Relabeled(perm), model), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationMetricTest, ::testing::Range(0, 20));
+
+// Eq. 2 property on explicit random partitions: for random vertex-disjoint
+// indexed fragments of Q, the summed fragment distances never exceed the
+// true superimposed distance.
+class LowerBoundPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowerBoundPropertyTest, SumOfFragmentDistancesIsLowerBound) {
+  Rng rng(GetParam() + 41);
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 700 + GetParam();
+  gopt.mean_vertices = 12;
+  gopt.max_vertices = 25;
+  MoleculeGenerator gen(gopt);
+  Graph target = gen.Next();
+  auto query = SampleConnectedSubgraph(target, 8, &rng);
+  ASSERT_TRUE(query.ok());
+  MutationCostModel model = EdgeMutationModel();
+  double truth = MinSuperimposedDistance(query.value(), target, model);
+  ASSERT_NE(truth, kInfiniteDistance);
+
+  // Random vertex-disjoint partitions built from 1- and 2-edge fragments:
+  // visit edges in random order, take an edge (possibly extended by one
+  // adjacent edge) whenever its vertices are untouched.
+  const Graph& q = query.value();
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<EdgeId> order(q.NumEdges());
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    std::vector<bool> used(q.NumVertices(), false);
+    double bound = 0;
+    for (EdgeId e : order) {
+      const Edge& edge = q.GetEdge(e);
+      if (used[edge.u] || used[edge.v]) continue;
+      std::vector<EdgeId> frag_edges = {e};
+      // Optionally grow to a 2-edge path whose third vertex is also free.
+      if (rng.Bernoulli(0.5)) {
+        for (EdgeId inc : q.IncidentEdges(edge.v)) {
+          if (inc == e) continue;
+          VertexId w = q.GetEdge(inc).Other(edge.v);
+          if (!used[w] && w != edge.u) {
+            frag_edges.push_back(inc);
+            used[w] = true;
+            break;
+          }
+        }
+      }
+      used[edge.u] = used[edge.v] = true;
+      Graph frag = q.EdgeSubgraph(frag_edges);
+      double d = MinSuperimposedDistance(frag, target, model);
+      ASSERT_NE(d, kInfiniteDistance);  // fragment of a contained query
+      bound += d;
+    }
+    EXPECT_LE(bound, truth + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pis

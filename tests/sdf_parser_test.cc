@@ -1,0 +1,132 @@
+#include "graph/sdf_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pis {
+namespace {
+
+// A V2000 MOL block for ethanol-like C-C-O with single bonds.
+constexpr const char* kEthanol =
+    "ethanol\n"
+    "  program\n"
+    "comment\n"
+    "  3  2  0  0  0  0  0  0  0  0999 V2000\n"
+    "    0.0000    0.0000    0.0000 C   0  0  0  0  0  0  0  0  0  0  0  0\n"
+    "    1.5000    0.0000    0.0000 C   0  0  0  0  0  0  0  0  0  0  0  0\n"
+    "    2.2000    1.2000    0.0000 O   0  0  0  0  0  0  0  0  0  0  0  0\n"
+    "  1  2  1  0\n"
+    "  2  3  1  0\n";
+
+constexpr const char* kBenzeneBonds =
+    "benzene\n"
+    "\n"
+    "\n"
+    "  6  6  0  0  0  0  0  0  0  0999 V2000\n"
+    "    0.0 0.0 0.0 C 0\n"
+    "    0.0 0.0 0.0 C 0\n"
+    "    0.0 0.0 0.0 C 0\n"
+    "    0.0 0.0 0.0 C 0\n"
+    "    0.0 0.0 0.0 C 0\n"
+    "    0.0 0.0 0.0 C 0\n"
+    "  1  2  4  0\n"
+    "  2  3  4  0\n"
+    "  3  4  4  0\n"
+    "  4  5  4  0\n"
+    "  5  6  4  0\n"
+    "  6  1  4  0\n";
+
+TEST(SdfParserTest, ParsesMolBlock) {
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  Result<Graph> g = ParseMolBlock(kEthanol, &vocab);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().NumVertices(), 3);
+  EXPECT_EQ(g.value().NumEdges(), 2);
+  EXPECT_EQ(g.value().VertexLabel(0), vocab.atoms.Find("C").value());
+  EXPECT_EQ(g.value().VertexLabel(2), vocab.atoms.Find("O").value());
+  EXPECT_EQ(g.value().GetEdge(0).label, vocab.bonds.Find("single").value());
+}
+
+TEST(SdfParserTest, FreeFormatAtomLines) {
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  Result<Graph> g = ParseMolBlock(kBenzeneBonds, &vocab);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().NumVertices(), 6);
+  EXPECT_EQ(g.value().NumEdges(), 6);
+  EXPECT_EQ(g.value().GetEdge(0).label, vocab.bonds.Find("aromatic").value());
+  EXPECT_TRUE(g.value().IsConnected());
+}
+
+TEST(SdfParserTest, RejectsTruncatedBlocks) {
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  EXPECT_FALSE(ParseMolBlock("one line only\n", &vocab).ok());
+  EXPECT_FALSE(
+      ParseMolBlock("a\nb\nc\n  2  1  0 V2000\n    0 0 0 C\n", &vocab).ok());
+}
+
+TEST(SdfParserTest, RejectsBadBondType) {
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  std::string block =
+      "x\n\n\n  2  1  0999 V2000\n"
+      "    0.0 0.0 0.0 C 0\n"
+      "    0.0 0.0 0.0 C 0\n"
+      "  1  2  9  0\n";
+  EXPECT_EQ(ParseMolBlock(block, &vocab).status().code(), StatusCode::kParseError);
+}
+
+TEST(SdfParserTest, RejectsOutOfRangeBond) {
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  std::string block =
+      "x\n\n\n  2  1  0999 V2000\n"
+      "    0.0 0.0 0.0 C 0\n"
+      "    0.0 0.0 0.0 C 0\n"
+      "  1  5  1  0\n";
+  EXPECT_EQ(ParseMolBlock(block, &vocab).status().code(), StatusCode::kParseError);
+}
+
+TEST(SdfParserTest, ReadsMultiMoleculeSdf) {
+  std::string sdf = std::string(kEthanol) + "M  END\n$$$$\n" + kBenzeneBonds +
+                    "M  END\n> <NSC>\n123\n\n$$$$\n";
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  std::istringstream in(sdf);
+  Result<GraphDatabase> db = ReadSdf(in, &vocab);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ(db.value().size(), 2);
+  EXPECT_EQ(db.value().at(0).NumVertices(), 3);
+  EXPECT_EQ(db.value().at(1).NumVertices(), 6);
+}
+
+TEST(SdfParserTest, SkipMalformedKeepsGoing) {
+  std::string sdf = "garbage\n$$$$\n" + std::string(kEthanol) + "M  END\n$$$$\n";
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  std::istringstream in(sdf);
+  Result<GraphDatabase> db = ReadSdf(in, &vocab, {.skip_malformed = true});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 1);
+
+  std::istringstream in2(sdf);
+  Result<GraphDatabase> strict = ReadSdf(in2, &vocab, {.skip_malformed = false});
+  EXPECT_FALSE(strict.ok());
+}
+
+TEST(SdfParserTest, MaxMoleculesStopsEarly) {
+  std::string one = std::string(kEthanol) + "M  END\n$$$$\n";
+  std::string sdf = one + one + one;
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  std::istringstream in(sdf);
+  SdfOptions options;
+  options.max_molecules = 2;
+  Result<GraphDatabase> db = ReadSdf(in, &vocab, options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 2);
+}
+
+TEST(SdfParserTest, MissingFileIsIOError) {
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  EXPECT_EQ(ReadSdfFile("/nonexistent/path.sdf", &vocab).status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace pis

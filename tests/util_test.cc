@@ -1,0 +1,124 @@
+// Coverage for the remaining utilities: logging levels, timers, and the
+// statistical behaviour of the seeded PRNG helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace pis {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, MacrosCompileAndStream) {
+  // Below the default threshold: must not crash; content unchecked.
+  SetLogLevel(LogLevel::kError);
+  PIS_LOG(Debug) << "debug " << 42;
+  PIS_LOG(Info) << "info " << 3.5;
+  PIS_LOG(Warning) << "warning";
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  PIS_CHECK(1 + 1 == 2) << "never printed";
+  PIS_DCHECK(true) << "never printed";
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ PIS_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double s = t.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.Millis(), t.Seconds() * 1e3, t.Seconds() * 100);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 0.015);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(2);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 5000; ++i) hits[rng.UniformIndex(10)]++;
+  for (int h : hits) EXPECT_GT(h, 300);  // roughly uniform
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(4);
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 9000; ++i) {
+    hits[rng.Categorical({1.0, 2.0, 6.0})]++;
+  }
+  // Expected fractions 1/9, 2/9, 6/9 with generous tolerance.
+  EXPECT_NEAR(hits[0] / 9000.0, 1.0 / 9, 0.03);
+  EXPECT_NEAR(hits[1] / 9000.0, 2.0 / 9, 0.03);
+  EXPECT_NEAR(hits[2] / 9000.0, 6.0 / 9, 0.03);
+}
+
+TEST(RngTest, HeavyTailIntBounds) {
+  Rng rng(5);
+  double sum = 0;
+  int over_mean = 0;
+  const int lo = 8;
+  const double mean = 25;
+  const int cap = 214;
+  for (int i = 0; i < 4000; ++i) {
+    int v = rng.HeavyTailInt(lo, mean, cap);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, cap);
+    sum += v;
+    if (v > mean) ++over_mean;
+  }
+  EXPECT_NEAR(sum / 4000.0, mean, 2.5);  // exponential: mean ≈ target
+  EXPECT_GT(over_mean, 800);             // genuine tail mass
+}
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace pis

@@ -1,0 +1,287 @@
+// pis_cli: command-line front end for the PIS library.
+//
+//   pis_cli generate  --out db.txt [--count N] [--seed S]
+//   pis_cli convert   --sdf file.sdf --out db.txt [--max N]
+//   pis_cli build     --db db.txt --out index.bin [--max_fragment_edges K]
+//                     [--min_support F] [--gamma G] [--distance mutation|linear]
+//   pis_cli stats     --index index.bin
+//   pis_cli query     --db db.txt --index index.bin --query query.txt
+//                     [--sigma S] [--engine pis|topo|naive]
+//   pis_cli topk      --db db.txt --index index.bin --query query.txt [--k K]
+//
+// Graph files use the native text format (see src/graph/io.h); the query
+// file holds a single record.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/topk.h"
+#include "pis.h"
+#include "util/flags.h"
+
+using namespace pis;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailUsage() {
+  std::fprintf(stderr,
+               "usage: pis_cli <generate|convert|build|stats|query|topk> "
+               "[flags]\nRun a subcommand with --help for its flags.\n");
+  return 2;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  std::string out;
+  int count = 1000;
+  int64_t seed = 42;
+  FlagSet flags;
+  flags.AddString("out", &out, "output database path (native text format)");
+  flags.AddInt("count", &count, "number of molecules");
+  flags.AddInt64("seed", &seed, "generator seed");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  MoleculeGeneratorOptions options;
+  options.seed = static_cast<uint64_t>(seed);
+  MoleculeGenerator gen(options);
+  GraphDatabase db = gen.Generate(count);
+  Status written = WriteGraphDatabaseFile(db, out);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %d graphs to %s (avg %.1f vertices / %.1f edges)\n",
+              db.size(), out.c_str(), db.AverageVertices(), db.AverageEdges());
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  std::string sdf;
+  std::string out;
+  int max = 0;
+  FlagSet flags;
+  flags.AddString("sdf", &sdf, "input SDF/MOL file");
+  flags.AddString("out", &out, "output database path");
+  flags.AddInt("max", &max, "max molecules (0 = all)");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  if (sdf.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--sdf and --out are required"));
+  }
+  ChemicalVocabulary vocab = MakeDefaultChemicalVocabulary();
+  SdfOptions options;
+  options.max_molecules = max;
+  options.require_connected = true;
+  auto db = ReadSdfFile(sdf, &vocab, options);
+  if (!db.ok()) return Fail(db.status());
+  Status written = WriteGraphDatabaseFile(db.value(), out);
+  if (!written.ok()) return Fail(written);
+  std::printf("converted %d molecules from %s to %s\n", db.value().size(),
+              sdf.c_str(), out.c_str());
+  return 0;
+}
+
+Result<GraphDatabase> LoadDb(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--db is required");
+  return ReadGraphDatabaseFile(path);
+}
+
+int CmdBuild(int argc, char** argv) {
+  std::string db_path;
+  std::string out;
+  int max_fragment_edges = 6;
+  double min_support = 0.01;
+  double gamma = 1.0;
+  std::string distance = "mutation";
+  FlagSet flags;
+  flags.AddString("db", &db_path, "database path");
+  flags.AddString("out", &out, "output index path");
+  flags.AddInt("max_fragment_edges", &max_fragment_edges, "max indexed size");
+  flags.AddDouble("min_support", &min_support, "relative feature min support");
+  flags.AddDouble("gamma", &gamma, "gIndex discriminative ratio");
+  flags.AddString("distance", &distance, "mutation | linear");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  auto db = LoadDb(db_path);
+  if (!db.ok()) return Fail(db.status());
+
+  GraphDatabase skeletons;
+  for (const Graph& g : db.value().graphs()) skeletons.Add(g.Skeleton());
+  GspanOptions mine;
+  mine.min_support =
+      std::max(1, static_cast<int>(min_support * db.value().size()));
+  mine.max_edges = max_fragment_edges;
+  auto patterns = MineFrequentSubgraphs(skeletons, mine);
+  if (!patterns.ok()) return Fail(patterns.status());
+  FeatureSelectorOptions select;
+  select.gamma = gamma;
+  auto selected = SelectDiscriminativeFeatures(patterns.value(),
+                                               db.value().size(), select);
+  if (!selected.ok()) return Fail(selected.status());
+  std::vector<Graph> features;
+  for (size_t idx : selected.value()) features.push_back(patterns.value()[idx].graph);
+
+  FragmentIndexOptions options;
+  options.max_fragment_edges = max_fragment_edges;
+  if (distance == "mutation") {
+    options.spec = DistanceSpec::EdgeMutation();
+  } else if (distance == "linear") {
+    options.spec = DistanceSpec::EdgeLinear();
+  } else {
+    return Fail(Status::InvalidArgument("unknown --distance " + distance));
+  }
+  auto index = FragmentIndex::Build(db.value(), features, options);
+  if (!index.ok()) return Fail(index.status());
+  Status saved = index.value().SaveFile(out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("built index: %d classes over %zu fragments in %.2fs -> %s\n",
+              index.value().num_classes(),
+              index.value().stats().num_fragment_occurrences,
+              index.value().stats().build_seconds, out.c_str());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  std::string index_path;
+  FlagSet flags;
+  flags.AddString("index", &index_path, "index path");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  auto index = FragmentIndex::LoadFile(index_path);
+  if (!index.ok()) return Fail(index.status());
+  const FragmentIndex& idx = index.value();
+  std::printf("index over a %d-graph database\n", idx.db_size());
+  std::printf("distance: %s\n",
+              idx.options().spec.type == DistanceType::kMutation ? "mutation"
+                                                                 : "linear");
+  std::printf("fragment sizes: %d..%d edges\n", idx.options().min_fragment_edges,
+              idx.options().max_fragment_edges);
+  std::printf("classes: %d\n", idx.num_classes());
+  std::printf("fragment occurrences: %zu\n",
+              idx.stats().num_fragment_occurrences);
+  std::printf("sequences: %zu\n", idx.stats().num_sequences_inserted);
+  size_t max_fragments = 0;
+  for (int c = 0; c < idx.num_classes(); ++c) {
+    max_fragments = std::max(max_fragments, idx.class_at(c).num_fragments());
+  }
+  std::printf("largest class: %zu fragments\n", max_fragments);
+  return 0;
+}
+
+Result<Graph> LoadQuery(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--query is required");
+  PIS_ASSIGN_OR_RETURN(GraphDatabase db, ReadGraphDatabaseFile(path));
+  if (db.size() != 1) {
+    return Status::InvalidArgument("query file must hold exactly one graph");
+  }
+  return db.at(0);
+}
+
+int CmdQuery(int argc, char** argv) {
+  std::string db_path;
+  std::string index_path;
+  std::string query_path;
+  double sigma = 2;
+  std::string engine = "pis";
+  FlagSet flags;
+  flags.AddString("db", &db_path, "database path");
+  flags.AddString("index", &index_path, "index path");
+  flags.AddString("query", &query_path, "query graph file (one record)");
+  flags.AddDouble("sigma", &sigma, "max superimposed distance");
+  flags.AddString("engine", &engine, "pis | topo | naive");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  auto db = LoadDb(db_path);
+  if (!db.ok()) return Fail(db.status());
+  auto query = LoadQuery(query_path);
+  if (!query.ok()) return Fail(query.status());
+
+  Result<SearchResult> result = Status::Internal("no engine ran");
+  if (engine == "naive") {
+    result = NaiveSearch(db.value(), query.value(), DistanceSpec::EdgeMutation(),
+                         sigma);
+  } else {
+    auto index = FragmentIndex::LoadFile(index_path);
+    if (!index.ok()) return Fail(index.status());
+    if (index.value().db_size() != db.value().size()) {
+      return Fail(Status::InvalidArgument(
+          "index was built over a different database size"));
+    }
+    if (engine == "pis") {
+      PisOptions options;
+      options.sigma = sigma;
+      PisEngine pis_engine(&db.value(), &index.value(), options);
+      result = pis_engine.Search(query.value());
+    } else if (engine == "topo") {
+      TopoPruneEngine topo(&db.value(), &index.value());
+      result = topo.Search(query.value(), sigma);
+    } else {
+      return Fail(Status::InvalidArgument("unknown --engine " + engine));
+    }
+  }
+  if (!result.ok()) return Fail(result.status());
+  std::printf("candidates: %zu, answers: %zu\n",
+              result.value().stats.candidates_final,
+              result.value().answers.size());
+  for (int gid : result.value().answers) std::printf("%d\n", gid);
+  std::fprintf(stderr, "%s\n", result.value().stats.ToString().c_str());
+  return 0;
+}
+
+int CmdTopK(int argc, char** argv) {
+  std::string db_path;
+  std::string index_path;
+  std::string query_path;
+  int k = 10;
+  FlagSet flags;
+  flags.AddString("db", &db_path, "database path");
+  flags.AddString("index", &index_path, "index path");
+  flags.AddString("query", &query_path, "query graph file (one record)");
+  flags.AddInt("k", &k, "number of nearest graphs");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  auto db = LoadDb(db_path);
+  if (!db.ok()) return Fail(db.status());
+  auto index = FragmentIndex::LoadFile(index_path);
+  if (!index.ok()) return Fail(index.status());
+  auto query = LoadQuery(query_path);
+  if (!query.ok()) return Fail(query.status());
+  TopKOptions options;
+  options.k = k;
+  auto result = TopKSearch(db.value(), index.value(), query.value(), options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("top-%d (rounds=%d, final_sigma=%.2f, verifications=%zu):\n", k,
+              result.value().rounds, result.value().final_sigma,
+              result.value().verifications);
+  for (const auto& [gid, d] : result.value().results) {
+    std::printf("%d\t%.3f\n", gid, d);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return FailUsage();
+  std::string cmd = argv[1];
+  // Shift argv so subcommand flags parse from index 1.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (cmd == "generate") return CmdGenerate(sub_argc, sub_argv);
+  if (cmd == "convert") return CmdConvert(sub_argc, sub_argv);
+  if (cmd == "build") return CmdBuild(sub_argc, sub_argv);
+  if (cmd == "stats") return CmdStats(sub_argc, sub_argv);
+  if (cmd == "query") return CmdQuery(sub_argc, sub_argv);
+  if (cmd == "topk") return CmdTopK(sub_argc, sub_argv);
+  return FailUsage();
+}
