@@ -1,0 +1,104 @@
+// Batch-search throughput: queries/second of PisEngine::SearchBatch as the
+// thread count grows from 1 to the hardware limit, against the sequential
+// Search loop baseline. Supports the north-star goal of serving heavy query
+// traffic: the batch API should scale near-linearly on an embarrassingly
+// parallel workload.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace pis;
+using namespace pis::bench;
+
+int main(int argc, char** argv) {
+  WorkloadConfig config;
+  int query_edges = 12;
+  int batch_size = 64;
+  double sigma = 2.0;
+  FlagSet flags;
+  config.Register(&flags);
+  flags.AddInt("query_edges", &query_edges, "query size (edges)");
+  flags.AddInt("batch_size", &batch_size, "queries per batch");
+  flags.AddDouble("sigma", &sigma, "max superimposed distance");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  GraphDatabase db = MakeDatabase(config);
+  auto features = MineFeatures(db, config);
+  if (!features.ok()) {
+    std::fprintf(stderr, "%s\n", features.status().ToString().c_str());
+    return 1;
+  }
+  auto index = BuildIndex(db, features.value(), config);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  // Sample enough queries for one batch (cycling the query set if the
+  // sampler yields fewer).
+  auto sampled = SampleQueries(db, query_edges, config);
+  if (!sampled.ok()) {
+    std::fprintf(stderr, "%s\n", sampled.status().ToString().c_str());
+    return 1;
+  }
+  if (sampled.value().empty()) {
+    std::fprintf(stderr, "no queries sampled\n");
+    return 1;
+  }
+  std::vector<Graph> batch;
+  batch.reserve(batch_size);
+  for (int i = 0; i < batch_size; ++i) {
+    batch.push_back(sampled.value()[i % sampled.value().size()]);
+  }
+
+  PisOptions options;
+  options.sigma = sigma;
+  options.max_query_fragments = config.max_query_fragments;
+  PisEngine engine(&db, &index.value(), options);
+
+  // Sequential baseline.
+  Timer timer;
+  size_t baseline_answers = 0;
+  for (const Graph& q : batch) {
+    auto r = engine.Search(q);
+    if (r.ok()) baseline_answers += r.value().answers.size();
+  }
+  double sequential_seconds = timer.Seconds();
+  std::printf("batch=%d queries (Q%d, sigma=%.1f) over %d graphs\n",
+              batch_size, query_edges, sigma, db.size());
+  std::printf("%-22s %10s %12s %9s\n", "mode", "seconds", "queries/s",
+              "speedup");
+  std::printf("%-22s %10.3f %12.1f %9s\n", "sequential Search",
+              sequential_seconds, batch_size / sequential_seconds, "1.00x");
+
+  std::vector<int> sweep;
+  for (int threads = 1; threads < HardwareThreads(); threads *= 2) {
+    sweep.push_back(threads);
+  }
+  sweep.push_back(HardwareThreads());
+  for (int threads : sweep) {
+    BatchSearchResult result = engine.SearchBatch(batch, threads);
+    if (result.failed != 0) {
+      std::fprintf(stderr, "%zu queries failed\n", result.failed);
+      return 1;
+    }
+    if (result.total_stats.answers != baseline_answers) {
+      std::fprintf(stderr, "answer mismatch vs sequential baseline\n");
+      return 1;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "SearchBatch t=%d", threads);
+    std::printf("%-22s %10.3f %12.1f %8.2fx\n", label, result.wall_seconds,
+                batch_size / result.wall_seconds,
+                sequential_seconds / result.wall_seconds);
+  }
+  return 0;
+}

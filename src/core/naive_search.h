@@ -21,7 +21,10 @@ struct SearchResult {
   QueryStats stats;
 };
 
-/// Verifies every database graph against the query.
+/// Verifies every database graph against the query. Unlike the indexed
+/// engines (which reject empty queries as InvalidArgument), this cannot
+/// fail: an empty query trivially superimposes onto everything at distance
+/// 0, so every graph is returned.
 SearchResult NaiveSearch(const GraphDatabase& db, const Graph& query,
                          const DistanceSpec& spec, double sigma);
 

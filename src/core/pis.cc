@@ -1,11 +1,14 @@
 #include "core/pis.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 #include <unordered_map>
 
 #include "core/selectivity.h"
 #include "core/verifier.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace pis {
@@ -35,6 +38,9 @@ PisEngine::PisEngine(const GraphDatabase* db, const FragmentIndex* index,
 }
 
 Result<FilterResult> PisEngine::Filter(const Graph& query) const {
+  if (query.Empty()) {
+    return Status::InvalidArgument("query graph is empty");
+  }
   Timer timer;
   const double sigma = options_.sigma;
   FilterResult result;
@@ -143,6 +149,51 @@ Result<SearchResult> PisEngine::Search(const Graph& query) const {
   result.stats.answers = result.answers.size();
   result.stats.verify_seconds = verified.seconds;
   return result;
+}
+
+BatchSearchResult PisEngine::SearchBatch(std::span<const Graph> queries,
+                                         int num_threads) const {
+  Timer timer;
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  // With multiple batch workers, per-query verification runs sequentially:
+  // nesting options_.verify_threads under the batch fan-out would multiply
+  // the two counts and oversubscribe the machine. The clamp keys on the
+  // effective worker count (ParallelFor caps workers at the batch size), so
+  // a narrow batch keeps its verify parallelism. Thread counts never affect
+  // results, only scheduling.
+  const size_t workers =
+      std::min(static_cast<size_t>(num_threads), queries.size());
+  const PisEngine* engine = this;
+  PisEngine flat(db_, index_, options_);
+  if (workers > 1 && options_.verify_threads > 1) {
+    flat.options_.verify_threads = 1;
+    engine = &flat;
+  }
+  BatchSearchResult batch;
+  batch.results.assign(queries.size(),
+                       Result<SearchResult>(Status::Internal("query not run")));
+  ParallelFor(queries.size(), num_threads, [&](size_t qi) {
+    // ParallelFor requires that exceptions never escape the body; Search is
+    // Status-based, so anything thrown below it is a defect we surface as a
+    // per-query internal error rather than a process abort.
+    try {
+      batch.results[qi] = engine->Search(queries[qi]);
+    } catch (const std::exception& e) {
+      batch.results[qi] = Status::Internal(std::string("uncaught: ") + e.what());
+    } catch (...) {
+      batch.results[qi] = Status::Internal("uncaught non-standard exception");
+    }
+  });
+  for (const Result<SearchResult>& r : batch.results) {
+    if (r.ok()) {
+      ++batch.succeeded;
+      batch.total_stats.Accumulate(r.value().stats);
+    } else {
+      ++batch.failed;
+    }
+  }
+  batch.wall_seconds = timer.Seconds();
+  return batch;
 }
 
 }  // namespace pis

@@ -3,6 +3,8 @@
 #ifndef PIS_CORE_PIS_H_
 #define PIS_CORE_PIS_H_
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/naive_search.h"
@@ -28,6 +30,19 @@ struct FilterResult {
   QueryStats stats;
 };
 
+/// Outcome of a batched search. `results[i]` corresponds to `queries[i]`;
+/// a query that fails (e.g. not indexable) carries its own error without
+/// affecting the rest of the batch.
+struct BatchSearchResult {
+  std::vector<Result<SearchResult>> results;
+  /// Per-query stats summed over the successful queries only.
+  QueryStats total_stats;
+  size_t succeeded = 0;
+  size_t failed = 0;
+  /// End-to-end batch latency (covers all threads).
+  double wall_seconds = 0;
+};
+
 /// \brief Partition-based search engine over a fragment index.
 class PisEngine {
  public:
@@ -41,6 +56,18 @@ class PisEngine {
 
   /// Filter + verification: the exact SSSD answer set.
   Result<SearchResult> Search(const Graph& query) const;
+
+  /// Runs `Search` over every query, fanning the batch out across
+  /// `num_threads` threads (0 = all hardware threads). Per-query results —
+  /// including errors — are identical to a sequential `Search` loop; each
+  /// query's failure is isolated in its `Result` slot. Thread-safe: the
+  /// engine is read-only during search. When more than one batch worker
+  /// actually runs (`min(num_threads, queries.size()) > 1`),
+  /// `options().verify_threads` is ignored (treated as 1) so the two
+  /// fan-outs don't multiply into oversubscription; this never changes
+  /// results, only scheduling.
+  BatchSearchResult SearchBatch(std::span<const Graph> queries,
+                                int num_threads = 0) const;
 
   const PisOptions& options() const { return options_; }
 

@@ -4,6 +4,19 @@
 
 namespace pis {
 
+void QueryStats::Accumulate(const QueryStats& other) {
+  fragments_enumerated += other.fragments_enumerated;
+  fragments_kept += other.fragments_kept;
+  range_queries += other.range_queries;
+  partition_size += other.partition_size;
+  partition_weight += other.partition_weight;
+  candidates_after_intersection += other.candidates_after_intersection;
+  candidates_final += other.candidates_final;
+  answers += other.answers;
+  filter_seconds += other.filter_seconds;
+  verify_seconds += other.verify_seconds;
+}
+
 std::string QueryStats::ToString() const {
   return StrFormat(
       "fragments=%zu kept=%zu range_queries=%zu partition=%zu (w=%.3f) "

@@ -29,6 +29,9 @@ struct QueryStats {
   double filter_seconds = 0;
   double verify_seconds = 0;
 
+  /// Adds every counter of `other` into this (batch aggregation).
+  void Accumulate(const QueryStats& other);
+
   std::string ToString() const;
 };
 

@@ -17,6 +17,9 @@ TopoPruneEngine::TopoPruneEngine(const GraphDatabase* db,
 
 Result<std::vector<int>> TopoPruneEngine::Filter(const Graph& query,
                                                  QueryStats* stats) const {
+  if (query.Empty()) {
+    return Status::InvalidArgument("query graph is empty");
+  }
   Timer timer;
   PIS_ASSIGN_OR_RETURN(std::vector<QueryFragment> fragments,
                        EnumerateIndexedQueryFragments(*index_, query));

@@ -1,0 +1,96 @@
+// Determinism regression: the whole pipeline — generation, mining, feature
+// selection, index build, filtering, search — must be a pure function of its
+// seeds. Two runs with the same MoleculeGenerator seed produce byte-identical
+// databases and result sets and identical QueryStats counters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/pis.h"
+#include "engine_test_util.h"
+#include "graph/io.h"
+#include "util/parallel.h"
+
+namespace pis {
+namespace {
+
+using testing::EngineFixture;
+using testing::ExpectSameCounters;
+using testing::SampleQueries;
+
+constexpr int kDbSize = 35;
+constexpr int kMinSupport = 4;
+
+std::string Serialize(const GraphDatabase& db) {
+  std::ostringstream out;
+  EXPECT_TRUE(WriteGraphDatabase(db, out).ok());
+  return out.str();
+}
+
+TEST(DeterminismTest, GeneratorIsPureFunctionOfSeed) {
+  EngineFixture a(kDbSize, 77, 4, DistanceSpec::EdgeMutation(), kMinSupport);
+  EngineFixture b(kDbSize, 77, 4, DistanceSpec::EdgeMutation(), kMinSupport);
+  EXPECT_EQ(Serialize(a.db), Serialize(b.db));
+  EXPECT_EQ(Serialize(GraphDatabase()), Serialize(GraphDatabase()));
+  // And a different seed actually changes the database.
+  EngineFixture c(kDbSize, 78, 4, DistanceSpec::EdgeMutation(), kMinSupport);
+  EXPECT_NE(Serialize(a.db), Serialize(c.db));
+}
+
+TEST(DeterminismTest, TwoEngineRunsAreByteIdentical) {
+  EngineFixture a(kDbSize, 77, 4, DistanceSpec::EdgeMutation(), kMinSupport);
+  EngineFixture b(kDbSize, 77, 4, DistanceSpec::EdgeMutation(), kMinSupport);
+  PisOptions options;
+  options.sigma = 2;
+  PisEngine engine_a(&a.db, &a.index.value(), options);
+  PisEngine engine_b(&b.db, &b.index.value(), options);
+  std::vector<Graph> queries_a = SampleQueries(a.db, 8, 8, 78);
+  std::vector<Graph> queries_b = SampleQueries(b.db, 8, 8, 78);
+  ASSERT_EQ(queries_a.size(), queries_b.size());
+  for (size_t qi = 0; qi < queries_a.size(); ++qi) {
+    // Identically seeded samplers must yield identical queries.
+    EXPECT_EQ(FormatGraph(queries_a[qi], static_cast<int>(qi)),
+              FormatGraph(queries_b[qi], static_cast<int>(qi)))
+        << "query " << qi;
+
+    auto ra = engine_a.Search(queries_a[qi]);
+    auto rb = engine_b.Search(queries_b[qi]);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.value().answers, rb.value().answers) << "query " << qi;
+    EXPECT_EQ(ra.value().candidates, rb.value().candidates) << "query " << qi;
+    ExpectSameCounters(ra.value().stats, rb.value().stats);
+  }
+}
+
+TEST(DeterminismTest, BatchedRunsMatchAcrossInstancesAndThreads) {
+  EngineFixture a(kDbSize, 91, 4, DistanceSpec::EdgeMutation(), kMinSupport);
+  EngineFixture b(kDbSize, 91, 4, DistanceSpec::EdgeMutation(), kMinSupport);
+  PisOptions options;
+  options.sigma = 2;
+  PisEngine engine_a(&a.db, &a.index.value(), options);
+  PisEngine engine_b(&b.db, &b.index.value(), options);
+  std::vector<Graph> queries_a = SampleQueries(a.db, 8, 8, 92);
+  std::vector<Graph> queries_b = SampleQueries(b.db, 8, 8, 92);
+  BatchSearchResult ba =
+      engine_a.SearchBatch(std::span<const Graph>(queries_a), 1);
+  BatchSearchResult bb = engine_b.SearchBatch(
+      std::span<const Graph>(queries_b), HardwareThreads());
+  ASSERT_EQ(ba.results.size(), bb.results.size());
+  EXPECT_EQ(ba.succeeded, bb.succeeded);
+  EXPECT_EQ(ba.failed, bb.failed);
+  for (size_t qi = 0; qi < ba.results.size(); ++qi) {
+    ASSERT_TRUE(ba.results[qi].ok());
+    ASSERT_TRUE(bb.results[qi].ok());
+    EXPECT_EQ(ba.results[qi].value().answers, bb.results[qi].value().answers);
+    EXPECT_EQ(ba.results[qi].value().candidates,
+              bb.results[qi].value().candidates);
+    ExpectSameCounters(ba.results[qi].value().stats,
+                       bb.results[qi].value().stats);
+  }
+  ExpectSameCounters(ba.total_stats, bb.total_stats);
+}
+
+}  // namespace
+}  // namespace pis

@@ -1,0 +1,91 @@
+// Shared fixtures for the engine-level suites: the generate → mine → select
+// → index pipeline and QueryStats comparison. Header-only; include from
+// tests only.
+#ifndef PIS_TESTS_ENGINE_TEST_UTIL_H_
+#define PIS_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pis.h"
+#include "graph/generator.h"
+#include "graph/query_sampler.h"
+#include "mining/feature_selector.h"
+#include "mining/gspan.h"
+
+namespace pis::testing {
+
+/// Builds the full search stack (database, features, fragment index) as a
+/// pure function of its arguments — two instances with equal arguments are
+/// equal, which the determinism suite relies on.
+struct EngineFixture {
+  GraphDatabase db;
+  std::vector<Graph> features;
+  Result<FragmentIndex> index = Status::Internal("unbuilt");
+
+  explicit EngineFixture(int db_size, uint64_t seed,
+                         int max_fragment_edges = 4,
+                         DistanceSpec spec = DistanceSpec::EdgeMutation(),
+                         int min_support = 0) {
+    MoleculeGeneratorOptions gopt;
+    gopt.seed = seed;
+    gopt.mean_vertices = 16;
+    gopt.max_vertices = 60;
+    MoleculeGenerator gen(gopt);
+    db = gen.Generate(db_size);
+
+    GraphDatabase skeletons;
+    for (const Graph& g : db.graphs()) skeletons.Add(g.Skeleton());
+    GspanOptions mine;
+    mine.min_support =
+        min_support > 0 ? min_support : std::max(2, db_size / 10);
+    mine.max_edges = max_fragment_edges;
+    auto patterns = MineFrequentSubgraphs(skeletons, mine);
+    EXPECT_TRUE(patterns.ok());
+    FeatureSelectorOptions select;
+    select.gamma = 1.2;
+    auto selected =
+        SelectDiscriminativeFeatures(patterns.value(), db_size, select);
+    EXPECT_TRUE(selected.ok());
+    for (size_t idx : selected.value()) {
+      features.push_back(patterns.value()[idx].graph);
+    }
+
+    FragmentIndexOptions iopt;
+    iopt.max_fragment_edges = max_fragment_edges;
+    iopt.spec = spec;
+    index = FragmentIndex::Build(db, features, iopt);
+    EXPECT_TRUE(index.ok());
+  }
+};
+
+/// Draws `count` connected query graphs of `num_edges` edges.
+inline std::vector<Graph> SampleQueries(const GraphDatabase& db, int count,
+                                        int num_edges, uint64_t seed) {
+  QuerySampler sampler(&db, {.seed = seed, .strip_vertex_labels = true});
+  std::vector<Graph> queries;
+  for (int i = 0; i < count; ++i) {
+    auto q = sampler.Sample(num_edges);
+    EXPECT_TRUE(q.ok());
+    queries.push_back(q.value());
+  }
+  return queries;
+}
+
+/// Timings legitimately differ between runs; every other field must match.
+inline void ExpectSameCounters(const QueryStats& a, const QueryStats& b) {
+  EXPECT_EQ(a.fragments_enumerated, b.fragments_enumerated);
+  EXPECT_EQ(a.fragments_kept, b.fragments_kept);
+  EXPECT_EQ(a.range_queries, b.range_queries);
+  EXPECT_EQ(a.partition_size, b.partition_size);
+  EXPECT_DOUBLE_EQ(a.partition_weight, b.partition_weight);
+  EXPECT_EQ(a.candidates_after_intersection, b.candidates_after_intersection);
+  EXPECT_EQ(a.candidates_final, b.candidates_final);
+  EXPECT_EQ(a.answers, b.answers);
+}
+
+}  // namespace pis::testing
+
+#endif  // PIS_TESTS_ENGINE_TEST_UTIL_H_

@@ -7,10 +7,11 @@
 //   pis_cli stats     --index index.bin
 //   pis_cli query     --db db.txt --index index.bin --query query.txt
 //                     [--sigma S] [--engine pis|topo|naive]
+//                     [--batch] [--threads N]
 //   pis_cli topk      --db db.txt --index index.bin --query query.txt [--k K]
 //
 // Graph files use the native text format (see src/graph/io.h); the query
-// file holds a single record.
+// file holds a single record, or any number of records with --batch.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -185,23 +186,82 @@ Result<Graph> LoadQuery(const std::string& path) {
   return db.at(0);
 }
 
+// Runs a whole query file as one SearchBatch and prints per-query answer
+// lines plus aggregate stats. Returns a process exit code.
+int RunBatchQuery(const GraphDatabase& db, const FragmentIndex& index,
+                  const std::string& query_path, double sigma, int threads) {
+  if (query_path.empty()) {
+    return Fail(Status::InvalidArgument("--query is required"));
+  }
+  auto queries = ReadGraphDatabaseFile(query_path);
+  if (!queries.ok()) return Fail(queries.status());
+  PisOptions options;
+  options.sigma = sigma;
+  PisEngine engine(&db, &index, options);
+  BatchSearchResult batch =
+      engine.SearchBatch(queries.value().graphs(), threads);
+  for (size_t qi = 0; qi < batch.results.size(); ++qi) {
+    const Result<SearchResult>& r = batch.results[qi];
+    if (!r.ok()) {
+      std::printf("query %zu: error: %s\n", qi, r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("query %zu: candidates: %zu, answers: %zu |", qi,
+                r.value().stats.candidates_final, r.value().answers.size());
+    for (int gid : r.value().answers) std::printf(" %d", gid);
+    std::printf("\n");
+  }
+  const size_t workers =
+      std::min<size_t>(threads <= 0 ? HardwareThreads() : threads,
+                       batch.results.size());
+  std::fprintf(stderr,
+               "batch: %zu queries (%zu ok, %zu failed) in %.3fs with %zu "
+               "threads\naggregate: %s\n",
+               batch.results.size(), batch.succeeded, batch.failed,
+               batch.wall_seconds, workers,
+               batch.total_stats.ToString().c_str());
+  return batch.failed == 0 ? 0 : 1;
+}
+
 int CmdQuery(int argc, char** argv) {
   std::string db_path;
   std::string index_path;
   std::string query_path;
   double sigma = 2;
   std::string engine = "pis";
+  bool batch = false;
+  int threads = 0;
   FlagSet flags;
   flags.AddString("db", &db_path, "database path");
   flags.AddString("index", &index_path, "index path");
   flags.AddString("query", &query_path, "query graph file (one record)");
   flags.AddDouble("sigma", &sigma, "max superimposed distance");
   flags.AddString("engine", &engine, "pis | topo | naive");
+  flags.AddBool("batch", &batch, "treat --query as a multi-record batch");
+  flags.AddInt("threads", &threads, "batch threads (0 = all hardware)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
+  if (engine != "pis" && engine != "topo" && engine != "naive") {
+    return Fail(Status::InvalidArgument("unknown --engine " + engine));
+  }
+  if (batch && engine != "pis") {
+    return Fail(Status::InvalidArgument("--batch requires --engine pis"));
+  }
   auto db = LoadDb(db_path);
   if (!db.ok()) return Fail(db.status());
+  Result<FragmentIndex> index = Status::Internal("index not loaded");
+  if (engine != "naive") {
+    index = FragmentIndex::LoadFile(index_path);
+    if (!index.ok()) return Fail(index.status());
+    if (index.value().db_size() != db.value().size()) {
+      return Fail(Status::InvalidArgument(
+          "index was built over a different database size"));
+    }
+  }
+  if (batch) {
+    return RunBatchQuery(db.value(), index.value(), query_path, sigma, threads);
+  }
   auto query = LoadQuery(query_path);
   if (!query.ok()) return Fail(query.status());
 
@@ -209,24 +269,14 @@ int CmdQuery(int argc, char** argv) {
   if (engine == "naive") {
     result = NaiveSearch(db.value(), query.value(), DistanceSpec::EdgeMutation(),
                          sigma);
+  } else if (engine == "pis") {
+    PisOptions options;
+    options.sigma = sigma;
+    PisEngine pis_engine(&db.value(), &index.value(), options);
+    result = pis_engine.Search(query.value());
   } else {
-    auto index = FragmentIndex::LoadFile(index_path);
-    if (!index.ok()) return Fail(index.status());
-    if (index.value().db_size() != db.value().size()) {
-      return Fail(Status::InvalidArgument(
-          "index was built over a different database size"));
-    }
-    if (engine == "pis") {
-      PisOptions options;
-      options.sigma = sigma;
-      PisEngine pis_engine(&db.value(), &index.value(), options);
-      result = pis_engine.Search(query.value());
-    } else if (engine == "topo") {
-      TopoPruneEngine topo(&db.value(), &index.value());
-      result = topo.Search(query.value(), sigma);
-    } else {
-      return Fail(Status::InvalidArgument("unknown --engine " + engine));
-    }
+    TopoPruneEngine topo(&db.value(), &index.value());
+    result = topo.Search(query.value(), sigma);
   }
   if (!result.ok()) return Fail(result.status());
   std::printf("candidates: %zu, answers: %zu\n",
