@@ -1,0 +1,60 @@
+// Shared implementation core of the PIS filtering phase (Algorithm 2) and
+// the batched-search driver, parameterized over how one fragment's range
+// query is answered. PisEngine plugs in a single monolithic index;
+// ShardedPisEngine fans the query across per-shard indexes and merges. Both
+// engines therefore run byte-identical filtering logic — the equivalence
+// guarantee of the sharded engine falls out by construction.
+//
+// Internal header: not exported through pis.h.
+#ifndef PIS_CORE_FILTER_IMPL_H_
+#define PIS_CORE_FILTER_IMPL_H_
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+
+#include "core/options.h"
+#include "core/pis.h"
+#include "index/fragment_index.h"
+#include "util/status.h"
+
+namespace pis::internal {
+
+/// Answers one fragment's range query: fills `min_dist` with the per-graph
+/// minimum distance over all matches within `sigma` (Eq. 3), keyed by
+/// global graph id, and adds the number of physical index queries issued to
+/// `stats->range_queries`. `min_dist` arrives empty.
+using FragmentQueryFn = std::function<Status(
+    const PreparedFragment& fragment, double sigma,
+    std::unordered_map<int, double>* min_dist, QueryStats* stats)>;
+
+/// Runs one range query against a single index and aggregates the per-graph
+/// minimum distance (Algorithm 2 lines 10-16). The building block of every
+/// FragmentQueryFn.
+Status MinDistancePerGraph(const FragmentIndex& index,
+                           const PreparedFragment& fragment, double sigma,
+                           std::unordered_map<int, double>* out);
+
+/// Algorithm 2 over `db_size` graphs. `enum_index` supplies the class
+/// catalog for query-fragment enumeration (for a sharded index any shard
+/// works: classes are registered from the feature set alone, so every shard
+/// carries the same catalog). Range-query results for fragments surviving
+/// the ε-filter are cached and reused for the partition in pass 2 — the
+/// partition is a subset of the kept fragments, so pass 2 issues no range
+/// queries; memory is bounded by `fragments_kept` maps.
+Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
+                                  const PisOptions& options, const Graph& query,
+                                  const FragmentQueryFn& query_fn);
+
+/// The SearchBatch driver: fans `run_query` over 0..num_queries-1 with
+/// ParallelFor, isolates per-query exceptions as Internal errors, and
+/// aggregates stats over the successful queries. The caller resolves
+/// `num_threads` (> 0) and applies any verify-thread clamping before
+/// constructing `run_query`.
+BatchSearchResult RunSearchBatch(
+    size_t num_queries, int num_threads,
+    const std::function<Result<SearchResult>(size_t)>& run_query);
+
+}  // namespace pis::internal
+
+#endif  // PIS_CORE_FILTER_IMPL_H_

@@ -38,6 +38,10 @@ struct PisOptions {
   size_t max_query_fragments = 0;
   /// Threads for candidate verification (1 = sequential).
   int verify_threads = 1;
+  /// Threads fanning one query's range queries across shards
+  /// (ShardedPisEngine only; PisEngine ignores it). Never affects results,
+  /// only scheduling.
+  int shard_threads = 1;
 };
 
 }  // namespace pis

@@ -1,33 +1,13 @@
 #include "core/pis.h"
 
 #include <algorithm>
-#include <exception>
-#include <string>
-#include <unordered_map>
 
-#include "core/selectivity.h"
+#include "core/filter_impl.h"
 #include "core/verifier.h"
 #include "util/logging.h"
 #include "util/parallel.h"
-#include "util/timer.h"
 
 namespace pis {
-
-namespace {
-
-// Runs one range query and aggregates the per-graph minimum distance
-// (Eq. 3 / Algorithm 2 lines 10-16).
-Status MinDistancePerGraph(const FragmentIndex& index,
-                           const PreparedFragment& fragment, double sigma,
-                           std::unordered_map<int, double>* out) {
-  out->clear();
-  return index.RangeQuery(fragment, sigma, [&](int gid, double d) {
-    auto [it, inserted] = out->try_emplace(gid, d);
-    if (!inserted && d < it->second) it->second = d;
-  });
-}
-
-}  // namespace
 
 PisEngine::PisEngine(const GraphDatabase* db, const FragmentIndex* index,
                      const PisOptions& options)
@@ -38,103 +18,13 @@ PisEngine::PisEngine(const GraphDatabase* db, const FragmentIndex* index,
 }
 
 Result<FilterResult> PisEngine::Filter(const Graph& query) const {
-  if (query.Empty()) {
-    return Status::InvalidArgument("query graph is empty");
-  }
-  Timer timer;
-  const double sigma = options_.sigma;
-  FilterResult result;
-
-  PIS_ASSIGN_OR_RETURN(
-      result.fragments,
-      EnumerateIndexedQueryFragments(*index_, query, options_.max_query_fragments));
-  result.stats.fragments_enumerated = result.fragments.size();
-
-  // Pass 1 (Algorithm 2 lines 6-18): one range query per fragment; keep CQ
-  // and the selectivity, drop the per-graph maps to bound memory.
-  std::vector<char> alive(db_->size(), 1);
-  size_t alive_count = db_->size();
-  std::vector<double> selectivities(result.fragments.size(), 0.0);
-  std::unordered_map<int, double> dist;
-  std::vector<double> found;
-  for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
-    PIS_RETURN_NOT_OK(MinDistancePerGraph(*index_, result.fragments[fi].prepared,
-                                          sigma, &dist));
-    ++result.stats.range_queries;
-    found.clear();
-    found.reserve(dist.size());
-    for (const auto& [gid, d] : dist) found.push_back(d);
-    selectivities[fi] =
-        ComputeSelectivity(found, db_->size(), sigma, options_.lambda);
-    // CQ <- CQ ∩ T (line 17).
-    if (dist.size() < static_cast<size_t>(db_->size())) {
-      for (int gid = 0; gid < db_->size(); ++gid) {
-        if (alive[gid] && dist.count(gid) == 0) {
-          alive[gid] = 0;
-          --alive_count;
-        }
-      }
-    }
-  }
-  result.stats.candidates_after_intersection = alive_count;
-
-  // Line 5 (ε-filter) applied with the online selectivities, then the
-  // overlapping-relation graph and the partition (lines 19-20).
-  std::vector<int> kept;  // positions into result.fragments
-  for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
-    if (selectivities[fi] > options_.epsilon) kept.push_back(static_cast<int>(fi));
-  }
-  result.stats.fragments_kept = kept.size();
-  result.selectivities = std::move(selectivities);
-
-  std::vector<WeightedFragment> weighted;
-  weighted.reserve(kept.size());
-  for (int fi : kept) {
-    WeightedFragment wf;
-    wf.weight = result.selectivities[fi];
-    wf.vertices = result.fragments[fi].vertices;
-    weighted.push_back(std::move(wf));
-  }
-  OverlapGraph overlap(weighted);
-  std::vector<int> partition_local = SelectPartition(
-      overlap, options_.partition_algorithm, options_.enhanced_k);
-  result.partition.reserve(partition_local.size());
-  for (int pi : partition_local) result.partition.push_back(kept[pi]);
-  result.stats.partition_size = result.partition.size();
-  result.stats.partition_weight = overlap.TotalWeight(partition_local);
-
-  // Pass 2 (lines 21-23): re-run range queries for the partition fragments
-  // only and prune by the summed lower bound.
-  std::vector<double> lower_bound(db_->size(), 0.0);
-  for (int fi : result.partition) {
-    PIS_RETURN_NOT_OK(MinDistancePerGraph(*index_, result.fragments[fi].prepared,
-                                          sigma, &dist));
-    ++result.stats.range_queries;
-    for (int gid = 0; gid < db_->size(); ++gid) {
-      if (!alive[gid]) continue;
-      auto it = dist.find(gid);
-      if (it == dist.end()) {
-        // Structure violation (already impossible after line 17, but kept
-        // defensive): the bound is unbounded.
-        alive[gid] = 0;
-        --alive_count;
-      } else {
-        lower_bound[gid] += it->second;
-        if (lower_bound[gid] > sigma) {
-          alive[gid] = 0;
-          --alive_count;
-        }
-      }
-    }
-  }
-
-  result.candidates.reserve(alive_count);
-  for (int gid = 0; gid < db_->size(); ++gid) {
-    if (alive[gid]) result.candidates.push_back(gid);
-  }
-  result.stats.candidates_final = result.candidates.size();
-  result.stats.filter_seconds = timer.Seconds();
-  return result;
+  return internal::RunPisFilter(
+      *index_, db_->size(), options_, query,
+      [this](const PreparedFragment& fragment, double sigma,
+             std::unordered_map<int, double>* min_dist, QueryStats* stats) {
+        ++stats->range_queries;
+        return internal::MinDistancePerGraph(*index_, fragment, sigma, min_dist);
+      });
 }
 
 Result<SearchResult> PisEngine::Search(const Graph& query) const {
@@ -153,7 +43,6 @@ Result<SearchResult> PisEngine::Search(const Graph& query) const {
 
 BatchSearchResult PisEngine::SearchBatch(std::span<const Graph> queries,
                                          int num_threads) const {
-  Timer timer;
   if (num_threads <= 0) num_threads = HardwareThreads();
   // With multiple batch workers, per-query verification runs sequentially:
   // nesting options_.verify_threads under the batch fan-out would multiply
@@ -169,31 +58,9 @@ BatchSearchResult PisEngine::SearchBatch(std::span<const Graph> queries,
     flat.options_.verify_threads = 1;
     engine = &flat;
   }
-  BatchSearchResult batch;
-  batch.results.assign(queries.size(),
-                       Result<SearchResult>(Status::Internal("query not run")));
-  ParallelFor(queries.size(), num_threads, [&](size_t qi) {
-    // ParallelFor requires that exceptions never escape the body; Search is
-    // Status-based, so anything thrown below it is a defect we surface as a
-    // per-query internal error rather than a process abort.
-    try {
-      batch.results[qi] = engine->Search(queries[qi]);
-    } catch (const std::exception& e) {
-      batch.results[qi] = Status::Internal(std::string("uncaught: ") + e.what());
-    } catch (...) {
-      batch.results[qi] = Status::Internal("uncaught non-standard exception");
-    }
-  });
-  for (const Result<SearchResult>& r : batch.results) {
-    if (r.ok()) {
-      ++batch.succeeded;
-      batch.total_stats.Accumulate(r.value().stats);
-    } else {
-      ++batch.failed;
-    }
-  }
-  batch.wall_seconds = timer.Seconds();
-  return batch;
+  return internal::RunSearchBatch(
+      queries.size(), num_threads,
+      [&](size_t qi) { return engine->Search(queries[qi]); });
 }
 
 }  // namespace pis

@@ -11,9 +11,15 @@ double ComputeSelectivity(const std::vector<double>& found_distances, int db_siz
   if (db_size <= 0) return 0.0;  // empty database: nothing to discriminate
   PIS_DCHECK(static_cast<int>(found_distances.size()) <= db_size);
   const double cutoff = lambda * sigma;
+  // Sum in sorted order: callers pass distances in whatever order their
+  // range-query aggregation produced (hash-map iteration, per-shard merge),
+  // and the selectivity must not depend on it — the sharded engine's
+  // equivalence guarantee needs bit-identical weights.
+  std::vector<double> sorted = found_distances;
+  std::sort(sorted.begin(), sorted.end());
   double total = 0;
-  for (double d : found_distances) total += std::min(d, cutoff);
-  total += static_cast<double>(db_size - found_distances.size()) * cutoff;
+  for (double d : sorted) total += std::min(d, cutoff);
+  total += static_cast<double>(db_size - sorted.size()) * cutoff;
   return total / static_cast<double>(db_size);
 }
 

@@ -11,6 +11,9 @@ namespace pis {
 /// w(g) = [ Σ_{G ∈ T} min(d(g,G), λσ) + (n - |T|) · λσ ] / n
 /// where `found_distances` are the per-graph minimum distances of the range
 /// query result T (each <= σ), `db_size` is n, and the cutoff is λσ.
+/// Order-independent: the summation runs over a sorted copy, so equal
+/// distance multisets yield bit-identical weights regardless of how the
+/// caller aggregated them.
 double ComputeSelectivity(const std::vector<double>& found_distances, int db_size,
                           double sigma, double lambda);
 

@@ -1,0 +1,89 @@
+#include "core/sharded_pis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/filter_impl.h"
+#include "core/verifier.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace pis {
+
+ShardedPisEngine::ShardedPisEngine(const GraphDatabase* db,
+                                   const ShardedFragmentIndex* index,
+                                   const PisOptions& options)
+    : db_(db), index_(index), options_(options) {
+  PIS_CHECK(db_ != nullptr && index_ != nullptr);
+  PIS_CHECK(index_->db_size() == db_->size())
+      << "sharded index was built over a different database";
+}
+
+Result<FilterResult> ShardedPisEngine::Filter(const Graph& query) const {
+  const int num_shards = index_->num_shards();
+  // One fragment's range query = one physical query per shard, merged back
+  // to global ids. Shards own disjoint id ranges, so the merge is a plain
+  // union; per-shard maps land in fixed slots, keeping any thread schedule
+  // deterministic.
+  auto query_fn = [&](const PreparedFragment& fragment, double sigma,
+                      std::unordered_map<int, double>* min_dist,
+                      QueryStats* stats) -> Status {
+    std::vector<std::unordered_map<int, double>> local(num_shards);
+    std::vector<Status> failures(num_shards);
+    ParallelFor(num_shards, options_.shard_threads, [&](size_t s) {
+      failures[s] = internal::MinDistancePerGraph(index_->shard(s), fragment,
+                                                  sigma, &local[s]);
+    });
+    stats->range_queries += num_shards;
+    for (int s = 0; s < num_shards; ++s) {
+      PIS_RETURN_NOT_OK(failures[s]);
+      const int offset = index_->shard_offset(s);
+      for (const auto& [local_gid, d] : local[s]) {
+        min_dist->emplace(local_gid + offset, d);
+      }
+    }
+    return Status::OK();
+  };
+  // Any shard serves as the enumeration catalog (identical classes); use
+  // shard 0.
+  return internal::RunPisFilter(index_->shard(0), db_->size(), options_, query,
+                                query_fn);
+}
+
+Result<SearchResult> ShardedPisEngine::Search(const Graph& query) const {
+  PIS_ASSIGN_OR_RETURN(FilterResult filtered, Filter(query));
+  SearchResult result;
+  result.candidates = std::move(filtered.candidates);
+  result.stats = filtered.stats;
+  VerifyResult verified =
+      VerifyCandidates(*db_, query, result.candidates, index_->options().spec,
+                       options_.sigma, options_.verify_threads);
+  result.answers = std::move(verified.answers);
+  result.stats.answers = result.answers.size();
+  result.stats.verify_seconds = verified.seconds;
+  return result;
+}
+
+BatchSearchResult ShardedPisEngine::SearchBatch(std::span<const Graph> queries,
+                                                int num_threads) const {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  // Same anti-oversubscription clamp as PisEngine::SearchBatch, extended to
+  // the per-query shard fan-out: with multiple batch workers both inner
+  // fan-outs run sequentially. Never changes results, only scheduling.
+  const size_t workers =
+      std::min(static_cast<size_t>(num_threads), queries.size());
+  const ShardedPisEngine* engine = this;
+  ShardedPisEngine flat(db_, index_, options_);
+  if (workers > 1 &&
+      (options_.verify_threads > 1 || options_.shard_threads > 1)) {
+    flat.options_.verify_threads = 1;
+    flat.options_.shard_threads = 1;
+    engine = &flat;
+  }
+  return internal::RunSearchBatch(
+      queries.size(), num_threads,
+      [&](size_t qi) { return engine->Search(queries[qi]); });
+}
+
+}  // namespace pis

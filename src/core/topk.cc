@@ -13,6 +13,18 @@ Result<TopKResult> TopKSearch(const GraphDatabase& db, const FragmentIndex& inde
   if (options.growth <= 1.0) {
     return Status::InvalidArgument("growth must be > 1");
   }
+  // Degenerate radii either spin the σ-expansion forever (σ stuck at 0 when
+  // the first step is not positive) or report answers beyond the hard stop
+  // (max_sigma below the starting radius); reject them up front.
+  if (options.initial_sigma < 0) {
+    return Status::InvalidArgument("initial_sigma must be >= 0");
+  }
+  if (options.first_step <= 0) {
+    return Status::InvalidArgument("first_step must be > 0");
+  }
+  if (options.max_sigma < options.initial_sigma) {
+    return Status::InvalidArgument("max_sigma must be >= initial_sigma");
+  }
   TopKResult out;
   auto model = index.options().spec.MakeCostModel();
   // gid -> exact distance at the radius it was verified under; infinity

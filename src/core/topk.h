@@ -17,12 +17,15 @@ namespace pis {
 struct TopKOptions {
   int k = 10;
   /// First search radius; 0 starts with exact (labeled) containment.
+  /// Must be >= 0.
   double initial_sigma = 0.0;
   /// Radius growth per round when fewer than k answers were found.
   double growth = 2.0;
   /// Additive step used when initial_sigma is 0 (growth on 0 stalls).
+  /// Must be > 0 — a non-positive step would pin σ at 0 forever.
   double first_step = 1.0;
-  /// Hard stop: graphs farther than this are never reported.
+  /// Hard stop: graphs farther than this are never reported. Must be
+  /// >= initial_sigma.
   double max_sigma = 64.0;
   /// Base PIS options (partition algorithm etc.); sigma is overridden.
   PisOptions pis;

@@ -1,0 +1,162 @@
+#include "index/sharded_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/serde.h"
+#include "util/timer.h"
+
+namespace pis {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x5049534D;  // "PISM"
+constexpr uint32_t kManifestVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+
+std::string ShardFileName(int s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard_%04d.idx", s);
+  return buf;
+}
+
+}  // namespace
+
+int ShardedFragmentIndex::shard_of(int gid) const {
+  PIS_DCHECK(gid >= 0 && gid < db_size());
+  // First offset strictly greater than gid, minus one.
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), gid);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
+    const GraphDatabase& db, const std::vector<Graph>& features,
+    const FragmentIndexOptions& options, int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  Timer timer;
+  ShardedFragmentIndex sharded;
+  sharded.options_ = options;
+
+  // Balanced contiguous ranges: the first (n % S) shards get one extra.
+  const int n = db.size();
+  const int base = n / num_shards;
+  const int rem = n % num_shards;
+  sharded.offsets_.resize(num_shards + 1);
+  sharded.offsets_[0] = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    sharded.offsets_[s + 1] = sharded.offsets_[s] + base + (s < rem ? 1 : 0);
+  }
+  PIS_CHECK(sharded.offsets_[num_shards] == n);
+
+  // Shards build concurrently; with S > 1 each shard's own extraction runs
+  // sequentially so thread counts don't multiply.
+  FragmentIndexOptions shard_options = options;
+  if (num_shards > 1) shard_options.num_threads = 1;
+  // No fill-construction: Result<FragmentIndex> is move-only.
+  std::vector<Result<FragmentIndex>> built;
+  built.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    built.emplace_back(Status::Internal("shard not built"));
+  }
+  ParallelFor(num_shards, options.num_threads, [&](size_t s) {
+    // The shard's sub-database copy lives only for the duration of its
+    // build (concurrent const reads of `db` are safe), so peak memory holds
+    // one in-flight copy per worker, not a second copy of the whole
+    // database.
+    GraphDatabase part;
+    for (int gid = sharded.offsets_[s]; gid < sharded.offsets_[s + 1]; ++gid) {
+      part.Add(db.at(gid));
+    }
+    built[s] = FragmentIndex::Build(part, features, shard_options);
+  });
+  sharded.shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    if (!built[s].ok()) return built[s].status();
+    sharded.shards_.push_back(built[s].MoveValue());
+  }
+  for (int s = 1; s < num_shards; ++s) {
+    PIS_CHECK(sharded.shards_[s].num_classes() ==
+              sharded.shards_[0].num_classes())
+        << "shards disagree on the class catalog";
+  }
+  sharded.build_seconds_ = timer.Seconds();
+  return sharded;
+}
+
+Status ShardedFragmentIndex::SaveDir(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  const std::filesystem::path root(dir);
+  {
+    std::ofstream out(root / kManifestName, std::ios::binary);
+    if (!out) return Status::IOError("cannot open manifest for writing");
+    BinaryWriter writer(out);
+    writer.U32(kManifestMagic);
+    writer.U32(kManifestVersion);
+    writer.U32(static_cast<uint32_t>(num_shards()));
+    writer.VecInt(offsets_);
+    if (!writer.ok()) return Status::IOError("manifest write failed");
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    PIS_RETURN_NOT_OK(shards_[s].SaveFile((root / ShardFileName(s)).string()));
+  }
+  return Status::OK();
+}
+
+Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
+    const std::string& dir) {
+  const std::filesystem::path root(dir);
+  std::ifstream in(root / kManifestName, std::ios::binary);
+  if (!in) return Status::IOError("cannot open manifest in " + dir);
+  BinaryReader reader(in);
+  if (reader.U32() != kManifestMagic) {
+    return Status::ParseError("not a sharded PIS index (bad manifest magic)");
+  }
+  uint32_t version = reader.U32();
+  if (version != kManifestVersion) {
+    return Status::ParseError("unsupported manifest version " +
+                              std::to_string(version));
+  }
+  uint32_t num_shards = reader.U32();
+  ShardedFragmentIndex sharded;
+  sharded.offsets_ = reader.VecInt();
+  PIS_RETURN_NOT_OK(reader.Check("shard manifest"));
+  if (num_shards < 1 || sharded.offsets_.size() != num_shards + 1 ||
+      sharded.offsets_.front() != 0 ||
+      !std::is_sorted(sharded.offsets_.begin(), sharded.offsets_.end())) {
+    return Status::ParseError("corrupt shard manifest");
+  }
+
+  sharded.shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    PIS_ASSIGN_OR_RETURN(
+        FragmentIndex shard,
+        FragmentIndex::LoadFile((root / ShardFileName(s)).string()));
+    if (shard.db_size() !=
+        sharded.offsets_[s + 1] - sharded.offsets_[s]) {
+      return Status::ParseError("shard " + std::to_string(s) +
+                                " size disagrees with manifest");
+    }
+    if (s > 0 &&
+        shard.num_classes() != sharded.shards_.front().num_classes()) {
+      return Status::ParseError("shard " + std::to_string(s) +
+                                " class catalog disagrees with shard 0");
+    }
+    sharded.shards_.push_back(std::move(shard));
+  }
+  sharded.options_ = sharded.shards_.front().options();
+  return sharded;
+}
+
+}  // namespace pis

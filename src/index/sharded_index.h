@@ -1,0 +1,71 @@
+// Horizontal sharding of the PIS fragment index: the database is split into
+// S contiguous graph-id ranges and one FragmentIndex is built per range (in
+// parallel). Every shard registers the identical class catalog — classes
+// come from the feature set, not the data — so a query fragment prepared
+// against any shard is valid against all of them. Persistence writes a
+// directory holding a binary manifest plus one index file per shard, so
+// shards can later be loaded (or, eventually, served) independently.
+#ifndef PIS_INDEX_SHARDED_INDEX_H_
+#define PIS_INDEX_SHARDED_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/fragment_index.h"
+#include "util/status.h"
+
+namespace pis {
+
+/// \brief A fragment index partitioned into per-shard FragmentIndexes.
+class ShardedFragmentIndex {
+ public:
+  /// Builds `num_shards` per-shard indexes over contiguous, balanced
+  /// graph-id ranges of `db` (shard sizes differ by at most one). Shards
+  /// build concurrently on `options.num_threads` threads (<= 1 =
+  /// sequential); with more than one shard each per-shard build is
+  /// sequential so the two fan-outs don't multiply. `num_shards` may exceed
+  /// db.size(); surplus shards are empty but still answer queries.
+  static Result<ShardedFragmentIndex> Build(const GraphDatabase& db,
+                                            const std::vector<Graph>& features,
+                                            const FragmentIndexOptions& options,
+                                            int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const FragmentIndex& shard(int s) const { return shards_[s]; }
+  /// First global graph id of shard `s`; shard s covers
+  /// [shard_offset(s), shard_offset(s) + shard_size(s)).
+  int shard_offset(int s) const { return offsets_[s]; }
+  int shard_size(int s) const { return offsets_[s + 1] - offsets_[s]; }
+  /// Shard owning global graph id `gid`.
+  int shard_of(int gid) const;
+
+  int db_size() const { return offsets_.back(); }
+  /// Identical across shards (classes are feature-derived).
+  int num_classes() const { return shards_.front().num_classes(); }
+  const FragmentIndexOptions& options() const { return options_; }
+  /// Wall-clock build time of the whole sharded build (covers the parallel
+  /// per-shard builds; per-shard CPU times are in shard(s).stats()).
+  double build_seconds() const { return build_seconds_; }
+
+  /// Persists a manifest (shard count, id ranges) plus one file per shard
+  /// under `dir`, creating the directory if needed.
+  Status SaveDir(const std::string& dir) const;
+  /// Loads a directory written by SaveDir, validating the manifest against
+  /// the per-shard files.
+  static Result<ShardedFragmentIndex> LoadDir(const std::string& dir);
+
+ private:
+  ShardedFragmentIndex() = default;
+
+  FragmentIndexOptions options_;
+  std::vector<FragmentIndex> shards_;
+  /// num_shards + 1 entries; offsets_[s] is shard s's first global id,
+  /// offsets_.back() the database size.
+  std::vector<int> offsets_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace pis
+
+#endif  // PIS_INDEX_SHARDED_INDEX_H_

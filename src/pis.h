@@ -26,6 +26,7 @@
 #include "core/pis.h"                // IWYU pragma: export
 #include "core/query_fragments.h"    // IWYU pragma: export
 #include "core/selectivity.h"        // IWYU pragma: export
+#include "core/sharded_pis.h"        // IWYU pragma: export
 #include "core/stats.h"              // IWYU pragma: export
 #include "core/topk.h"               // IWYU pragma: export
 #include "core/topo_prune.h"         // IWYU pragma: export
@@ -45,6 +46,7 @@
 #include "graph/statistics.h"        // IWYU pragma: export
 #include "index/fragment_enum.h"     // IWYU pragma: export
 #include "index/fragment_index.h"    // IWYU pragma: export
+#include "index/sharded_index.h"     // IWYU pragma: export
 #include "isomorphism/ullmann.h"     // IWYU pragma: export
 #include "isomorphism/vf2.h"         // IWYU pragma: export
 #include "mining/feature_selector.h" // IWYU pragma: export

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/selectivity.h"
 #include "util/random.h"
 
@@ -12,6 +14,9 @@ WeightedFragment WF(double weight, std::vector<VertexId> vertices) {
   WeightedFragment f;
   f.weight = weight;
   f.vertices = std::move(vertices);
+  // OverlapGraph requires sorted vertex sets (Definition 3 overlap is a
+  // sorted-vector intersection).
+  std::sort(f.vertices.begin(), f.vertices.end());
   return f;
 }
 
@@ -82,6 +87,50 @@ TEST(ExactTest, SmallKnownInstance) {
   std::vector<int> s = ExactMwis(g);
   EXPECT_EQ(s, (std::vector<int>{1, 3}));
   EXPECT_DOUBLE_EQ(g.TotalWeight(s), 7.0);
+}
+
+// Fragment-dense queries: adjacency must answer correctly on a large
+// near-clique (this shape made the old linear-scan Adjacent superlinear
+// inside EnhancedGreedyMwis's DFS).
+TEST(OverlapGraphTest, DenseOverlapStaysConsistent) {
+  std::vector<WeightedFragment> frags;
+  // 30 fragments all overlapping on vertex 0 (a clique in the overlap
+  // graph) plus 10 pairwise-disjoint ones.
+  for (int i = 0; i < 30; ++i) {
+    frags.push_back(WF(1.0 + i * 0.1, {0, i + 1}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    frags.push_back(WF(0.5 + i * 0.1, {100 + i}));
+  }
+  OverlapGraph g(frags);
+  // Adjacent must agree with brute-force vertex intersection, both
+  // argument orders.
+  for (int i = 0; i < g.size(); ++i) {
+    const std::vector<int>& nb = g.neighbors(i);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    for (int j = 0; j < g.size(); ++j) {
+      if (i == j) continue;
+      bool expected = false;
+      for (VertexId u : frags[i].vertices) {
+        for (VertexId v : frags[j].vertices) {
+          if (u == v) expected = true;
+        }
+      }
+      EXPECT_EQ(g.Adjacent(i, j), expected) << i << " vs " << j;
+      EXPECT_EQ(g.Adjacent(j, i), expected);
+    }
+  }
+  // On clique + isolated vertices the optimum is the heaviest clique
+  // member plus every isolated fragment; all heuristics find it here.
+  std::vector<int> exact = ExactMwis(g);
+  std::vector<int> enhanced = EnhancedGreedyMwis(g, 2);
+  std::vector<int> greedy = GreedyMwis(g);
+  EXPECT_TRUE(g.IsIndependent(enhanced));
+  double expected_weight = g.weight(29);  // heaviest clique member
+  for (int i = 30; i < 40; ++i) expected_weight += g.weight(i);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(exact), expected_weight);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(enhanced), expected_weight);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(greedy), expected_weight);
 }
 
 TEST(SingleBestTest, PicksHeaviest) {

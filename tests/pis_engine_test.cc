@@ -76,6 +76,30 @@ TEST(PisEngineTest, AnswersMatchNaiveScan) {
   EXPECT_GT(nonempty, 0) << "workload produced no answers; test is vacuous";
 }
 
+// Regression: pass 2 used to re-issue the partition fragments' range
+// queries even though pass 1 had already answered them; they are now served
+// from the pass-1 cache, so the physical query count is exactly one per
+// enumerated fragment.
+TEST(PisEngineTest, Pass2ReusesPass1RangeQueries) {
+  Fixture fx(40, 11);
+  PisOptions options;
+  options.sigma = 2;
+  PisEngine engine(&fx.db, &fx.index.value(), options);
+  QuerySampler sampler(&fx.db, {.seed = 13, .strip_vertex_labels = true});
+  int with_partition = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    auto query = sampler.Sample(8);
+    ASSERT_TRUE(query.ok());
+    auto filtered = engine.Filter(query.value());
+    ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+    const QueryStats& stats = filtered.value().stats;
+    EXPECT_EQ(stats.range_queries, stats.fragments_enumerated);
+    if (stats.partition_size > 0) ++with_partition;
+  }
+  EXPECT_GT(with_partition, 0)
+      << "no query selected a partition; test is vacuous";
+}
+
 TEST(PisEngineTest, CandidatesContainAnswersAndSubsetTopoPrune) {
   Fixture fx(40, 23);
   PisOptions options;

@@ -68,6 +68,37 @@ TEST(TopKTest, RejectsBadOptions) {
   EXPECT_FALSE(TopKSearch(fx.db, fx.index.value(), q, bad).ok());
 }
 
+// Regression: these option combinations used to hang the σ-expansion loop
+// (σ pinned at 0 forever) or report answers beyond max_sigma; they must be
+// rejected up front instead.
+TEST(TopKTest, RejectsDegenerateRadiusOptions) {
+  Fixture fx(1);
+  Graph q;
+  q.AddVertex(kNoLabel);
+  q.AddVertex(kNoLabel);
+  ASSERT_TRUE(q.AddEdge(0, 1, 1).ok());
+
+  TopKOptions spin;  // initial_sigma == 0 and first_step <= 0: infinite loop
+  spin.initial_sigma = 0.0;
+  spin.first_step = 0.0;
+  auto r = TopKSearch(fx.db, fx.index.value(), q, spin);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  spin.first_step = -1.0;
+  EXPECT_EQ(TopKSearch(fx.db, fx.index.value(), q, spin).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TopKOptions negative;
+  negative.initial_sigma = -0.5;
+  EXPECT_EQ(TopKSearch(fx.db, fx.index.value(), q, negative).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TopKOptions shrunk;  // max_sigma below the starting radius
+  shrunk.initial_sigma = 2.0;
+  shrunk.max_sigma = 1.0;
+  EXPECT_EQ(TopKSearch(fx.db, fx.index.value(), q, shrunk).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 class TopKOracleTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TopKOracleTest, MatchesNaiveOrdering) {

@@ -4,17 +4,23 @@
 //   pis_cli convert   --sdf file.sdf --out db.txt [--max N]
 //   pis_cli build     --db db.txt --out index.bin [--max_fragment_edges K]
 //                     [--min_support F] [--gamma G] [--distance mutation|linear]
+//                     [--shards S] [--threads N]
 //   pis_cli stats     --index index.bin
 //   pis_cli query     --db db.txt --index index.bin --query query.txt
 //                     [--sigma S] [--engine pis|topo|naive]
 //                     [--batch] [--threads N]
 //   pis_cli topk      --db db.txt --index index.bin --query query.txt [--k K]
 //
+// With --shards > 1, build writes a sharded index directory (manifest plus
+// one file per shard) instead of a single file; stats and query detect the
+// directory and use the sharded engine transparently.
+//
 // Graph files use the native text format (see src/graph/io.h); the query
 // file holds a single record, or any number of records with --batch.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "core/topk.h"
@@ -99,6 +105,8 @@ int CmdBuild(int argc, char** argv) {
   double min_support = 0.01;
   double gamma = 1.0;
   std::string distance = "mutation";
+  int shards = 1;
+  int threads = 1;
   FlagSet flags;
   flags.AddString("db", &db_path, "database path");
   flags.AddString("out", &out, "output index path");
@@ -106,6 +114,9 @@ int CmdBuild(int argc, char** argv) {
   flags.AddDouble("min_support", &min_support, "relative feature min support");
   flags.AddDouble("gamma", &gamma, "gIndex discriminative ratio");
   flags.AddString("distance", &distance, "mutation | linear");
+  flags.AddInt("shards", &shards,
+               "shard count; > 1 writes a sharded index directory");
+  flags.AddInt("threads", &threads, "index build threads (0 = all hardware)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -131,12 +142,30 @@ int CmdBuild(int argc, char** argv) {
 
   FragmentIndexOptions options;
   options.max_fragment_edges = max_fragment_edges;
+  options.num_threads = threads <= 0 ? HardwareThreads() : threads;
   if (distance == "mutation") {
     options.spec = DistanceSpec::EdgeMutation();
   } else if (distance == "linear") {
     options.spec = DistanceSpec::EdgeLinear();
   } else {
     return Fail(Status::InvalidArgument("unknown --distance " + distance));
+  }
+  if (shards > 1) {
+    auto index =
+        ShardedFragmentIndex::Build(db.value(), features, options, shards);
+    if (!index.ok()) return Fail(index.status());
+    Status saved = index.value().SaveDir(out);
+    if (!saved.ok()) return Fail(saved);
+    size_t occurrences = 0;
+    for (int s = 0; s < index.value().num_shards(); ++s) {
+      occurrences += index.value().shard(s).stats().num_fragment_occurrences;
+    }
+    std::printf(
+        "built sharded index: %d shards, %d classes, %zu fragments in "
+        "%.2fs -> %s/\n",
+        index.value().num_shards(), index.value().num_classes(), occurrences,
+        index.value().build_seconds(), out.c_str());
+    return 0;
   }
   auto index = FragmentIndex::Build(db.value(), features, options);
   if (!index.ok()) return Fail(index.status());
@@ -156,6 +185,20 @@ int CmdStats(int argc, char** argv) {
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
+  if (std::filesystem::is_directory(index_path)) {
+    auto sharded = ShardedFragmentIndex::LoadDir(index_path);
+    if (!sharded.ok()) return Fail(sharded.status());
+    const ShardedFragmentIndex& idx = sharded.value();
+    std::printf("sharded index over a %d-graph database\n", idx.db_size());
+    std::printf("shards: %d, classes: %d\n", idx.num_shards(),
+                idx.num_classes());
+    for (int s = 0; s < idx.num_shards(); ++s) {
+      std::printf("  shard %d: graphs [%d, %d), %zu fragment occurrences\n", s,
+                  idx.shard_offset(s), idx.shard_offset(s) + idx.shard_size(s),
+                  idx.shard(s).stats().num_fragment_occurrences);
+    }
+    return 0;
+  }
   auto index = FragmentIndex::LoadFile(index_path);
   if (!index.ok()) return Fail(index.status());
   const FragmentIndex& idx = index.value();
@@ -187,17 +230,16 @@ Result<Graph> LoadQuery(const std::string& path) {
 }
 
 // Runs a whole query file as one SearchBatch and prints per-query answer
-// lines plus aggregate stats. Returns a process exit code.
-int RunBatchQuery(const GraphDatabase& db, const FragmentIndex& index,
-                  const std::string& query_path, double sigma, int threads) {
+// lines plus aggregate stats. Returns a process exit code. `Engine` is
+// PisEngine or ShardedPisEngine (same SearchBatch contract).
+template <typename Engine>
+int RunBatchQuery(const Engine& engine, const std::string& query_path,
+                  int threads) {
   if (query_path.empty()) {
     return Fail(Status::InvalidArgument("--query is required"));
   }
   auto queries = ReadGraphDatabaseFile(query_path);
   if (!queries.ok()) return Fail(queries.status());
-  PisOptions options;
-  options.sigma = sigma;
-  PisEngine engine(&db, &index, options);
   BatchSearchResult batch =
       engine.SearchBatch(queries.value().graphs(), threads);
   for (size_t qi = 0; qi < batch.results.size(); ++qi) {
@@ -250,8 +292,25 @@ int CmdQuery(int argc, char** argv) {
   }
   auto db = LoadDb(db_path);
   if (!db.ok()) return Fail(db.status());
+  // A directory index is a sharded index (build --shards > 1); only the
+  // PIS engine understands it.
+  const bool sharded =
+      engine != "naive" && std::filesystem::is_directory(index_path);
+  if (sharded && engine != "pis") {
+    return Fail(Status::InvalidArgument(
+        "sharded index directories require --engine pis"));
+  }
   Result<FragmentIndex> index = Status::Internal("index not loaded");
-  if (engine != "naive") {
+  Result<ShardedFragmentIndex> sharded_index =
+      Status::Internal("index not loaded");
+  if (sharded) {
+    sharded_index = ShardedFragmentIndex::LoadDir(index_path);
+    if (!sharded_index.ok()) return Fail(sharded_index.status());
+    if (sharded_index.value().db_size() != db.value().size()) {
+      return Fail(Status::InvalidArgument(
+          "index was built over a different database size"));
+    }
+  } else if (engine != "naive") {
     index = FragmentIndex::LoadFile(index_path);
     if (!index.ok()) return Fail(index.status());
     if (index.value().db_size() != db.value().size()) {
@@ -259,8 +318,15 @@ int CmdQuery(int argc, char** argv) {
           "index was built over a different database size"));
     }
   }
+  PisOptions options;
+  options.sigma = sigma;
   if (batch) {
-    return RunBatchQuery(db.value(), index.value(), query_path, sigma, threads);
+    if (sharded) {
+      ShardedPisEngine pis_engine(&db.value(), &sharded_index.value(), options);
+      return RunBatchQuery(pis_engine, query_path, threads);
+    }
+    PisEngine pis_engine(&db.value(), &index.value(), options);
+    return RunBatchQuery(pis_engine, query_path, threads);
   }
   auto query = LoadQuery(query_path);
   if (!query.ok()) return Fail(query.status());
@@ -269,9 +335,10 @@ int CmdQuery(int argc, char** argv) {
   if (engine == "naive") {
     result = NaiveSearch(db.value(), query.value(), DistanceSpec::EdgeMutation(),
                          sigma);
+  } else if (engine == "pis" && sharded) {
+    ShardedPisEngine pis_engine(&db.value(), &sharded_index.value(), options);
+    result = pis_engine.Search(query.value());
   } else if (engine == "pis") {
-    PisOptions options;
-    options.sigma = sigma;
     PisEngine pis_engine(&db.value(), &index.value(), options);
     result = pis_engine.Search(query.value());
   } else {
@@ -302,6 +369,11 @@ int CmdTopK(int argc, char** argv) {
   if (!st.ok()) return Fail(st);
   auto db = LoadDb(db_path);
   if (!db.ok()) return Fail(db.status());
+  if (std::filesystem::is_directory(index_path)) {
+    return Fail(Status::InvalidArgument(
+        "topk does not support sharded index directories yet; build a "
+        "single-file index (--shards 1)"));
+  }
   auto index = FragmentIndex::LoadFile(index_path);
   if (!index.ok()) return Fail(index.status());
   auto query = LoadQuery(query_path);
