@@ -1,0 +1,182 @@
+// Incremental-update economics: amortized AddGraph/RemoveGraph cost and
+// query latency before and after N interleaved updates against a sharded
+// index, compared with the cost of rebuilding from scratch at the final
+// state. The interesting ratio is (N * amortized add) vs (one rebuild): as
+// long as it stays well below 1 the incremental path wins for live traffic;
+// query latency after updates quantifies the tombstone overhead a periodic
+// compaction rebuild would reclaim.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sharded_pis.h"
+#include "index/sharded_index.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace pis;
+using namespace pis::bench;
+
+namespace {
+
+// Mean per-query Search latency (seconds) over the query set.
+double MeanQuerySeconds(const ShardedPisEngine& engine,
+                        const std::vector<Graph>& queries) {
+  Timer timer;
+  for (const Graph& q : queries) {
+    auto result = engine.Search(q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+    }
+  }
+  return timer.Seconds() / static_cast<double>(queries.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkloadConfig config;
+  int query_edges = 12;
+  int updates = 200;
+  int shards = 4;
+  double sigma = 2.0;
+  FlagSet flags;
+  config.Register(&flags);
+  flags.AddInt("query_edges", &query_edges, "query size (edges)");
+  flags.AddInt("updates", &updates, "interleaved add/remove operations");
+  flags.AddInt("shards", &shards, "shard count of the mutated index");
+  flags.AddDouble("sigma", &sigma, "max superimposed distance");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The pool holds the initial database plus every graph the update phase
+  // will add; features are mined over the initial snapshot only (the
+  // AddGraph contract: the class catalog is fixed at build time).
+  const int num_adds = (updates + 1) / 2;
+  WorkloadConfig pool_config = config;
+  pool_config.db_size = config.db_size + num_adds;
+  GraphDatabase pool = MakeDatabase(pool_config);
+  GraphDatabase db;
+  for (int i = 0; i < config.db_size; ++i) db.Add(pool.at(i));
+  auto features = MineFeatures(db, config);
+  if (!features.ok()) {
+    std::fprintf(stderr, "%s\n", features.status().ToString().c_str());
+    return 1;
+  }
+
+  FragmentIndexOptions index_options;
+  index_options.min_fragment_edges = config.min_fragment_edges;
+  index_options.max_fragment_edges = config.max_fragment_edges;
+  index_options.spec = DistanceSpec::EdgeMutation();
+  index_options.num_threads =
+      config.threads <= 0 ? HardwareThreads() : config.threads;
+
+  auto index =
+      ShardedFragmentIndex::Build(db, features.value(), index_options, shards);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  const double initial_build = index.value().build_seconds();
+
+  auto sampled = SampleQueries(db, query_edges, config);
+  if (!sampled.ok() || sampled.value().empty()) {
+    std::fprintf(stderr, "query sampling failed\n");
+    return 1;
+  }
+  const std::vector<Graph>& queries = sampled.value();
+
+  PisOptions options;
+  options.sigma = sigma;
+  ShardedPisEngine engine(&db, &index.value(), options);
+  const double latency_before = MeanQuerySeconds(engine, queries);
+
+  // Interleave adds (from the pool tail) and removes (random live id).
+  Rng rng(config.db_seed + 1);
+  std::vector<int> live_ids(db.size());
+  for (int i = 0; i < db.size(); ++i) live_ids[i] = i;
+  int next_pool = config.db_size;
+  int adds = 0;
+  int removes = 0;
+  double add_seconds = 0;
+  double remove_seconds = 0;
+  for (int op = 0; op < updates; ++op) {
+    const bool do_add = (op % 2 == 0) ? next_pool < pool.size()
+                                      : live_ids.size() <= 1;
+    if (do_add && next_pool < pool.size()) {
+      const Graph& g = pool.at(next_pool++);
+      Timer timer;
+      auto gid = index.value().AddGraph(g);
+      add_seconds += timer.Seconds();
+      if (!gid.ok()) {
+        std::fprintf(stderr, "%s\n", gid.status().ToString().c_str());
+        return 1;
+      }
+      db.Add(g);
+      live_ids.push_back(gid.value());
+      ++adds;
+    } else {
+      const size_t slot = rng.UniformIndex(live_ids.size());
+      Timer timer;
+      Status removed = index.value().RemoveGraph(live_ids[slot]);
+      remove_seconds += timer.Seconds();
+      if (!removed.ok()) {
+        std::fprintf(stderr, "%s\n", removed.ToString().c_str());
+        return 1;
+      }
+      live_ids[slot] = live_ids.back();
+      live_ids.pop_back();
+      ++removes;
+    }
+  }
+  const double latency_after = MeanQuerySeconds(engine, queries);
+
+  // Full rebuild at the final state: compact the live graphs and build a
+  // fresh sharded index — what a non-incremental system pays per batch of
+  // updates (and what a periodic compaction costs here).
+  GraphDatabase compacted;
+  {
+    std::vector<int> sorted = live_ids;
+    std::sort(sorted.begin(), sorted.end());
+    for (int gid : sorted) compacted.Add(db.at(gid));
+  }
+  auto rebuilt = ShardedFragmentIndex::Build(compacted, features.value(),
+                                             index_options, shards);
+  if (!rebuilt.ok()) {
+    std::fprintf(stderr, "%s\n", rebuilt.status().ToString().c_str());
+    return 1;
+  }
+  ShardedPisEngine rebuilt_engine(&compacted, &rebuilt.value(), options);
+  const double latency_rebuilt = MeanQuerySeconds(rebuilt_engine, queries);
+
+  std::printf("bench_update: %d initial graphs, %d shards, %d queries/set\n",
+              config.db_size, shards, static_cast<int>(queries.size()));
+  std::printf("updates applied: %d adds, %d removes (%d live of %d slots)\n",
+              adds, removes, index.value().num_live(),
+              index.value().db_size());
+  std::printf("\n%-38s %12s\n", "metric", "value");
+  std::printf("%-38s %9.3f s\n", "initial sharded build", initial_build);
+  std::printf("%-38s %9.3f ms\n", "amortized AddGraph",
+              adds > 0 ? 1e3 * add_seconds / adds : 0.0);
+  std::printf("%-38s %9.3f ms\n", "amortized RemoveGraph",
+              removes > 0 ? 1e3 * remove_seconds / removes : 0.0);
+  std::printf("%-38s %9.3f s\n", "full rebuild at final state",
+              rebuilt.value().build_seconds());
+  std::printf("%-38s %9.3f ms\n", "query latency before updates",
+              1e3 * latency_before);
+  std::printf("%-38s %9.3f ms\n", "query latency after updates",
+              1e3 * latency_after);
+  std::printf("%-38s %9.3f ms\n", "query latency after rebuild",
+              1e3 * latency_rebuilt);
+  if (adds > 0 && rebuilt.value().build_seconds() > 0) {
+    std::printf("%-38s %9.2fx\n", "adds per rebuild-equivalent cost",
+                rebuilt.value().build_seconds() / (add_seconds / adds));
+  }
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Incremental maintenance + persistence + nearest-neighbour search: the
 // "living database" workflow. Build an index over an initial compound
-// collection, persist it, append newly synthesized molecules with
-// AddGraph (no rebuild), and answer top-k similarity queries throughout.
+// collection, persist it, append newly synthesized molecules with AddGraph
+// (no rebuild), retire withdrawn compounds with RemoveGraph (tombstones),
+// and answer top-k similarity queries throughout.
 //
 //   ./build/examples/incremental_updates
 #include <cstdio>
@@ -68,6 +69,19 @@ int main() {
     db.Add(std::move(fresh));
   }
   std::printf("appended 50 molecules incrementally (db now %d)\n", db.size());
+
+  // A few compounds get withdrawn: tombstone them. Their ids stay
+  // allocated (the db file keeps its records) but they vanish from every
+  // subsequent query; a periodic rebuild reclaims the posting space.
+  for (int gid : {3, 77, 140}) {
+    Status removed = index.RemoveGraph(gid);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "%s\n", removed.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("retired 3 molecules (%d of %d live)\n", index.num_live(),
+              index.db_size());
 
   // Similarity query over the updated collection: 10 nearest neighbours of
   // a scaffold sampled from one of the *new* molecules.

@@ -57,9 +57,9 @@ int main() {
               sharded.value().num_shards(), sharded.value().num_classes(),
               sharded.value().build_seconds());
   for (int s = 0; s < sharded.value().num_shards(); ++s) {
-    std::printf("  shard %d: graphs [%d, %d)\n", s,
-                sharded.value().shard_offset(s),
-                sharded.value().shard_offset(s) + sharded.value().shard_size(s));
+    std::printf("  shard %d: %d graphs (globals %d..%d)\n", s,
+                sharded.value().shard_size(s), sharded.value().global_id(s, 0),
+                sharded.value().global_id(s, sharded.value().shard_size(s) - 1));
   }
 
   // 4. Search with both engines; answers must agree graph for graph.

@@ -24,6 +24,7 @@ Status MinDistancePerGraph(const FragmentIndex& index,
 }
 
 Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
+                                  const std::unordered_set<int>* tombstones,
                                   const PisOptions& options, const Graph& query,
                                   const FragmentQueryFn& query_fn) {
   if (query.Empty()) {
@@ -44,8 +45,21 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
   // ε-filter (line 5) are retained for pass 2 — the partition can only draw
   // from kept fragments, so their range queries never re-run. Maps of
   // dropped fragments are discarded to bound memory by `fragments_kept`.
+  // Tombstoned slots start dead: they must not surface as candidates even
+  // when the query enumerates no fragments (no pruning), and the
+  // selectivity denominator below is the count of *live* graphs — both
+  // exactly as in an index rebuilt without the removed graphs.
   std::vector<char> alive(db_size, 1);
   size_t alive_count = db_size;
+  if (tombstones != nullptr) {
+    for (int gid : *tombstones) {
+      if (gid >= 0 && gid < db_size && alive[gid]) {
+        alive[gid] = 0;
+        --alive_count;
+      }
+    }
+  }
+  const int live_size = static_cast<int>(alive_count);
   std::vector<double> selectivities(result.fragments.size(), 0.0);
   std::vector<int> kept;  // positions into result.fragments
   std::unordered_map<int, std::unordered_map<int, double>> kept_dists;
@@ -59,9 +73,10 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
     found.reserve(dist.size());
     for (const auto& [gid, d] : dist) found.push_back(d);
     selectivities[fi] =
-        ComputeSelectivity(found, db_size, sigma, options.lambda);
-    // CQ <- CQ ∩ T (line 17).
-    if (dist.size() < static_cast<size_t>(db_size)) {
+        ComputeSelectivity(found, live_size, sigma, options.lambda);
+    // CQ <- CQ ∩ T (line 17). `dist` holds live graphs only, so covering
+    // every live graph means nothing can be dropped.
+    if (dist.size() < static_cast<size_t>(live_size)) {
       for (int gid = 0; gid < db_size; ++gid) {
         if (alive[gid] && dist.count(gid) == 0) {
           alive[gid] = 0;

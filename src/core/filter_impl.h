@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/options.h"
 #include "core/pis.h"
@@ -35,14 +36,22 @@ Status MinDistancePerGraph(const FragmentIndex& index,
                            const PreparedFragment& fragment, double sigma,
                            std::unordered_map<int, double>* out);
 
-/// Algorithm 2 over `db_size` graphs. `enum_index` supplies the class
-/// catalog for query-fragment enumeration (for a sharded index any shard
-/// works: classes are registered from the feature set alone, so every shard
-/// carries the same catalog). Range-query results for fragments surviving
-/// the ε-filter are cached and reused for the partition in pass 2 — the
-/// partition is a subset of the kept fragments, so pass 2 issues no range
-/// queries; memory is bounded by `fragments_kept` maps.
+/// Algorithm 2 over `db_size` graph-id slots. `enum_index` supplies the
+/// class catalog for query-fragment enumeration (for a sharded index any
+/// shard works: classes are registered from the feature set alone, so every
+/// shard carries the same catalog). Range-query results for fragments
+/// surviving the ε-filter are cached and reused for the partition in pass 2
+/// — the partition is a subset of the kept fragments, so pass 2 issues no
+/// range queries; memory is bounded by `fragments_kept` maps.
+///
+/// `tombstones` (nullable) holds removed graph ids: they start dead — never
+/// candidates even when no query fragment prunes anything — and the
+/// selectivity denominator is the live count, so an incrementally mutated
+/// index filters exactly like one rebuilt from scratch over the live
+/// graphs. `query_fn` must already exclude tombstoned ids from its results
+/// (FragmentIndex::RangeQuery does).
 Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
+                                  const std::unordered_set<int>* tombstones,
                                   const PisOptions& options, const Graph& query,
                                   const FragmentQueryFn& query_fn);
 

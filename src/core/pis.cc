@@ -19,7 +19,7 @@ PisEngine::PisEngine(const GraphDatabase* db, const FragmentIndex* index,
 
 Result<FilterResult> PisEngine::Filter(const Graph& query) const {
   return internal::RunPisFilter(
-      *index_, db_->size(), options_, query,
+      *index_, db_->size(), &index_->tombstones(), options_, query,
       [this](const PreparedFragment& fragment, double sigma,
              std::unordered_map<int, double>* min_dist, QueryStats* stats) {
         ++stats->range_queries;

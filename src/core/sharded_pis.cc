@@ -38,16 +38,18 @@ Result<FilterResult> ShardedPisEngine::Filter(const Graph& query) const {
     stats->range_queries += num_shards;
     for (int s = 0; s < num_shards; ++s) {
       PIS_RETURN_NOT_OK(failures[s]);
-      const int offset = index_->shard_offset(s);
       for (const auto& [local_gid, d] : local[s]) {
-        min_dist->emplace(local_gid + offset, d);
+        min_dist->emplace(index_->global_id(s, local_gid), d);
       }
     }
     return Status::OK();
   };
   // Any shard serves as the enumeration catalog (identical classes); use
-  // shard 0.
-  return internal::RunPisFilter(index_->shard(0), db_->size(), options_, query,
+  // shard 0. Per-shard range queries already exclude per-shard tombstones;
+  // the global set seeds the dead slots for the no-pruning path and the
+  // live selectivity denominator.
+  return internal::RunPisFilter(index_->shard(0), db_->size(),
+                                &index_->tombstones(), options_, query,
                                 query_fn);
 }
 

@@ -30,6 +30,14 @@ Result<std::vector<int>> TopoPruneEngine::Filter(const Graph& query,
   }
   std::vector<char> alive(db_->size(), 1);
   size_t alive_count = db_->size();
+  // Tombstoned graphs stay listed in containing_graphs() until a rebuild;
+  // start them dead so they never reach verification.
+  for (int gid : index_->tombstones()) {
+    if (gid >= 0 && gid < db_->size() && alive[gid]) {
+      alive[gid] = 0;
+      --alive_count;
+    }
+  }
   for (int class_id : class_ids) {
     const std::vector<int>& containing =
         index_->class_at(class_id).containing_graphs();

@@ -190,12 +190,31 @@ Status FragmentIndex::InsertGraphFragments(int gid, const Graph& g) {
 
 Result<int> FragmentIndex::AddGraph(const Graph& g) {
   int gid = db_size_;
-  PIS_RETURN_NOT_OK(InsertGraphFragments(gid, g));
+  std::vector<PendingInsert> pending;
+  ExtractStats stats;
+  PIS_RETURN_NOT_OK(ExtractGraphFragments(g, &pending, &stats));
+  ApplyExtraction(gid, pending, stats);
   ++db_size_;
-  // Re-finalize so postings stay sorted/deduplicated and lazily built
-  // backends (VP-tree) refresh.
-  for (auto& cls : classes_) cls->Refinalize();
+  // Re-finalize only the classes that received postings, so postings stay
+  // sorted/deduplicated and lazily built backends (VP-tree) refresh;
+  // untouched classes keep their finalized state — the amortized add cost
+  // scales with the new graph, not the whole index.
+  std::unordered_set<int> touched;
+  for (const PendingInsert& p : pending) touched.insert(p.class_id);
+  for (int class_id : touched) classes_[class_id]->Refinalize();
   return gid;
+}
+
+Status FragmentIndex::RemoveGraph(int gid) {
+  if (gid < 0 || gid >= db_size_) {
+    return Status::NotFound("graph id " + std::to_string(gid) +
+                            " is outside the indexed database");
+  }
+  if (!tombstones_.insert(gid).second) {
+    return Status::NotFound("graph id " + std::to_string(gid) +
+                            " was already removed");
+  }
+  return Status::OK();
 }
 
 Result<PreparedFragment> FragmentIndex::Prepare(const Graph& fragment) const {
@@ -222,8 +241,16 @@ Status FragmentIndex::RangeQuery(const PreparedFragment& fragment, double sigma,
       fragment.class_id >= static_cast<int>(classes_.size())) {
     return Status::InvalidArgument("bad prepared fragment");
   }
-  return classes_[fragment.class_id]->RangeQuery(fragment.labels,
-                                                 fragment.weights, sigma, cb);
+  if (tombstones_.empty()) {
+    return classes_[fragment.class_id]->RangeQuery(fragment.labels,
+                                                   fragment.weights, sigma, cb);
+  }
+  // Tombstoned graphs keep their postings; filter them at the emit point so
+  // every caller sees exactly the live database.
+  return classes_[fragment.class_id]->RangeQuery(
+      fragment.labels, fragment.weights, sigma, [this, &cb](int gid, double d) {
+        if (tombstones_.count(gid) == 0) cb(gid, d);
+      });
 }
 
 Status FragmentIndex::RangeQuery(const Graph& fragment, double sigma,
@@ -234,7 +261,9 @@ Status FragmentIndex::RangeQuery(const Graph& fragment, double sigma,
 
 namespace {
 constexpr uint32_t kIndexMagic = 0x50495358;  // "PISX"
-constexpr uint32_t kIndexVersion = 1;
+// v1: static index. v2 appends the tombstone list (incremental RemoveGraph)
+// as a trailing section; v1 files load as tombstone-free.
+constexpr uint32_t kIndexVersion = 2;
 
 void SerializeSpec(const DistanceSpec& spec, BinaryWriter* writer) {
   writer->U8(static_cast<uint8_t>(spec.type));
@@ -282,6 +311,11 @@ Status FragmentIndex::Save(std::ostream& out) const {
   for (const auto& cls : classes_) {
     PIS_RETURN_NOT_OK(cls->Serialize(&writer));
   }
+  // v2 trailing section: sorted tombstone ids. Kept last so a v1 file is
+  // exactly a v2 file without it (the compat fixture relies on this).
+  std::vector<int> dead(tombstones_.begin(), tombstones_.end());
+  std::sort(dead.begin(), dead.end());
+  writer.VecInt(dead);
   if (!writer.ok()) return Status::IOError("index write failed");
   return Status::OK();
 }
@@ -298,9 +332,10 @@ Result<FragmentIndex> FragmentIndex::Load(std::istream& in) {
     return Status::ParseError("not a PIS index file (bad magic)");
   }
   uint32_t version = reader.U32();
-  if (version != kIndexVersion) {
+  if (version < 1 || version > kIndexVersion) {
     return Status::ParseError("unsupported index version " +
-                              std::to_string(version));
+                              std::to_string(version) + " (this build reads " +
+                              std::to_string(kIndexVersion) + " and older)");
   }
   FragmentIndex index;
   index.options_.min_fragment_edges = reader.I32();
@@ -335,6 +370,16 @@ Result<FragmentIndex> FragmentIndex::Load(std::istream& in) {
     index.classes_.push_back(std::move(cls));
   }
   index.stats_.num_classes = index.classes_.size();
+  if (version >= 2) {
+    std::vector<int> dead = reader.VecInt();
+    PIS_RETURN_NOT_OK(reader.Check("index tombstones"));
+    for (int gid : dead) {
+      if (gid < 0 || gid >= index.db_size_ ||
+          !index.tombstones_.insert(gid).second) {
+        return Status::ParseError("bad tombstone id in index file");
+      }
+    }
+  }
   return index;
 }
 

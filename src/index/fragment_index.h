@@ -87,12 +87,32 @@ class FragmentIndex {
 
   /// Incremental maintenance: indexes one graph appended to the database
   /// (its id becomes db_size()). The caller must append the same graph to
-  /// its GraphDatabase to keep ids aligned. Touched classes are
-  /// re-finalized; feature classes are fixed at Build time (fragments of
-  /// the new graph outside existing classes are not indexed, exactly as if
-  /// the graph had been present at build time with the same feature set).
-  /// Returns the id assigned to the graph.
+  /// its GraphDatabase to keep ids aligned. Only the classes the new graph
+  /// touches are re-finalized; feature classes are fixed at Build time
+  /// (fragments of the new graph outside existing classes are not indexed,
+  /// exactly as if the graph had been present at build time with the same
+  /// feature set). Returns the id assigned to the graph.
   Result<int> AddGraph(const Graph& g);
+
+  /// Incremental maintenance: tombstones graph `gid`. Its postings stay in
+  /// the class backends but every subsequent RangeQuery filters it out, so
+  /// queries behave exactly as if the index had been rebuilt without the
+  /// graph (modulo the selectivity denominator, which engines take from
+  /// num_live()). Ids are never reused. NotFound when `gid` is out of range
+  /// or already removed.
+  Status RemoveGraph(int gid);
+
+  /// True when `gid` names a graph that was added and not removed.
+  bool IsLive(int gid) const {
+    return gid >= 0 && gid < db_size_ && tombstones_.count(gid) == 0;
+  }
+  /// Graphs added minus graphs removed — the selectivity denominator.
+  int num_live() const {
+    return db_size_ - static_cast<int>(tombstones_.size());
+  }
+  /// Removed graph ids (never reused). Postings of these ids still occupy
+  /// backend memory until a full rebuild compacts them.
+  const std::unordered_set<int>& tombstones() const { return tombstones_; }
 
   /// Binary persistence: write the full index (options, spec, classes) so a
   /// later process can Load() and serve queries without rebuilding.
@@ -151,6 +171,8 @@ class FragmentIndex {
   std::unordered_map<std::string, int> class_by_key_;
   std::vector<std::unique_ptr<EquivalenceClassIndex>> classes_;
   std::unordered_set<uint64_t> signatures_;
+  /// Removed graph ids (format v2 persists these).
+  std::unordered_set<int> tombstones_;
   FragmentIndexStats stats_;
 };
 

@@ -16,7 +16,10 @@ namespace pis {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x5049534D;  // "PISM"
-constexpr uint32_t kManifestVersion = 1;
+// v1: contiguous per-shard id ranges (offsets vector). v2: explicit
+// per-graph routing table, required once incremental AddGraph breaks
+// contiguity. v1 manifests still load (routing derived from the ranges).
+constexpr uint32_t kManifestVersion = 2;
 constexpr char kManifestName[] = "MANIFEST";
 
 std::string ShardFileName(int s) {
@@ -29,9 +32,17 @@ std::string ShardFileName(int s) {
 
 int ShardedFragmentIndex::shard_of(int gid) const {
   PIS_DCHECK(gid >= 0 && gid < db_size());
-  // First offset strictly greater than gid, minus one.
-  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), gid);
-  return static_cast<int>(it - offsets_.begin()) - 1;
+  return shard_of_[gid];
+}
+
+void ShardedFragmentIndex::DeriveRouting() {
+  local_of_.assign(shard_of_.size(), 0);
+  globals_.assign(shards_.size(), {});
+  for (int gid = 0; gid < static_cast<int>(shard_of_.size()); ++gid) {
+    const int s = shard_of_[gid];
+    local_of_[gid] = static_cast<int>(globals_[s].size());
+    globals_[s].push_back(gid);
+  }
 }
 
 Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
@@ -48,12 +59,18 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
   const int n = db.size();
   const int base = n / num_shards;
   const int rem = n % num_shards;
-  sharded.offsets_.resize(num_shards + 1);
-  sharded.offsets_[0] = 0;
+  std::vector<int> offsets(num_shards + 1);
+  offsets[0] = 0;
   for (int s = 0; s < num_shards; ++s) {
-    sharded.offsets_[s + 1] = sharded.offsets_[s] + base + (s < rem ? 1 : 0);
+    offsets[s + 1] = offsets[s] + base + (s < rem ? 1 : 0);
   }
-  PIS_CHECK(sharded.offsets_[num_shards] == n);
+  PIS_CHECK(offsets[num_shards] == n);
+  sharded.shard_of_.resize(n);
+  for (int s = 0; s < num_shards; ++s) {
+    for (int gid = offsets[s]; gid < offsets[s + 1]; ++gid) {
+      sharded.shard_of_[gid] = s;
+    }
+  }
 
   // Shards build concurrently; with S > 1 each shard's own extraction runs
   // sequentially so thread counts don't multiply.
@@ -71,7 +88,7 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
     // one in-flight copy per worker, not a second copy of the whole
     // database.
     GraphDatabase part;
-    for (int gid = sharded.offsets_[s]; gid < sharded.offsets_[s + 1]; ++gid) {
+    for (int gid = offsets[s]; gid < offsets[s + 1]; ++gid) {
       part.Add(db.at(gid));
     }
     built[s] = FragmentIndex::Build(part, features, shard_options);
@@ -86,8 +103,36 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
               sharded.shards_[0].num_classes())
         << "shards disagree on the class catalog";
   }
+  sharded.DeriveRouting();
   sharded.build_seconds_ = timer.Seconds();
   return sharded;
+}
+
+Result<int> ShardedFragmentIndex::AddGraph(const Graph& g) {
+  // Least-loaded routing by live graph count; ties go to the lowest shard
+  // id so a replayed update sequence reproduces the same routing.
+  int best = 0;
+  for (int s = 1; s < num_shards(); ++s) {
+    if (shards_[s].num_live() < shards_[best].num_live()) best = s;
+  }
+  PIS_ASSIGN_OR_RETURN(int local, shards_[best].AddGraph(g));
+  PIS_DCHECK(local == static_cast<int>(globals_[best].size()));
+  const int gid = db_size();
+  shard_of_.push_back(best);
+  local_of_.push_back(local);
+  globals_[best].push_back(gid);
+  return gid;
+}
+
+Status ShardedFragmentIndex::RemoveGraph(int gid) {
+  if (gid < 0 || gid >= db_size()) {
+    return Status::NotFound("graph id " + std::to_string(gid) +
+                            " is outside the sharded database");
+  }
+  // The shard rejects a double remove, keeping the global set in lockstep.
+  PIS_RETURN_NOT_OK(shards_[shard_of_[gid]].RemoveGraph(local_of_[gid]));
+  tombstones_.insert(gid);
+  return Status::OK();
 }
 
 Status ShardedFragmentIndex::SaveDir(const std::string& dir) const {
@@ -105,11 +150,18 @@ Status ShardedFragmentIndex::SaveDir(const std::string& dir) const {
     writer.U32(kManifestMagic);
     writer.U32(kManifestVersion);
     writer.U32(static_cast<uint32_t>(num_shards()));
-    writer.VecInt(offsets_);
+    writer.VecInt(shard_of_);
     if (!writer.ok()) return Status::IOError("manifest write failed");
   }
   for (int s = 0; s < num_shards(); ++s) {
     PIS_RETURN_NOT_OK(shards_[s].SaveFile((root / ShardFileName(s)).string()));
+  }
+  // An in-place re-save with a smaller shard count must not leave stale
+  // shard files behind: LoadDir treats surplus files as manifest/disk
+  // disagreement.
+  for (int s = num_shards();; ++s) {
+    std::error_code stale_ec;
+    if (!std::filesystem::remove(root / ShardFileName(s), stale_ec)) break;
   }
   return Status::OK();
 }
@@ -123,37 +175,96 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
   if (reader.U32() != kManifestMagic) {
     return Status::ParseError("not a sharded PIS index (bad manifest magic)");
   }
-  uint32_t version = reader.U32();
-  if (version != kManifestVersion) {
+  const uint32_t version = reader.U32();
+  if (version < 1 || version > kManifestVersion) {
     return Status::ParseError("unsupported manifest version " +
-                              std::to_string(version));
+                              std::to_string(version) + " (this build reads " +
+                              std::to_string(kManifestVersion) +
+                              " and older)");
   }
-  uint32_t num_shards = reader.U32();
+  const uint32_t num_shards = reader.U32();
   ShardedFragmentIndex sharded;
-  sharded.offsets_ = reader.VecInt();
-  PIS_RETURN_NOT_OK(reader.Check("shard manifest"));
-  if (num_shards < 1 || sharded.offsets_.size() != num_shards + 1 ||
-      sharded.offsets_.front() != 0 ||
-      !std::is_sorted(sharded.offsets_.begin(), sharded.offsets_.end())) {
-    return Status::ParseError("corrupt shard manifest");
+  if (version == 1) {
+    // Contiguous ranges: offsets[s] .. offsets[s+1]) belongs to shard s.
+    std::vector<int> offsets = reader.VecInt();
+    PIS_RETURN_NOT_OK(reader.Check("shard manifest"));
+    if (num_shards < 1 || offsets.size() != num_shards + 1 ||
+        offsets.front() != 0 ||
+        !std::is_sorted(offsets.begin(), offsets.end())) {
+      return Status::ParseError("corrupt shard manifest");
+    }
+    sharded.shard_of_.resize(offsets.back());
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      for (int gid = offsets[s]; gid < offsets[s + 1]; ++gid) {
+        sharded.shard_of_[gid] = static_cast<int>(s);
+      }
+    }
+  } else {
+    sharded.shard_of_ = reader.VecInt();
+    PIS_RETURN_NOT_OK(reader.Check("shard manifest"));
+    if (num_shards < 1) return Status::ParseError("corrupt shard manifest");
+    for (size_t gid = 0; gid < sharded.shard_of_.size(); ++gid) {
+      if (sharded.shard_of_[gid] < 0 ||
+          sharded.shard_of_[gid] >= static_cast<int>(num_shards)) {
+        return Status::InvalidArgument(
+            "manifest routes graph " + std::to_string(gid) +
+            " to nonexistent shard " +
+            std::to_string(sharded.shard_of_[gid]));
+      }
+    }
+  }
+
+  // The manifest and the files on disk must agree exactly: every declared
+  // shard present with the declared number of graphs, and nothing extra.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (!std::filesystem::exists(root / ShardFileName(static_cast<int>(s)))) {
+      return Status::InvalidArgument(
+          "manifest declares " + std::to_string(num_shards) +
+          " shards but " + ShardFileName(static_cast<int>(s)) +
+          " is missing on disk");
+    }
+  }
+  if (std::filesystem::exists(
+          root / ShardFileName(static_cast<int>(num_shards)))) {
+    return Status::InvalidArgument(
+        "more shard files on disk than the manifest's " +
+        std::to_string(num_shards) + " shards");
   }
 
   sharded.shards_.reserve(num_shards);
+  // globals_ sizing needs shards_ populated; derive after loading, but
+  // compute expected per-shard sizes first for the consistency check.
+  std::vector<int> expected_size(num_shards, 0);
+  for (int s : sharded.shard_of_) ++expected_size[s];
   for (uint32_t s = 0; s < num_shards; ++s) {
     PIS_ASSIGN_OR_RETURN(
         FragmentIndex shard,
-        FragmentIndex::LoadFile((root / ShardFileName(s)).string()));
-    if (shard.db_size() !=
-        sharded.offsets_[s + 1] - sharded.offsets_[s]) {
-      return Status::ParseError("shard " + std::to_string(s) +
-                                " size disagrees with manifest");
+        FragmentIndex::LoadFile(
+            (root / ShardFileName(static_cast<int>(s))).string()));
+    if (shard.db_size() != expected_size[s]) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " holds " +
+          std::to_string(shard.db_size()) + " graphs but the manifest routes " +
+          std::to_string(expected_size[s]) + " to it");
     }
     if (s > 0 &&
         shard.num_classes() != sharded.shards_.front().num_classes()) {
-      return Status::ParseError("shard " + std::to_string(s) +
-                                " class catalog disagrees with shard 0");
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " class catalog disagrees with shard 0");
     }
     sharded.shards_.push_back(std::move(shard));
+  }
+  sharded.DeriveRouting();
+  // Global tombstones mirror the per-shard sets (persisted inside the
+  // per-shard index files).
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    for (int local : sharded.shards_[s].tombstones()) {
+      if (local < 0 || local >= sharded.shard_size(static_cast<int>(s))) {
+        return Status::InvalidArgument("shard " + std::to_string(s) +
+                                       " tombstone out of range");
+      }
+      sharded.tombstones_.insert(sharded.global_id(static_cast<int>(s), local));
+    }
   }
   sharded.options_ = sharded.shards_.front().options();
   return sharded;

@@ -1,14 +1,19 @@
-// Horizontal sharding of the PIS fragment index: the database is split into
-// S contiguous graph-id ranges and one FragmentIndex is built per range (in
-// parallel). Every shard registers the identical class catalog — classes
-// come from the feature set, not the data — so a query fragment prepared
-// against any shard is valid against all of them. Persistence writes a
-// directory holding a binary manifest plus one index file per shard, so
-// shards can later be loaded (or, eventually, served) independently.
+// Horizontal sharding of the PIS fragment index: every graph id is routed
+// to exactly one per-shard FragmentIndex. A full Build assigns contiguous,
+// balanced id ranges (and builds the shards in parallel); incremental
+// AddGraph routes each new id to the least-loaded shard, so the routing is
+// a general table rather than ranges. Every shard registers the identical
+// class catalog — classes come from the feature set, not the data — so a
+// query fragment prepared against any shard is valid against all of them.
+// Persistence writes a directory holding a binary manifest (shard count +
+// routing table) plus one index file per shard, so shards can later be
+// loaded (or, eventually, served) independently, and a mutated index
+// round-trips exactly.
 #ifndef PIS_INDEX_SHARDED_INDEX_H_
 #define PIS_INDEX_SHARDED_INDEX_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
@@ -33,14 +38,37 @@ class ShardedFragmentIndex {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const FragmentIndex& shard(int s) const { return shards_[s]; }
-  /// First global graph id of shard `s`; shard s covers
-  /// [shard_offset(s), shard_offset(s) + shard_size(s)).
-  int shard_offset(int s) const { return offsets_[s]; }
-  int shard_size(int s) const { return offsets_[s + 1] - offsets_[s]; }
+  /// Graph-id slots routed to shard `s`, including tombstoned ones.
+  int shard_size(int s) const { return static_cast<int>(globals_[s].size()); }
   /// Shard owning global graph id `gid`.
   int shard_of(int gid) const;
+  /// Global graph id of shard `s`'s local id `local` (the inverse of the
+  /// routing: shard(s) emits local ids, queries report global ids).
+  int global_id(int s, int local) const { return globals_[s][local]; }
 
-  int db_size() const { return offsets_.back(); }
+  /// Total graph-id slots ever assigned (monotone; tombstones included).
+  int db_size() const { return static_cast<int>(shard_of_.size()); }
+  /// Live graphs — Σ over shards of shard(s).num_live(); the selectivity
+  /// denominator the engines use.
+  int num_live() const {
+    return db_size() - static_cast<int>(tombstones_.size());
+  }
+  /// Removed global graph ids.
+  const std::unordered_set<int>& tombstones() const { return tombstones_; }
+  bool IsLive(int gid) const {
+    return gid >= 0 && gid < db_size() && tombstones_.count(gid) == 0;
+  }
+
+  /// Incremental maintenance: routes the graph to the shard with the fewest
+  /// live graphs (ties break toward the lowest shard id, so a fixed update
+  /// sequence yields a deterministic routing) and indexes it there.
+  /// Returns the new global id, db_size() before the call. The caller must
+  /// append the same graph to its GraphDatabase to keep ids aligned.
+  Result<int> AddGraph(const Graph& g);
+  /// Tombstones global id `gid` in its owning shard. NotFound when out of
+  /// range or already removed.
+  Status RemoveGraph(int gid);
+
   /// Identical across shards (classes are feature-derived).
   int num_classes() const { return shards_.front().num_classes(); }
   const FragmentIndexOptions& options() const { return options_; }
@@ -48,21 +76,33 @@ class ShardedFragmentIndex {
   /// per-shard builds; per-shard CPU times are in shard(s).stats()).
   double build_seconds() const { return build_seconds_; }
 
-  /// Persists a manifest (shard count, id ranges) plus one file per shard
-  /// under `dir`, creating the directory if needed.
+  /// Persists a manifest (shard count, per-graph routing) plus one file per
+  /// shard under `dir`, creating the directory if needed. Tombstones travel
+  /// inside the per-shard files, so a mutated index round-trips.
   Status SaveDir(const std::string& dir) const;
-  /// Loads a directory written by SaveDir, validating the manifest against
-  /// the per-shard files.
+  /// Loads a directory written by SaveDir (current or v1 contiguous-range
+  /// manifests). Returns InvalidArgument when a structurally readable
+  /// manifest disagrees with the files on disk (missing/surplus shard
+  /// files, shard sizes or routing out of step), ParseError on garbage.
   static Result<ShardedFragmentIndex> LoadDir(const std::string& dir);
 
  private:
   ShardedFragmentIndex() = default;
 
+  /// Rebuilds globals_/local_of_ from shard_of_ (routing is insertion-
+  /// ordered: local ids ascend with global ids within a shard).
+  void DeriveRouting();
+
   FragmentIndexOptions options_;
   std::vector<FragmentIndex> shards_;
-  /// num_shards + 1 entries; offsets_[s] is shard s's first global id,
-  /// offsets_.back() the database size.
-  std::vector<int> offsets_;
+  /// Global graph id -> owning shard.
+  std::vector<int> shard_of_;
+  /// Global graph id -> local id inside its shard's FragmentIndex.
+  std::vector<int> local_of_;
+  /// Shard -> local id -> global graph id.
+  std::vector<std::vector<int>> globals_;
+  /// Removed global ids (mirrors the per-shard tombstone sets).
+  std::unordered_set<int> tombstones_;
   double build_seconds_ = 0;
 };
 

@@ -3,12 +3,17 @@
 // (if unpruned) answers, never crash or drop results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/naive_search.h"
 #include "core/pis.h"
+#include "core/sharded_pis.h"
+#include "core/topk.h"
 #include "core/topo_prune.h"
 #include "graph/generator.h"
 #include "graph/query_sampler.h"
 #include "index/fragment_index.h"
+#include "index/sharded_index.h"
 
 namespace pis {
 namespace {
@@ -126,6 +131,118 @@ TEST(EdgeCasesTest, InvalidBuildOptionsRejected) {
   bad.min_fragment_edges = 5;
   bad.max_fragment_edges = 3;
   EXPECT_FALSE(FragmentIndex::Build(db, {}, bad).ok());
+}
+
+// ---- Degenerate incremental updates -----------------------------------
+
+TEST(UpdateEdgeCasesTest, RemovingNonexistentIdIsNotFound) {
+  MoleculeGenerator gen;
+  GraphDatabase db = gen.Generate(5);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().RemoveGraph(-1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(index.value().RemoveGraph(5).code(), StatusCode::kNotFound);
+  // A double remove is NotFound too, and the live count only drops once.
+  ASSERT_TRUE(index.value().RemoveGraph(2).ok());
+  EXPECT_EQ(index.value().RemoveGraph(2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(index.value().num_live(), 4);
+
+  FragmentIndexOptions iopt;
+  iopt.max_fragment_edges = 2;
+  auto sharded =
+      ShardedFragmentIndex::Build(db, {SingleEdgeFeature()}, iopt, 3);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.value().RemoveGraph(-1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sharded.value().RemoveGraph(99).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(sharded.value().RemoveGraph(4).ok());
+  EXPECT_EQ(sharded.value().RemoveGraph(4).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sharded.value().num_live(), 4);
+}
+
+TEST(UpdateEdgeCasesTest, AddingTheSameGraphTwiceGetsDistinctIds) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 31;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(6);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  // There is no "duplicate id" to reject: ids are assigned by the index, so
+  // re-adding identical content simply creates a second live graph.
+  Graph dup = db.at(0);
+  auto first = index.value().AddGraph(dup);
+  auto second = index.value().AddGraph(dup);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first.value(), 6);
+  EXPECT_EQ(second.value(), 7);
+  db.Add(dup);
+  db.Add(dup);
+
+  // Both copies answer queries alongside the original.
+  PisOptions options;
+  options.sigma = 0;
+  PisEngine engine(&db, &index.value(), options);
+  auto result = engine.Search(db.at(0));
+  ASSERT_TRUE(result.ok());
+  SearchResult naive = NaiveSearch(db, db.at(0), index.value().options().spec, 0);
+  EXPECT_EQ(result.value().answers, naive.answers);
+  for (int gid : {0, 6, 7}) {
+    EXPECT_NE(std::find(result.value().answers.begin(),
+                        result.value().answers.end(), gid),
+              result.value().answers.end());
+  }
+}
+
+TEST(UpdateEdgeCasesTest, RemovingEveryGraphYieldsEmptyResults) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 13;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(6);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  FragmentIndexOptions iopt;
+  iopt.max_fragment_edges = 2;
+  auto sharded =
+      ShardedFragmentIndex::Build(db, {SingleEdgeFeature()}, iopt, 3);
+  ASSERT_TRUE(sharded.ok());
+  for (int gid = 0; gid < db.size(); ++gid) {
+    ASSERT_TRUE(index.value().RemoveGraph(gid).ok());
+    ASSERT_TRUE(sharded.value().RemoveGraph(gid).ok());
+  }
+  EXPECT_EQ(index.value().num_live(), 0);
+  EXPECT_EQ(sharded.value().num_live(), 0);
+
+  QuerySampler sampler(&db, {.seed = 8, .strip_vertex_labels = true});
+  auto query = sampler.Sample(4);
+  ASSERT_TRUE(query.ok());
+  PisOptions options;
+  options.sigma = 3;
+
+  // PIS, sharded PIS, topoPrune, and top-k must all come back empty (no
+  // candidates leak through the no-pruning path) without touching a
+  // tombstoned graph.
+  PisEngine engine(&db, &index.value(), options);
+  auto result = engine.Search(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().candidates.empty());
+  EXPECT_TRUE(result.value().answers.empty());
+
+  ShardedPisEngine sharded_engine(&db, &sharded.value(), options);
+  auto sharded_result = sharded_engine.Search(query.value());
+  ASSERT_TRUE(sharded_result.ok());
+  EXPECT_TRUE(sharded_result.value().candidates.empty());
+  EXPECT_TRUE(sharded_result.value().answers.empty());
+
+  TopoPruneEngine topo(&db, &index.value());
+  auto topo_result = topo.Search(query.value(), options.sigma);
+  ASSERT_TRUE(topo_result.ok());
+  EXPECT_TRUE(topo_result.value().answers.empty());
+
+  TopKOptions topk;
+  topk.k = 3;
+  topk.max_sigma = 8;
+  auto nearest = TopKSearch(db, index.value(), query.value(), topk);
+  ASSERT_TRUE(nearest.ok()) << nearest.status().ToString();
+  EXPECT_TRUE(nearest.value().results.empty());
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// Serde format versioning: the incremental-update PR bumped the fragment
+// index format to v2 (trailing tombstone section) and the shard manifest to
+// v2 (explicit routing table). Old fixtures must still load, files from the
+// future must fail with a clear Status instead of garbage, and a manifest
+// that disagrees with the files on disk must come back as InvalidArgument —
+// never a crash or DCHECK.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine_test_util.h"
+#include "index/fragment_index.h"
+#include "index/sharded_index.h"
+#include "util/serde.h"
+
+namespace pis {
+namespace {
+
+using ::pis::testing::EngineFixture;
+using ::pis::testing::SampleQueries;
+
+constexpr uint32_t kManifestMagic = 0x5049534D;  // mirrors sharded_index.cc
+
+void PatchU32(std::string* bytes, size_t offset, uint32_t value) {
+  ASSERT_LE(offset + 4, bytes->size());
+  std::memcpy(bytes->data() + offset, &value, 4);
+}
+
+// A v1 index file is byte-identical to a v2 file minus the trailing
+// tombstone section (8 zero bytes for "none"), with the version word
+// rewound — Save() keeps the section last exactly so this fixture stays
+// constructible. If this test breaks after a format change, either keep the
+// tombstone section trailing or bump to v3 with its own compat fixture.
+std::string MakeV1IndexBytes(const FragmentIndex& index) {
+  EXPECT_TRUE(index.tombstones().empty());
+  std::stringstream out;
+  EXPECT_TRUE(index.Save(out).ok());
+  std::string bytes = out.str();
+  EXPECT_GE(bytes.size(), 16u);
+  bytes.resize(bytes.size() - 8);
+  PatchU32(&bytes, 4, 1);
+  return bytes;
+}
+
+TEST(FormatCompatTest, FragmentIndexV1FixtureLoads) {
+  EngineFixture fx(12, 77);
+  ASSERT_TRUE(fx.index.ok());
+  std::stringstream in(MakeV1IndexBytes(fx.index.value()));
+  auto loaded = FragmentIndex::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().db_size(), fx.index.value().db_size());
+  EXPECT_EQ(loaded.value().num_classes(), fx.index.value().num_classes());
+  EXPECT_EQ(loaded.value().num_live(), loaded.value().db_size());
+  EXPECT_TRUE(loaded.value().tombstones().empty());
+
+  // The reloaded v1 index answers queries identically to the original.
+  PisOptions options;
+  options.sigma = 2.0;
+  PisEngine before(&fx.db, &fx.index.value(), options);
+  PisEngine after(&fx.db, &loaded.value(), options);
+  for (const Graph& q : SampleQueries(fx.db, 3, 6, 19)) {
+    auto a = before.Search(q);
+    auto b = after.Search(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().answers, b.value().answers);
+    EXPECT_EQ(a.value().candidates, b.value().candidates);
+  }
+}
+
+TEST(FormatCompatTest, FragmentIndexFutureVersionRejected) {
+  EngineFixture fx(6, 3);
+  ASSERT_TRUE(fx.index.ok());
+  std::stringstream out;
+  ASSERT_TRUE(fx.index.value().Save(out).ok());
+  std::string bytes = out.str();
+  PatchU32(&bytes, 4, 99);
+  std::stringstream in(bytes);
+  auto loaded = FragmentIndex::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+class ManifestCompatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = std::make_unique<EngineFixture>(15, 11);
+    ASSERT_TRUE(fx_->index.ok());
+    FragmentIndexOptions options;
+    options.max_fragment_edges = 4;
+    options.spec = DistanceSpec::EdgeMutation();
+    auto built =
+        ShardedFragmentIndex::Build(fx_->db, fx_->features, options, 3);
+    ASSERT_TRUE(built.ok());
+    dir_ = (std::filesystem::path(::testing::TempDir()) /
+            ("pis_manifest_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    ASSERT_TRUE(built.value().SaveDir(dir_).ok());
+    sharded_ = std::make_unique<ShardedFragmentIndex>(built.MoveValue());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path ManifestPath() const {
+    return std::filesystem::path(dir_) / "MANIFEST";
+  }
+
+  void WriteManifest(uint32_t version, uint32_t num_shards,
+                     const std::vector<int>& payload) {
+    std::ofstream out(ManifestPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    BinaryWriter writer(out);
+    writer.U32(kManifestMagic);
+    writer.U32(version);
+    writer.U32(num_shards);
+    writer.VecInt(payload);
+    ASSERT_TRUE(writer.ok());
+  }
+
+  std::unique_ptr<EngineFixture> fx_;
+  std::unique_ptr<ShardedFragmentIndex> sharded_;
+  std::string dir_;
+};
+
+TEST_F(ManifestCompatTest, V1ContiguousManifestLoads) {
+  // Rewrite the manifest in the v1 layout (contiguous id ranges). The build
+  // assigned contiguous ranges, so the offsets describe the same routing.
+  std::vector<int> offsets = {0};
+  for (int s = 0; s < sharded_->num_shards(); ++s) {
+    offsets.push_back(offsets.back() + sharded_->shard_size(s));
+  }
+  WriteManifest(1, 3, offsets);
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().db_size(), sharded_->db_size());
+  for (int gid = 0; gid < sharded_->db_size(); ++gid) {
+    EXPECT_EQ(loaded.value().shard_of(gid), sharded_->shard_of(gid));
+  }
+}
+
+TEST_F(ManifestCompatTest, FutureManifestVersionRejected) {
+  WriteManifest(42, 3, std::vector<int>(15, 0));
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(ManifestCompatTest, MissingShardFileIsInvalidArgument) {
+  std::filesystem::remove(std::filesystem::path(dir_) / "shard_0002.idx");
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ManifestCompatTest, SurplusShardFileIsInvalidArgument) {
+  std::filesystem::copy_file(std::filesystem::path(dir_) / "shard_0000.idx",
+                             std::filesystem::path(dir_) / "shard_0003.idx");
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ManifestCompatTest, RoutingToNonexistentShardIsInvalidArgument) {
+  std::vector<int> routing(15, 0);
+  routing[7] = 9;  // only shards 0..2 exist
+  WriteManifest(2, 3, routing);
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ManifestCompatTest, RoutingDisagreeingWithShardSizesIsInvalidArgument) {
+  // Structurally valid routing that sends every graph to shard 0 while the
+  // files on disk hold 5 graphs each.
+  WriteManifest(2, 3, std::vector<int>(15, 0));
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ManifestCompatTest, InPlaceResaveWithFewerShardsRemovesStaleFiles) {
+  // Rebuilding into the same directory with a smaller shard count must not
+  // strand shard files the new manifest doesn't cover — LoadDir would
+  // (correctly) reject the directory as inconsistent.
+  FragmentIndexOptions options;
+  options.max_fragment_edges = 4;
+  options.spec = DistanceSpec::EdgeMutation();
+  auto smaller = ShardedFragmentIndex::Build(fx_->db, fx_->features, options, 2);
+  ASSERT_TRUE(smaller.ok());
+  ASSERT_TRUE(smaller.value().SaveDir(dir_).ok());
+  EXPECT_FALSE(
+      std::filesystem::exists(std::filesystem::path(dir_) / "shard_0002.idx"));
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_shards(), 2);
+}
+
+TEST_F(ManifestCompatTest, TruncatedManifestIsParseError) {
+  std::ofstream out(ManifestPath(), std::ios::binary | std::ios::trunc);
+  BinaryWriter writer(out);
+  writer.U32(kManifestMagic);
+  writer.U32(2u);
+  out.close();
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(ManifestCompatTest, BadMagicIsParseError) {
+  WriteManifest(2, 3, std::vector<int>(15, 0));
+  std::fstream patch(ManifestPath(),
+                     std::ios::binary | std::ios::in | std::ios::out);
+  patch.write("JUNK", 4);
+  patch.close();
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace pis

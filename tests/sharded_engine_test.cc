@@ -102,23 +102,31 @@ TEST(ShardedIndexTest, RejectsNonPositiveShardCount) {
   EXPECT_EQ(sharded.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ShardedIndexTest, ShardRangesPartitionTheDatabase) {
+TEST(ShardedIndexTest, ShardRoutingPartitionsTheDatabase) {
   EngineFixture fx(23, 5);
   auto sharded = BuildSharded(fx, 5, 2);
   ASSERT_TRUE(sharded.ok());
   const ShardedFragmentIndex& idx = sharded.value();
   EXPECT_EQ(idx.db_size(), 23);
+  EXPECT_EQ(idx.num_live(), 23);
   int covered = 0;
   for (int s = 0; s < idx.num_shards(); ++s) {
-    EXPECT_EQ(idx.shard_offset(s), covered);
     EXPECT_EQ(idx.shard(s).db_size(), idx.shard_size(s));
     covered += idx.shard_size(s);
   }
   EXPECT_EQ(covered, 23);
-  for (int gid = 0; gid < idx.db_size(); ++gid) {
-    const int s = idx.shard_of(gid);
-    EXPECT_GE(gid, idx.shard_offset(s));
-    EXPECT_LT(gid, idx.shard_offset(s) + idx.shard_size(s));
+  // The routing and its inverse agree: every global id maps to exactly one
+  // (shard, local) slot and back.
+  std::vector<char> seen(idx.db_size(), 0);
+  for (int s = 0; s < idx.num_shards(); ++s) {
+    for (int local = 0; local < idx.shard_size(s); ++local) {
+      const int gid = idx.global_id(s, local);
+      ASSERT_GE(gid, 0);
+      ASSERT_LT(gid, idx.db_size());
+      EXPECT_FALSE(seen[gid]);
+      seen[gid] = 1;
+      EXPECT_EQ(idx.shard_of(gid), s);
+    }
   }
 }
 
@@ -164,8 +172,11 @@ TEST(ShardedIndexIoTest, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded.value().db_size(), sharded.value().db_size());
   EXPECT_EQ(loaded.value().num_classes(), sharded.value().num_classes());
   for (int s = 0; s < sharded.value().num_shards(); ++s) {
-    EXPECT_EQ(loaded.value().shard_offset(s), sharded.value().shard_offset(s));
     EXPECT_EQ(loaded.value().shard_size(s), sharded.value().shard_size(s));
+    for (int local = 0; local < sharded.value().shard_size(s); ++local) {
+      EXPECT_EQ(loaded.value().global_id(s, local),
+                sharded.value().global_id(s, local));
+    }
   }
 
   PisOptions options;
@@ -181,6 +192,49 @@ TEST(ShardedIndexIoTest, SaveLoadRoundTrip) {
     pis::testing::ExpectSameCounters(a.value().stats, b.value().stats);
   }
   std::filesystem::remove_all(dir);
+}
+
+// Satellite: the per-shard counters of a sharded SearchBatch must aggregate
+// exactly to the unsharded engine's counts on identical inputs — counter
+// drift would silently invalidate every figure the bench harness produces.
+// range_queries is the one documented exception: each fragment costs one
+// physical query per shard.
+TEST(ShardedStatsTest, BatchCountersAggregateExactly) {
+  const int kShards = 4;
+  EngineFixture fx(30, 21);
+  ASSERT_TRUE(fx.index.ok());
+  auto sharded = BuildSharded(fx, kShards, 2);
+  ASSERT_TRUE(sharded.ok());
+  PisOptions options;
+  options.sigma = 2.0;
+  PisEngine unsharded(&fx.db, &fx.index.value(), options);
+  ShardedPisEngine engine(&fx.db, &sharded.value(), options);
+
+  std::vector<Graph> queries = SampleQueries(fx.db, 8, 8, 63);
+  BatchSearchResult want = unsharded.SearchBatch(queries, 3);
+  BatchSearchResult got = engine.SearchBatch(queries, 3);
+  ASSERT_EQ(want.failed, 0u);
+  ASSERT_EQ(got.failed, 0u);
+
+  const QueryStats& a = want.total_stats;
+  const QueryStats& b = got.total_stats;
+  EXPECT_EQ(a.fragments_enumerated, b.fragments_enumerated);
+  EXPECT_EQ(a.fragments_kept, b.fragments_kept);
+  EXPECT_EQ(a.partition_size, b.partition_size);
+  EXPECT_DOUBLE_EQ(a.partition_weight, b.partition_weight);
+  EXPECT_EQ(a.candidates_after_intersection, b.candidates_after_intersection);
+  EXPECT_EQ(a.candidates_final, b.candidates_final);
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_EQ(b.range_queries, a.range_queries * static_cast<size_t>(kShards));
+
+  // The batch totals are exactly the sum of the per-query stats — nothing
+  // counted twice, nothing dropped by the fan-out.
+  QueryStats summed;
+  for (const auto& r : got.results) {
+    ASSERT_TRUE(r.ok());
+    summed.Accumulate(r.value().stats);
+  }
+  pis::testing::ExpectSameCounters(summed, b);
 }
 
 TEST(ShardedIndexIoTest, LoadRejectsMissingManifest) {

@@ -10,10 +10,17 @@
 //                     [--sigma S] [--engine pis|topo|naive]
 //                     [--batch] [--threads N]
 //   pis_cli topk      --db db.txt --index index.bin --query query.txt [--k K]
+//   pis_cli add       --db db.txt --index index.bin --graphs new.txt
+//   pis_cli remove    --index index.bin --ids 3,17,42
 //
 // With --shards > 1, build writes a sharded index directory (manifest plus
-// one file per shard) instead of a single file; stats and query detect the
-// directory and use the sharded engine transparently.
+// one file per shard) instead of a single file; stats, query, add, and
+// remove detect the directory and use the sharded index transparently.
+//
+// `add` indexes every graph in --graphs incrementally (no rebuild), appends
+// them to the --db file so ids stay aligned, and saves the index in place.
+// `remove` tombstones the given ids in the index (the db file keeps its
+// records; removed ids simply stop matching queries).
 //
 // Graph files use the native text format (see src/graph/io.h); the query
 // file holds a single record, or any number of records with --batch.
@@ -21,11 +28,13 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 
 #include "core/topk.h"
 #include "pis.h"
 #include "util/flags.h"
+#include "util/string_util.h"
 
 using namespace pis;
 
@@ -37,9 +46,10 @@ int Fail(const Status& status) {
 }
 
 int FailUsage() {
-  std::fprintf(stderr,
-               "usage: pis_cli <generate|convert|build|stats|query|topk> "
-               "[flags]\nRun a subcommand with --help for its flags.\n");
+  std::fprintf(
+      stderr,
+      "usage: pis_cli <generate|convert|build|stats|query|topk|add|remove> "
+      "[flags]\nRun a subcommand with --help for its flags.\n");
   return 2;
 }
 
@@ -189,12 +199,13 @@ int CmdStats(int argc, char** argv) {
     auto sharded = ShardedFragmentIndex::LoadDir(index_path);
     if (!sharded.ok()) return Fail(sharded.status());
     const ShardedFragmentIndex& idx = sharded.value();
-    std::printf("sharded index over a %d-graph database\n", idx.db_size());
+    std::printf("sharded index over a %d-graph database (%d live)\n",
+                idx.db_size(), idx.num_live());
     std::printf("shards: %d, classes: %d\n", idx.num_shards(),
                 idx.num_classes());
     for (int s = 0; s < idx.num_shards(); ++s) {
-      std::printf("  shard %d: graphs [%d, %d), %zu fragment occurrences\n", s,
-                  idx.shard_offset(s), idx.shard_offset(s) + idx.shard_size(s),
+      std::printf("  shard %d: %d graphs (%d live), %zu fragment occurrences\n",
+                  s, idx.shard_size(s), idx.shard(s).num_live(),
                   idx.shard(s).stats().num_fragment_occurrences);
     }
     return 0;
@@ -202,7 +213,8 @@ int CmdStats(int argc, char** argv) {
   auto index = FragmentIndex::LoadFile(index_path);
   if (!index.ok()) return Fail(index.status());
   const FragmentIndex& idx = index.value();
-  std::printf("index over a %d-graph database\n", idx.db_size());
+  std::printf("index over a %d-graph database (%d live)\n", idx.db_size(),
+              idx.num_live());
   std::printf("distance: %s\n",
               idx.options().spec.type == DistanceType::kMutation ? "mutation"
                                                                  : "linear");
@@ -391,6 +403,119 @@ int CmdTopK(int argc, char** argv) {
   return 0;
 }
 
+int CmdAdd(int argc, char** argv) {
+  std::string db_path;
+  std::string index_path;
+  std::string graphs_path;
+  FlagSet flags;
+  flags.AddString("db", &db_path, "database path (rewritten with appends)");
+  flags.AddString("index", &index_path, "index path (file or sharded dir)");
+  flags.AddString("graphs", &graphs_path, "graphs to add (native text format)");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  if (graphs_path.empty()) {
+    return Fail(Status::InvalidArgument("--graphs is required"));
+  }
+  auto db = LoadDb(db_path);
+  if (!db.ok()) return Fail(db.status());
+  auto fresh = ReadGraphDatabaseFile(graphs_path);
+  if (!fresh.ok()) return Fail(fresh.status());
+
+  const bool sharded = std::filesystem::is_directory(index_path);
+  Result<FragmentIndex> index = Status::Internal("index not loaded");
+  Result<ShardedFragmentIndex> sharded_index =
+      Status::Internal("index not loaded");
+  int before = 0;
+  if (sharded) {
+    sharded_index = ShardedFragmentIndex::LoadDir(index_path);
+    if (!sharded_index.ok()) return Fail(sharded_index.status());
+    before = sharded_index.value().db_size();
+  } else {
+    index = FragmentIndex::LoadFile(index_path);
+    if (!index.ok()) return Fail(index.status());
+    before = index.value().db_size();
+  }
+  if (before != db.value().size()) {
+    return Fail(Status::InvalidArgument(
+        "index covers " + std::to_string(before) + " graphs but --db holds " +
+        std::to_string(db.value().size())));
+  }
+  for (const Graph& g : fresh.value().graphs()) {
+    Result<int> gid = sharded ? sharded_index.value().AddGraph(g)
+                              : index.value().AddGraph(g);
+    if (!gid.ok()) return Fail(gid.status());
+    db.value().Add(g);
+    std::printf("added graph %d\n", gid.value());
+  }
+  Status saved = sharded ? sharded_index.value().SaveDir(index_path)
+                         : index.value().SaveFile(index_path);
+  if (!saved.ok()) return Fail(saved);
+  Status written = WriteGraphDatabaseFile(db.value(), db_path);
+  if (!written.ok()) return Fail(written);
+  std::printf("indexed %d graphs incrementally (database now %d)\n",
+              fresh.value().size(), db.value().size());
+  return 0;
+}
+
+int CmdRemove(int argc, char** argv) {
+  std::string index_path;
+  std::string ids;
+  FlagSet flags;
+  flags.AddString("index", &index_path, "index path (file or sharded dir)");
+  flags.AddString("ids", &ids, "comma-separated graph ids to remove");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  if (ids.empty()) return Fail(Status::InvalidArgument("--ids is required"));
+  std::vector<int> parsed;
+  for (const std::string& token : Split(ids, ',')) {
+    try {
+      size_t used = 0;
+      int id = std::stoi(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+      parsed.push_back(id);
+    } catch (...) {
+      return Fail(Status::InvalidArgument("bad graph id '" + token +
+                                          "' in --ids"));
+    }
+  }
+
+  const bool sharded = std::filesystem::is_directory(index_path);
+  Result<FragmentIndex> index = Status::Internal("index not loaded");
+  Result<ShardedFragmentIndex> sharded_index =
+      Status::Internal("index not loaded");
+  if (sharded) {
+    sharded_index = ShardedFragmentIndex::LoadDir(index_path);
+    if (!sharded_index.ok()) return Fail(sharded_index.status());
+  } else {
+    index = FragmentIndex::LoadFile(index_path);
+    if (!index.ok()) return Fail(index.status());
+  }
+  int removed = 0;
+  for (int id : parsed) {
+    Status status = sharded ? sharded_index.value().RemoveGraph(id)
+                            : index.value().RemoveGraph(id);
+    if (!status.ok()) {
+      std::fprintf(stderr, "skip %d: %s\n", id, status.ToString().c_str());
+      continue;
+    }
+    ++removed;
+    std::printf("removed graph %d\n", id);
+  }
+  if (removed > 0) {
+    // Nothing changed when every id was skipped; don't rewrite the index.
+    Status saved = sharded ? sharded_index.value().SaveDir(index_path)
+                           : index.value().SaveFile(index_path);
+    if (!saved.ok()) return Fail(saved);
+  }
+  const int live = sharded ? sharded_index.value().num_live()
+                           : index.value().num_live();
+  std::printf("removed %d of %zu ids (%d live graphs remain)\n", removed,
+              parsed.size(), live);
+  return removed == static_cast<int>(parsed.size()) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -405,5 +530,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(sub_argc, sub_argv);
   if (cmd == "query") return CmdQuery(sub_argc, sub_argv);
   if (cmd == "topk") return CmdTopK(sub_argc, sub_argv);
+  if (cmd == "add") return CmdAdd(sub_argc, sub_argv);
+  if (cmd == "remove") return CmdRemove(sub_argc, sub_argv);
   return FailUsage();
 }
