@@ -2,16 +2,25 @@
 // query latency before and after N interleaved updates against a sharded
 // index, compared with the cost of rebuilding from scratch at the final
 // state. The interesting ratio is (N * amortized add) vs (one rebuild): as
-// long as it stays well below 1 the incremental path wins for live traffic;
-// query latency after updates quantifies the tombstone overhead a periodic
-// compaction rebuild would reclaim.
+// long as it stays well below 1 the incremental path wins for live traffic.
+// A second phase then removes graphs down to --live_fraction of the slots
+// and compares the tombstoned index against CompactShard-ing it in place
+// and against a full rebuild: on-disk bytes, compaction cost, query
+// latency, and mean final candidate counts — compaction must reclaim the
+// space at a fraction of the rebuild's cost without regressing candidates.
+#include <unistd.h>
+
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/sharded_pis.h"
 #include "index/sharded_index.h"
+#include "util/fs_util.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -20,18 +29,30 @@ using namespace pis::bench;
 
 namespace {
 
-// Mean per-query Search latency (seconds) over the query set.
-double MeanQuerySeconds(const ShardedPisEngine& engine,
-                        const std::vector<Graph>& queries) {
+struct QueryCost {
+  double mean_seconds = 0;
+  double mean_candidates = 0;
+};
+
+// Mean per-query Search latency and final candidate count over the set.
+QueryCost MeasureQueries(const ShardedPisEngine& engine,
+                         const std::vector<Graph>& queries) {
+  QueryCost cost;
+  size_t candidates = 0;
   Timer timer;
   for (const Graph& q : queries) {
     auto result = engine.Search(q);
     if (!result.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    result.status().ToString().c_str());
+      continue;
     }
+    candidates += result.value().stats.candidates_final;
   }
-  return timer.Seconds() / static_cast<double>(queries.size());
+  cost.mean_seconds = timer.Seconds() / static_cast<double>(queries.size());
+  cost.mean_candidates =
+      static_cast<double>(candidates) / static_cast<double>(queries.size());
+  return cost;
 }
 
 }  // namespace
@@ -42,12 +63,16 @@ int main(int argc, char** argv) {
   int updates = 200;
   int shards = 4;
   double sigma = 2.0;
+  double live_fraction = 0.5;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
   flags.AddInt("updates", &updates, "interleaved add/remove operations");
   flags.AddInt("shards", &shards, "shard count of the mutated index");
   flags.AddDouble("sigma", &sigma, "max superimposed distance");
+  flags.AddDouble("live_fraction", &live_fraction,
+                  "remove down to this live/slots ratio before measuring "
+                  "compaction (phase 2)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
   if (!st.ok()) {
@@ -95,7 +120,7 @@ int main(int argc, char** argv) {
   PisOptions options;
   options.sigma = sigma;
   ShardedPisEngine engine(&db, &index.value(), options);
-  const double latency_before = MeanQuerySeconds(engine, queries);
+  const QueryCost cost_before = MeasureQueries(engine, queries);
 
   // Interleave adds (from the pool tail) and removes (random live id).
   Rng rng(config.db_seed + 1);
@@ -135,48 +160,122 @@ int main(int argc, char** argv) {
       ++removes;
     }
   }
-  const double latency_after = MeanQuerySeconds(engine, queries);
+  const QueryCost cost_after = MeasureQueries(engine, queries);
 
-  // Full rebuild at the final state: compact the live graphs and build a
+  // Phase 2: drain the database down to --live_fraction of its id slots so
+  // dead postings dominate, then weigh the three ways out of the debt:
+  // keep serving tombstoned, CompactShard in place, or rebuild from
+  // scratch.
+  Rng drain_rng(config.db_seed + 2);
+  while (live_ids.size() >
+         static_cast<size_t>(live_fraction * index.value().db_size()) &&
+         live_ids.size() > 1) {
+    const size_t slot = drain_rng.UniformIndex(live_ids.size());
+    Timer timer;
+    Status removed = index.value().RemoveGraph(live_ids[slot]);
+    remove_seconds += timer.Seconds();
+    if (!removed.ok()) {
+      std::fprintf(stderr, "%s\n", removed.ToString().c_str());
+      return 1;
+    }
+    live_ids[slot] = live_ids.back();
+    live_ids.pop_back();
+    ++removes;
+  }
+  const int slots = index.value().db_size();
+  const int live = index.value().num_live();
+
+  // PID-suffixed so concurrent runs (or stale dirs from other users on a
+  // shared machine) can't clobber each other's size measurements.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("pis_bench_update_idx." + std::to_string(getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  if (!index.value().SaveDir(dir).ok()) {
+    std::fprintf(stderr, "SaveDir failed\n");
+    return 1;
+  }
+  const uintmax_t bytes_tombstoned = DirectoryBytes(dir);
+  const QueryCost cost_tombstoned = MeasureQueries(engine, queries);
+
+  Timer compact_timer;
+  auto compacted_shards = index.value().Compact();
+  const double compact_seconds = compact_timer.Seconds();
+  if (!compacted_shards.ok()) {
+    std::fprintf(stderr, "%s\n", compacted_shards.status().ToString().c_str());
+    return 1;
+  }
+  if (!index.value().SaveDir(dir).ok()) {
+    std::fprintf(stderr, "SaveDir failed\n");
+    return 1;
+  }
+  const uintmax_t bytes_compacted = DirectoryBytes(dir);
+  const QueryCost cost_compacted = MeasureQueries(engine, queries);
+  std::filesystem::remove_all(dir);
+
+  // Full rebuild at the final state: densify the live graphs and build a
   // fresh sharded index — what a non-incremental system pays per batch of
-  // updates (and what a periodic compaction costs here).
-  GraphDatabase compacted;
+  // updates.
+  GraphDatabase densified;
   {
     std::vector<int> sorted = live_ids;
     std::sort(sorted.begin(), sorted.end());
-    for (int gid : sorted) compacted.Add(db.at(gid));
+    for (int gid : sorted) densified.Add(db.at(gid));
   }
-  auto rebuilt = ShardedFragmentIndex::Build(compacted, features.value(),
+  auto rebuilt = ShardedFragmentIndex::Build(densified, features.value(),
                                              index_options, shards);
   if (!rebuilt.ok()) {
     std::fprintf(stderr, "%s\n", rebuilt.status().ToString().c_str());
     return 1;
   }
-  ShardedPisEngine rebuilt_engine(&compacted, &rebuilt.value(), options);
-  const double latency_rebuilt = MeanQuerySeconds(rebuilt_engine, queries);
+  ShardedPisEngine rebuilt_engine(&densified, &rebuilt.value(), options);
+  const QueryCost cost_rebuilt = MeasureQueries(rebuilt_engine, queries);
 
   std::printf("bench_update: %d initial graphs, %d shards, %d queries/set\n",
               config.db_size, shards, static_cast<int>(queries.size()));
   std::printf("updates applied: %d adds, %d removes (%d live of %d slots)\n",
-              adds, removes, index.value().num_live(),
-              index.value().db_size());
+              adds, removes, live, slots);
   std::printf("\n%-38s %12s\n", "metric", "value");
   std::printf("%-38s %9.3f s\n", "initial sharded build", initial_build);
   std::printf("%-38s %9.3f ms\n", "amortized AddGraph",
               adds > 0 ? 1e3 * add_seconds / adds : 0.0);
   std::printf("%-38s %9.3f ms\n", "amortized RemoveGraph",
               removes > 0 ? 1e3 * remove_seconds / removes : 0.0);
+  std::printf("%-38s %9.3f s (%d shards)\n", "compaction at final state",
+              compact_seconds, compacted_shards.value());
   std::printf("%-38s %9.3f s\n", "full rebuild at final state",
               rebuilt.value().build_seconds());
   std::printf("%-38s %9.3f ms\n", "query latency before updates",
-              1e3 * latency_before);
+              1e3 * cost_before.mean_seconds);
   std::printf("%-38s %9.3f ms\n", "query latency after updates",
-              1e3 * latency_after);
+              1e3 * cost_after.mean_seconds);
+  std::printf("%-38s %9.3f ms\n", "query latency tombstoned (drained)",
+              1e3 * cost_tombstoned.mean_seconds);
+  std::printf("%-38s %9.3f ms\n", "query latency after compaction",
+              1e3 * cost_compacted.mean_seconds);
   std::printf("%-38s %9.3f ms\n", "query latency after rebuild",
-              1e3 * latency_rebuilt);
+              1e3 * cost_rebuilt.mean_seconds);
+  std::printf("%-38s %9" PRIuMAX " B\n", "index bytes tombstoned",
+              bytes_tombstoned);
+  std::printf("%-38s %9" PRIuMAX " B\n", "index bytes compacted",
+              bytes_compacted);
+  std::printf("%-38s %9.1f / %9.1f / %9.1f\n",
+              "mean candidates tomb/compact/rebuild",
+              cost_tombstoned.mean_candidates, cost_compacted.mean_candidates,
+              cost_rebuilt.mean_candidates);
   if (adds > 0 && rebuilt.value().build_seconds() > 0) {
     std::printf("%-38s %9.2fx\n", "adds per rebuild-equivalent cost",
                 rebuilt.value().build_seconds() / (add_seconds / adds));
   }
+  if (compact_seconds > 0) {
+    std::printf("%-38s %9.2fx\n", "rebuild cost per compaction cost",
+                rebuilt.value().build_seconds() / compact_seconds);
+  }
+  std::printf("%-38s %9.1f%%\n", "bytes reclaimed by compaction",
+              bytes_tombstoned > 0
+                  ? 100.0 * (1.0 - static_cast<double>(bytes_compacted) /
+                                       static_cast<double>(bytes_tombstoned))
+                  : 0.0);
   return 0;
 }

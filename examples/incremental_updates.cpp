@@ -2,7 +2,8 @@
 // "living database" workflow. Build an index over an initial compound
 // collection, persist it, append newly synthesized molecules with AddGraph
 // (no rebuild), retire withdrawn compounds with RemoveGraph (tombstones),
-// and answer top-k similarity queries throughout.
+// reclaim their postings with Compact (ids re-densify; the remap realigns
+// the database), and answer top-k similarity queries throughout.
 //
 //   ./build/examples/incremental_updates
 #include <cstdio>
@@ -71,8 +72,8 @@ int main() {
   std::printf("appended 50 molecules incrementally (db now %d)\n", db.size());
 
   // A few compounds get withdrawn: tombstone them. Their ids stay
-  // allocated (the db file keeps its records) but they vanish from every
-  // subsequent query; a periodic rebuild reclaims the posting space.
+  // allocated (the db keeps its records) but they vanish from every
+  // subsequent query.
   for (int gid : {3, 77, 140}) {
     Status removed = index.RemoveGraph(gid);
     if (!removed.ok()) {
@@ -80,8 +81,20 @@ int main() {
       return 1;
     }
   }
-  std::printf("retired 3 molecules (%d of %d live)\n", index.num_live(),
-              index.db_size());
+  std::printf("retired 3 molecules (%d of %d live, dead ratio %.3f)\n",
+              index.num_live(), index.db_size(), index.dead_ratio());
+
+  // Repay the deletion debt in place: Compact drops the dead postings and
+  // re-densifies ids; applying the remap to the database keeps the two
+  // aligned (sharded indexes skip this — their global ids never change).
+  const std::vector<int> remap = index.Compact();
+  GraphDatabase live_db;
+  for (int gid = 0; gid < static_cast<int>(remap.size()); ++gid) {
+    if (remap[gid] >= 0) live_db.Add(db.at(gid));
+  }
+  db = std::move(live_db);
+  std::printf("compacted: %d molecules, epoch %u, queries unchanged\n",
+              index.db_size(), index.compaction_epoch());
 
   // Similarity query over the updated collection: 10 nearest neighbours of
   // a scaffold sampled from one of the *new* molecules.
@@ -100,9 +113,11 @@ int main() {
   }
   std::printf("top-%d neighbours (σ expanded %d rounds to %.1f):\n", topk.k,
               nearest.value().rounds, nearest.value().final_sigma);
+  // The three retirements were all initial-collection ids, so after the
+  // compaction remap the appended molecules start at 250 - 3 = 247.
   for (const auto& [gid, d] : nearest.value().results) {
     std::printf("  molecule #%d at mutation distance %.0f%s\n", gid, d,
-                gid >= 250 ? "  (appended after the initial build)" : "");
+                gid >= 247 ? "  (appended after the initial build)" : "");
   }
   return 0;
 }

@@ -125,6 +125,80 @@ void EquivalenceClassIndex::Refinalize() {
   Finalize();
 }
 
+void EquivalenceClassIndex::Compact(const std::vector<int>& remap) {
+  PIS_CHECK(finalized_) << "compact before Finalize()";
+  auto remapped = [&remap](int gid) {
+    return gid >= 0 && gid < static_cast<int>(remap.size()) ? remap[gid] : -1;
+  };
+  // The remap is monotone over survivors, so the filtered list stays sorted.
+  std::vector<int> live_containing;
+  live_containing.reserve(containing_graphs_.size());
+  for (int gid : containing_graphs_) {
+    int mapped = remapped(gid);
+    if (mapped >= 0) live_containing.push_back(mapped);
+  }
+  containing_graphs_ = std::move(live_containing);
+
+  size_t surviving = 0;
+  switch (backend_) {
+    case ClassBackend::kTrie: {
+      // Rebuild from the surviving sequences: leaves whose postings all
+      // died drop out entirely, along with their now-unreachable interior
+      // nodes.
+      auto fresh = std::make_unique<LabelTrie>(trie_->sequence_length());
+      std::vector<int> list;
+      trie_->ForEachSequence(
+          [&](const std::vector<Label>& seq, const std::vector<int>& postings) {
+            list.clear();
+            for (int gid : postings) {
+              int mapped = remapped(gid);
+              if (mapped >= 0) list.push_back(mapped);
+            }
+            for (int gid : list) fresh->Insert(seq, gid);
+            surviving += list.size();
+          });
+      fresh->Finalize();
+      trie_ = std::move(fresh);
+      break;
+    }
+    case ClassBackend::kRTree: {
+      auto fresh = std::make_unique<RTree>(rtree_->dimensions(),
+                                           rtree_->max_entries());
+      rtree_->ForEachPoint([&](const std::vector<double>& point, int payload) {
+        int mapped = remapped(payload);
+        if (mapped < 0) return;
+        fresh->Insert(point, mapped);
+        ++surviving;
+      });
+      rtree_ = std::move(fresh);
+      break;
+    }
+    case ClassBackend::kVpTree: {
+      size_t keep = 0;
+      for (size_t i = 0; i < vp_graph_ids_.size(); ++i) {
+        int mapped = remapped(vp_graph_ids_[i]);
+        if (mapped < 0) continue;
+        if (keep != i) {  // self-move-assign would empty the buffers
+          vp_labels_[keep] = std::move(vp_labels_[i]);
+          vp_weights_[keep] = std::move(vp_weights_[i]);
+        }
+        vp_graph_ids_[keep] = mapped;
+        ++keep;
+      }
+      vp_labels_.resize(keep);
+      vp_weights_.resize(keep);
+      vp_graph_ids_.resize(keep);
+      vp_labels_.shrink_to_fit();
+      vp_weights_.shrink_to_fit();
+      vp_graph_ids_.shrink_to_fit();
+      surviving = keep;
+      Refinalize();
+      break;
+    }
+  }
+  num_fragments_ = surviving;
+}
+
 Status EquivalenceClassIndex::Serialize(BinaryWriter* writer) const {
   if (!finalized_) return Status::Internal("serialize before Finalize()");
   writer->Str(key_);

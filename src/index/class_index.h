@@ -62,6 +62,15 @@ class EquivalenceClassIndex {
   /// re-sorts postings and rebuilds lazily-constructed backends.
   void Refinalize();
 
+  /// Rewrites the backend keeping only postings whose graph id survives
+  /// `remap` (remap[old_id] is the new id, or -1 for a dropped graph; it
+  /// must be strictly increasing over the survivors so sorted posting lists
+  /// stay sorted). Dead sequences/points and their index structure are
+  /// discarded — this is where tombstone compaction reclaims memory. After
+  /// the call, num_fragments() counts the surviving (deduplicated)
+  /// postings. Requires Finalize(); the class stays finalized.
+  void Compact(const std::vector<int>& remap);
+
   /// Range query (Algorithm 2 line 9): every graph owning a fragment in
   /// this class within `sigma` of the query fragment, with the per-graph
   /// minimum distance. Must be called after Finalize().

@@ -217,6 +217,33 @@ Status FragmentIndex::RemoveGraph(int gid) {
   return Status::OK();
 }
 
+std::vector<int> FragmentIndex::Compact() {
+  std::vector<int> remap(db_size_);
+  if (tombstones_.empty()) {
+    // Strict no-op: identity remap, no epoch bump, so Save() stays
+    // byte-identical (the zero-tombstone contract the tests pin down).
+    for (int gid = 0; gid < db_size_; ++gid) remap[gid] = gid;
+    return remap;
+  }
+  int next = 0;
+  for (int gid = 0; gid < db_size_; ++gid) {
+    remap[gid] = tombstones_.count(gid) > 0 ? -1 : next++;
+  }
+  size_t sequences = 0;
+  for (auto& cls : classes_) {
+    cls->Compact(remap);
+    sequences += cls->num_fragments();
+  }
+  db_size_ = next;
+  tombstones_.clear();
+  ++compaction_epoch_;
+  // Build-scan counters (subsets enumerated, occurrences) are history of
+  // scans that included the dead graphs; the sequence count is the one
+  // statistic the rewrite re-derives exactly.
+  stats_.num_sequences_inserted = sequences;
+  return remap;
+}
+
 Result<PreparedFragment> FragmentIndex::Prepare(const Graph& fragment) const {
   CanonicalOptions opts;
   opts.use_labels = false;
@@ -262,8 +289,12 @@ Status FragmentIndex::RangeQuery(const Graph& fragment, double sigma,
 namespace {
 constexpr uint32_t kIndexMagic = 0x50495358;  // "PISX"
 // v1: static index. v2 appends the tombstone list (incremental RemoveGraph)
-// as a trailing section; v1 files load as tombstone-free.
-constexpr uint32_t kIndexVersion = 2;
+// as a trailing section; v1 files load as tombstone-free. v3 appends the
+// compaction epoch plus the live count (cross-checked against db_size minus
+// tombstones on load); v2 files load with epoch 0. Each version is a strict
+// prefix of the next so old fixtures stay constructible from a current
+// Save().
+constexpr uint32_t kIndexVersion = 3;
 
 void SerializeSpec(const DistanceSpec& spec, BinaryWriter* writer) {
   writer->U8(static_cast<uint8_t>(spec.type));
@@ -311,11 +342,15 @@ Status FragmentIndex::Save(std::ostream& out) const {
   for (const auto& cls : classes_) {
     PIS_RETURN_NOT_OK(cls->Serialize(&writer));
   }
-  // v2 trailing section: sorted tombstone ids. Kept last so a v1 file is
-  // exactly a v2 file without it (the compat fixture relies on this).
+  // v2 trailing section: sorted tombstone ids. v3 trailing section:
+  // compaction epoch + live count. Each kept last so an older file is
+  // exactly a newer file without its tail (the compat fixtures rely on
+  // this).
   std::vector<int> dead(tombstones_.begin(), tombstones_.end());
   std::sort(dead.begin(), dead.end());
   writer.VecInt(dead);
+  writer.U32(compaction_epoch_);
+  writer.I32(num_live());
   if (!writer.ok()) return Status::IOError("index write failed");
   return Status::OK();
 }
@@ -378,6 +413,17 @@ Result<FragmentIndex> FragmentIndex::Load(std::istream& in) {
           !index.tombstones_.insert(gid).second) {
         return Status::ParseError("bad tombstone id in index file");
       }
+    }
+  }
+  if (version >= 3) {
+    index.compaction_epoch_ = reader.U32();
+    int32_t live = reader.I32();
+    PIS_RETURN_NOT_OK(reader.Check("index compaction trailer"));
+    if (live != index.num_live()) {
+      return Status::ParseError(
+          "index live count " + std::to_string(live) +
+          " disagrees with db_size minus tombstones (" +
+          std::to_string(index.num_live()) + ")");
     }
   }
   return index;

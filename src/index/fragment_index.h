@@ -111,8 +111,30 @@ class FragmentIndex {
     return db_size_ - static_cast<int>(tombstones_.size());
   }
   /// Removed graph ids (never reused). Postings of these ids still occupy
-  /// backend memory until a full rebuild compacts them.
+  /// backend memory until Compact() (or a full rebuild) reclaims them.
   const std::unordered_set<int>& tombstones() const { return tombstones_; }
+  /// Fraction of id slots that are tombstoned — the operator signal for
+  /// when to Compact(). 0 for an empty index.
+  double dead_ratio() const {
+    return db_size_ == 0 ? 0.0
+                         : static_cast<double>(tombstones_.size()) / db_size_;
+  }
+
+  /// Tombstone compaction: rewrites every class backend in place, dropping
+  /// the postings of removed graphs and re-densifying the surviving ids to
+  /// 0..num_live()-1 in their original order. Afterwards the index is
+  /// byte-for-byte equivalent in query behaviour to one rebuilt from
+  /// scratch over the live graphs (the class catalog — fixed at Build — is
+  /// kept even for classes that became empty, so a sharded catalog stays
+  /// identical across shards). Returns the id remap: remap[old_id] is the
+  /// new id, or -1 for a removed graph — callers re-densify their aligned
+  /// GraphDatabase with it. With zero tombstones this is a strict no-op
+  /// (identity remap, no epoch bump, byte-identical Save).
+  std::vector<int> Compact();
+
+  /// Number of Compact() rewrites this index has absorbed (persisted by
+  /// format v3; informational).
+  uint32_t compaction_epoch() const { return compaction_epoch_; }
 
   /// Binary persistence: write the full index (options, spec, classes) so a
   /// later process can Load() and serve queries without rebuilding.
@@ -173,6 +195,8 @@ class FragmentIndex {
   std::unordered_set<uint64_t> signatures_;
   /// Removed graph ids (format v2 persists these).
   std::unordered_set<int> tombstones_;
+  /// Count of Compact() rewrites (format v3 persists this).
+  uint32_t compaction_epoch_ = 0;
   FragmentIndexStats stats_;
 };
 

@@ -256,6 +256,12 @@ void RTree::RangeQueryL1(const std::vector<double>& center, double radius,
 
 int RTree::Height() const { return height_; }
 
+void RTree::ForEachPoint(
+    const std::function<void(const std::vector<double>& point, int payload)>&
+        visitor) const {
+  for (size_t i = 0; i < points_.size(); ++i) visitor(points_[i], payloads_[i]);
+}
+
 void RTree::Serialize(BinaryWriter* writer) const {
   writer->I32(dims_);
   writer->I32(max_entries_);

@@ -35,6 +35,13 @@ class RTree {
 
   size_t size() const { return num_points_; }
   int dimensions() const { return dims_; }
+  int max_entries() const { return max_entries_; }
+  /// Visits every stored point with its payload, in insertion order. Used
+  /// by compaction to rebuild a tree without the dead points (same
+  /// re-insertion scheme as Deserialize, so the result is deterministic).
+  void ForEachPoint(
+      const std::function<void(const std::vector<double>& point, int payload)>&
+          visitor) const;
   /// Tree height (1 = root is a leaf); 0 when empty.
   int Height() const;
 

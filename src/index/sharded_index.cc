@@ -18,8 +18,12 @@ namespace {
 constexpr uint32_t kManifestMagic = 0x5049534D;  // "PISM"
 // v1: contiguous per-shard id ranges (offsets vector). v2: explicit
 // per-graph routing table, required once incremental AddGraph breaks
-// contiguity. v1 manifests still load (routing derived from the ranges).
-constexpr uint32_t kManifestVersion = 2;
+// contiguity. v3: compaction epoch, routing that admits -1 (removed and
+// compacted away), explicit per-graph local ids (Rebalance breaks the
+// "locals ascend with globals" derivation v2 relied on), and per-shard
+// live counts cross-checked against the shard files. v1/v2 manifests still
+// load.
+constexpr uint32_t kManifestVersion = 3;
 constexpr char kManifestName[] = "MANIFEST";
 
 std::string ShardFileName(int s) {
@@ -43,6 +47,36 @@ void ShardedFragmentIndex::DeriveRouting() {
     local_of_[gid] = static_cast<int>(globals_[s].size());
     globals_[s].push_back(gid);
   }
+}
+
+Status ShardedFragmentIndex::DeriveGlobalsFromLocals() {
+  globals_.assign(shards_.size(), {});
+  std::vector<int> resident(shards_.size(), 0);
+  for (int gid = 0; gid < db_size(); ++gid) {
+    if (shard_of_[gid] >= 0) ++resident[shard_of_[gid]];
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    globals_[s].assign(resident[s], -1);
+  }
+  for (int gid = 0; gid < db_size(); ++gid) {
+    const int s = shard_of_[gid];
+    const int local = local_of_[gid];
+    if (s < 0) {
+      if (local != -1) {
+        return Status::InvalidArgument(
+            "manifest gives compacted-away graph " + std::to_string(gid) +
+            " a local id");
+      }
+      continue;
+    }
+    if (local < 0 || local >= resident[s] || globals_[s][local] != -1) {
+      return Status::InvalidArgument(
+          "manifest local ids of shard " + std::to_string(s) +
+          " are not a permutation of its residents");
+    }
+    globals_[s][local] = gid;
+  }
+  return Status::OK();
 }
 
 Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
@@ -129,10 +163,128 @@ Status ShardedFragmentIndex::RemoveGraph(int gid) {
     return Status::NotFound("graph id " + std::to_string(gid) +
                             " is outside the sharded database");
   }
-  // The shard rejects a double remove, keeping the global set in lockstep.
-  PIS_RETURN_NOT_OK(shards_[shard_of_[gid]].RemoveGraph(local_of_[gid]));
+  // Compacted-away ids are no longer resident in any shard, so the shard
+  // can't reject the double remove for us.
+  if (tombstones_.count(gid) > 0) {
+    return Status::NotFound("graph id " + std::to_string(gid) +
+                            " was already removed");
+  }
+  const int s = shard_of_[gid];
+  PIS_RETURN_NOT_OK(shards_[s].RemoveGraph(local_of_[gid]));
   tombstones_.insert(gid);
+  if (compact_dead_ratio_ > 0 &&
+      shards_[s].dead_ratio() >= compact_dead_ratio_) {
+    return CompactShard(s);
+  }
   return Status::OK();
+}
+
+Status ShardedFragmentIndex::CompactShard(int s) {
+  if (s < 0 || s >= num_shards()) {
+    return Status::InvalidArgument("shard " + std::to_string(s) +
+                                   " out of range");
+  }
+  if (shards_[s].tombstones().empty()) return Status::OK();
+  const std::vector<int> remap = shards_[s].Compact();
+  // The remap is monotone over survivors, so rebuilding globals_[s] in old
+  // local order lands every surviving gid at exactly its new local id.
+  std::vector<int> survivors;
+  survivors.reserve(shards_[s].db_size());
+  for (size_t local = 0; local < remap.size(); ++local) {
+    const int gid = globals_[s][local];
+    if (gid < 0) {
+      // Mid-rebalance hole: the graph migrated out, its routing already
+      // points at the recipient shard. The slot just disappears here.
+      PIS_DCHECK(remap[local] < 0);
+      continue;
+    }
+    if (remap[local] >= 0) {
+      local_of_[gid] = remap[local];
+      survivors.push_back(gid);
+    } else {
+      // The global tombstone set keeps the id dead forever; only its
+      // residency (and postings) are reclaimed.
+      shard_of_[gid] = -1;
+      local_of_[gid] = -1;
+    }
+  }
+  globals_[s] = std::move(survivors);
+  ++compaction_epoch_;
+  return Status::OK();
+}
+
+Result<int> ShardedFragmentIndex::Compact(double min_dead_ratio) {
+  int compacted = 0;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (shards_[s].tombstones().empty()) continue;
+    if (shards_[s].dead_ratio() < min_dead_ratio) continue;
+    PIS_RETURN_NOT_OK(CompactShard(s));
+    ++compacted;
+  }
+  return compacted;
+}
+
+Result<int> ShardedFragmentIndex::Rebalance(const GraphDatabase& db) {
+  if (db.size() != db_size()) {
+    return Status::InvalidArgument(
+        "rebalance database holds " + std::to_string(db.size()) +
+        " graphs but the index spans " + std::to_string(db_size()) +
+        " id slots");
+  }
+  auto extreme_shards = [this](int* fullest, int* emptiest) {
+    *fullest = 0;
+    *emptiest = 0;
+    for (int s = 1; s < num_shards(); ++s) {
+      if (shards_[s].num_live() > shards_[*fullest].num_live()) *fullest = s;
+      if (shards_[s].num_live() < shards_[*emptiest].num_live()) *emptiest = s;
+    }
+  };
+  std::vector<char> donor(num_shards(), 0);
+  int migrated = 0;
+  Status failed = Status::OK();
+  while (failed.ok()) {
+    int src, dst;
+    extreme_shards(&src, &dst);
+    if (shards_[src].num_live() - shards_[dst].num_live() <= 1) break;
+    // Migrate the donor's most recently indexed live graph: its postings
+    // sit at the tail of the shard, and the choice is deterministic.
+    int gid = -1;
+    for (int local = static_cast<int>(globals_[src].size()) - 1; local >= 0;
+         --local) {
+      if (shards_[src].IsLive(local)) {
+        gid = globals_[src][local];
+        break;
+      }
+    }
+    PIS_CHECK(gid >= 0) << "overloaded shard has no live graph";
+    Result<int> local = shards_[dst].AddGraph(db.at(gid));
+    if (!local.ok()) {
+      failed = local.status();
+      break;
+    }
+    PIS_DCHECK(local.value() == static_cast<int>(globals_[dst].size()));
+    // Per-shard tombstone only — the graph stays live globally; the donor
+    // compaction below drains it so per-shard tombstones remain a subset of
+    // the global (removed-forever) set. The donor's globals slot becomes a
+    // -1 hole so that compaction doesn't clobber the rewritten routing.
+    failed = shards_[src].RemoveGraph(local_of_[gid]);
+    if (!failed.ok()) break;
+    globals_[src][local_of_[gid]] = -1;
+    shard_of_[gid] = dst;
+    local_of_[gid] = local.value();
+    globals_[dst].push_back(gid);
+    donor[src] = 1;
+    ++migrated;
+  }
+  // Donor compaction runs even when a migration failed mid-way: completed
+  // migrations stay committed, and compacting the donors removes their
+  // globals holes and drains their migration tombstones — the invariants
+  // SaveDir/LoadDir rely on hold again, just at a partially levelled state.
+  for (int s = 0; s < num_shards(); ++s) {
+    if (donor[s]) PIS_RETURN_NOT_OK(CompactShard(s));
+  }
+  PIS_RETURN_NOT_OK(failed);
+  return migrated;
 }
 
 Status ShardedFragmentIndex::SaveDir(const std::string& dir) const {
@@ -150,7 +302,12 @@ Status ShardedFragmentIndex::SaveDir(const std::string& dir) const {
     writer.U32(kManifestMagic);
     writer.U32(kManifestVersion);
     writer.U32(static_cast<uint32_t>(num_shards()));
+    writer.U32(static_cast<uint32_t>(compaction_epoch_));
     writer.VecInt(shard_of_);
+    writer.VecInt(local_of_);
+    std::vector<int> live(num_shards());
+    for (int s = 0; s < num_shards(); ++s) live[s] = shards_[s].num_live();
+    writer.VecInt(live);
     if (!writer.ok()) return Status::IOError("manifest write failed");
   }
   for (int s = 0; s < num_shards(); ++s) {
@@ -184,6 +341,7 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
   }
   const uint32_t num_shards = reader.U32();
   ShardedFragmentIndex sharded;
+  std::vector<int> manifest_live;  // v3 only; cross-checked after loading
   if (version == 1) {
     // Contiguous ranges: offsets[s] .. offsets[s+1]) belongs to shard s.
     std::vector<int> offsets = reader.VecInt();
@@ -200,16 +358,39 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
       }
     }
   } else {
+    // v2 routing admits resident shards only; v3 also admits -1 (removed
+    // and compacted away) plus the trailing local-id and live-count
+    // sections.
+    const int min_shard = version >= 3 ? -1 : 0;
+    if (version >= 3) {
+      sharded.compaction_epoch_ = static_cast<int>(reader.U32());
+    }
     sharded.shard_of_ = reader.VecInt();
     PIS_RETURN_NOT_OK(reader.Check("shard manifest"));
     if (num_shards < 1) return Status::ParseError("corrupt shard manifest");
     for (size_t gid = 0; gid < sharded.shard_of_.size(); ++gid) {
-      if (sharded.shard_of_[gid] < 0 ||
+      if (sharded.shard_of_[gid] < min_shard ||
           sharded.shard_of_[gid] >= static_cast<int>(num_shards)) {
         return Status::InvalidArgument(
             "manifest routes graph " + std::to_string(gid) +
             " to nonexistent shard " +
             std::to_string(sharded.shard_of_[gid]));
+      }
+    }
+    if (version >= 3) {
+      sharded.local_of_ = reader.VecInt();
+      manifest_live = reader.VecInt();
+      // The routing parsed but the trailing v3 sections are short: the
+      // manifest structurally disagrees with what it declares rather than
+      // being unreadable garbage.
+      if (!reader.ok()) {
+        return Status::InvalidArgument("v3 manifest truncated mid-section");
+      }
+      if (sharded.local_of_.size() != sharded.shard_of_.size() ||
+          manifest_live.size() != num_shards) {
+        return Status::InvalidArgument(
+            "v3 manifest local-id/live-count sections disagree with its "
+            "routing table");
       }
     }
   }
@@ -235,7 +416,9 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
   // globals_ sizing needs shards_ populated; derive after loading, but
   // compute expected per-shard sizes first for the consistency check.
   std::vector<int> expected_size(num_shards, 0);
-  for (int s : sharded.shard_of_) ++expected_size[s];
+  for (int s : sharded.shard_of_) {
+    if (s >= 0) ++expected_size[s];
+  }
   for (uint32_t s = 0; s < num_shards; ++s) {
     PIS_ASSIGN_OR_RETURN(
         FragmentIndex shard,
@@ -247,6 +430,13 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
           std::to_string(shard.db_size()) + " graphs but the manifest routes " +
           std::to_string(expected_size[s]) + " to it");
     }
+    if (!manifest_live.empty() && shard.num_live() != manifest_live[s]) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " holds " +
+          std::to_string(shard.num_live()) +
+          " live graphs but the manifest recorded " +
+          std::to_string(manifest_live[s]));
+    }
     if (s > 0 &&
         shard.num_classes() != sharded.shards_.front().num_classes()) {
       return Status::InvalidArgument("shard " + std::to_string(s) +
@@ -254,9 +444,13 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
     }
     sharded.shards_.push_back(std::move(shard));
   }
-  sharded.DeriveRouting();
-  // Global tombstones mirror the per-shard sets (persisted inside the
-  // per-shard index files).
+  if (version >= 3) {
+    PIS_RETURN_NOT_OK(sharded.DeriveGlobalsFromLocals());
+  } else {
+    sharded.DeriveRouting();
+  }
+  // Global tombstones: the per-shard sets (persisted inside the per-shard
+  // index files) plus every compacted-away slot the routing marks -1.
   for (uint32_t s = 0; s < num_shards; ++s) {
     for (int local : sharded.shards_[s].tombstones()) {
       if (local < 0 || local >= sharded.shard_size(static_cast<int>(s))) {
@@ -265,6 +459,9 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
       }
       sharded.tombstones_.insert(sharded.global_id(static_cast<int>(s), local));
     }
+  }
+  for (int gid = 0; gid < sharded.db_size(); ++gid) {
+    if (sharded.shard_of_[gid] < 0) sharded.tombstones_.insert(gid);
   }
   sharded.options_ = sharded.shards_.front().options();
   return sharded;

@@ -8,7 +8,11 @@
 // Persistence writes a directory holding a binary manifest (shard count +
 // routing table) plus one index file per shard, so shards can later be
 // loaded (or, eventually, served) independently, and a mutated index
-// round-trips exactly.
+// round-trips exactly. Deletion debt is repaid locally: CompactShard
+// rewrites one shard without its tombstoned postings (global ids stay
+// stable; dead ids simply stop being resident anywhere) and Rebalance
+// migrates graphs off overloaded shards through the routing table, so the
+// index can serve a mutating workload indefinitely without a full rebuild.
 #ifndef PIS_INDEX_SHARDED_INDEX_H_
 #define PIS_INDEX_SHARDED_INDEX_H_
 
@@ -38,26 +42,35 @@ class ShardedFragmentIndex {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const FragmentIndex& shard(int s) const { return shards_[s]; }
-  /// Graph-id slots routed to shard `s`, including tombstoned ones.
+  /// Graph-id slots resident in shard `s`: live plus tombstoned-but-not-
+  /// yet-compacted (compaction evicts dead slots from the shard entirely).
   int shard_size(int s) const { return static_cast<int>(globals_[s].size()); }
-  /// Shard owning global graph id `gid`.
+  /// Shard owning global graph id `gid`, or -1 when the graph was removed
+  /// and its postings compacted away (it is resident nowhere).
   int shard_of(int gid) const;
   /// Global graph id of shard `s`'s local id `local` (the inverse of the
   /// routing: shard(s) emits local ids, queries report global ids).
   int global_id(int s, int local) const { return globals_[s][local]; }
 
-  /// Total graph-id slots ever assigned (monotone; tombstones included).
+  /// Total graph-id slots ever assigned (monotone; tombstoned and
+  /// compacted-away slots included — ids are never reused).
   int db_size() const { return static_cast<int>(shard_of_.size()); }
   /// Live graphs — Σ over shards of shard(s).num_live(); the selectivity
   /// denominator the engines use.
   int num_live() const {
     return db_size() - static_cast<int>(tombstones_.size());
   }
-  /// Removed global graph ids.
+  /// Every global graph id ever removed (monotone — compaction reclaims a
+  /// dead graph's postings but its id stays dead forever). The engines seed
+  /// their dead-slot sets from this, so it must cover compacted-away ids
+  /// too; the per-shard tombstones() sets shrink to empty on compaction.
   const std::unordered_set<int>& tombstones() const { return tombstones_; }
   bool IsLive(int gid) const {
     return gid >= 0 && gid < db_size() && tombstones_.count(gid) == 0;
   }
+  /// Dead fraction of shard `s`'s resident slots — the auto-compaction
+  /// trigger signal. 0 for an empty shard.
+  double shard_dead_ratio(int s) const { return shards_[s].dead_ratio(); }
 
   /// Incremental maintenance: routes the graph to the shard with the fewest
   /// live graphs (ties break toward the lowest shard id, so a fixed update
@@ -66,8 +79,41 @@ class ShardedFragmentIndex {
   /// append the same graph to its GraphDatabase to keep ids aligned.
   Result<int> AddGraph(const Graph& g);
   /// Tombstones global id `gid` in its owning shard. NotFound when out of
-  /// range or already removed.
+  /// range or already removed. When an auto-compaction threshold is set
+  /// (set_compact_dead_ratio) and the owning shard's dead ratio reaches it,
+  /// the shard is compacted before returning.
   Status RemoveGraph(int gid);
+
+  /// Compacts shard `s`: drops its tombstoned postings, re-densifies its
+  /// local ids, and evicts the dead slots from the routing table (their
+  /// shard_of becomes -1). Global ids — and therefore every engine-visible
+  /// query result — are unchanged. No-op when the shard has no tombstones.
+  Status CompactShard(int s);
+  /// Compacts every shard whose dead ratio is >= `min_dead_ratio` (with the
+  /// default 0, every shard holding any tombstone). Returns the number of
+  /// shards compacted.
+  Result<int> Compact(double min_dead_ratio = 0.0);
+
+  /// Auto-compaction policy: a threshold in (0, 1] makes RemoveGraph
+  /// compact the owning shard once its dead ratio reaches the threshold
+  /// (PisOptions::compact_dead_ratio is the conventional source of the
+  /// value). 0 — the default — disables the policy. Runtime-only, not
+  /// persisted (like FragmentIndexOptions::num_threads).
+  void set_compact_dead_ratio(double ratio) { compact_dead_ratio_ = ratio; }
+  double compact_dead_ratio() const { return compact_dead_ratio_; }
+
+  /// Rebalancing: while the live-count spread between the fullest and
+  /// emptiest shards exceeds one, migrates the most recently indexed live
+  /// graph of the fullest shard (lowest shard id on ties, so the plan is
+  /// deterministic) to the emptiest one — re-indexing it there from `db`,
+  /// which must be this index's id-aligned database — then compacts every
+  /// donor shard. Global ids never change; only the routing table does.
+  /// Returns the number of graphs migrated (0 when already balanced).
+  Result<int> Rebalance(const GraphDatabase& db);
+
+  /// Total CompactShard rewrites absorbed (manifest v3 persists this;
+  /// informational, e.g. surfaced by `pis_cli stats`).
+  int compaction_epoch() const { return compaction_epoch_; }
 
   /// Identical across shards (classes are feature-derived).
   int num_classes() const { return shards_.front().num_classes(); }
@@ -76,33 +122,45 @@ class ShardedFragmentIndex {
   /// per-shard builds; per-shard CPU times are in shard(s).stats()).
   double build_seconds() const { return build_seconds_; }
 
-  /// Persists a manifest (shard count, per-graph routing) plus one file per
-  /// shard under `dir`, creating the directory if needed. Tombstones travel
-  /// inside the per-shard files, so a mutated index round-trips.
+  /// Persists a manifest (shard count, compaction epoch, per-graph routing
+  /// and local ids, per-shard live counts) plus one file per shard under
+  /// `dir`, creating the directory if needed. Tombstones travel inside the
+  /// per-shard files, so a mutated index round-trips — including one that
+  /// was compacted or rebalanced.
   Status SaveDir(const std::string& dir) const;
-  /// Loads a directory written by SaveDir (current or v1 contiguous-range
-  /// manifests). Returns InvalidArgument when a structurally readable
-  /// manifest disagrees with the files on disk (missing/surplus shard
-  /// files, shard sizes or routing out of step), ParseError on garbage.
+  /// Loads a directory written by SaveDir (current, v2 routing-table, or v1
+  /// contiguous-range manifests). Returns InvalidArgument when a
+  /// structurally readable manifest disagrees with the files on disk
+  /// (missing/surplus shard files, shard sizes, routing, or live counts out
+  /// of step) or is truncated mid-section, ParseError on garbage.
   static Result<ShardedFragmentIndex> LoadDir(const std::string& dir);
 
  private:
   ShardedFragmentIndex() = default;
 
-  /// Rebuilds globals_/local_of_ from shard_of_ (routing is insertion-
-  /// ordered: local ids ascend with global ids within a shard).
+  /// Rebuilds globals_/local_of_ from shard_of_, assuming insertion-ordered
+  /// routing (local ids ascend with global ids within a shard). Valid for
+  /// freshly built indexes and v1/v2 manifests; rebalanced indexes violate
+  /// the assumption, which is why manifest v3 persists local_of_ verbatim.
   void DeriveRouting();
+  /// Rebuilds globals_ from shard_of_/local_of_ (any routing shape).
+  Status DeriveGlobalsFromLocals();
 
   FragmentIndexOptions options_;
   std::vector<FragmentIndex> shards_;
-  /// Global graph id -> owning shard.
+  /// Global graph id -> owning shard; -1 once the graph was removed and
+  /// compacted away (resident nowhere).
   std::vector<int> shard_of_;
-  /// Global graph id -> local id inside its shard's FragmentIndex.
+  /// Global graph id -> local id inside its shard's FragmentIndex; -1 for
+  /// compacted-away ids.
   std::vector<int> local_of_;
   /// Shard -> local id -> global graph id.
   std::vector<std::vector<int>> globals_;
-  /// Removed global ids (mirrors the per-shard tombstone sets).
+  /// Every removed global id ever (monotone superset of the per-shard
+  /// tombstone sets, which compaction drains).
   std::unordered_set<int> tombstones_;
+  double compact_dead_ratio_ = 0.0;
+  int compaction_epoch_ = 0;
   double build_seconds_ = 0;
 };
 

@@ -57,6 +57,34 @@ void LabelTrie::Finalize() {
   }
 }
 
+void LabelTrie::ForEachSequence(const SequenceVisitor& visitor) const {
+  // Iterative DFS mirroring RangeQuery. A subtree unwinds completely before
+  // the next sibling at the same depth starts, so writing the edge symbol
+  // into seq as each frame pops keeps seq[0..depth) equal to the current
+  // path; children are pushed in reverse for ascending symbol order.
+  struct Frame {
+    int32_t node;
+    int depth;
+    Label symbol;
+  };
+  std::vector<Label> seq(sequence_length_);
+  std::vector<Frame> stack = {{0, 0, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.depth > 0) seq[f.depth - 1] = f.symbol;
+    if (f.depth == sequence_length_) {
+      int32_t pid = nodes_[f.node].postings;
+      if (pid >= 0 && !postings_[pid].empty()) visitor(seq, postings_[pid]);
+      continue;
+    }
+    const auto& children = nodes_[f.node].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({it->second, f.depth + 1, it->first});
+    }
+  }
+}
+
 size_t LabelTrie::NumPostings() const {
   size_t total = 0;
   for (const auto& list : postings_) total += list.size();

@@ -57,6 +57,14 @@ class LabelTrie {
   size_t NumNodes() const { return nodes_.size(); }
   size_t NumPostings() const;
 
+  /// Visits every stored sequence with its posting list, in depth-first
+  /// symbol order. The references are only valid inside the callback. Used
+  /// by compaction to rebuild a trie without the dead postings.
+  using SequenceVisitor =
+      std::function<void(const std::vector<Label>& seq,
+                         const std::vector<int>& postings)>;
+  void ForEachSequence(const SequenceVisitor& visitor) const;
+
   /// Binary persistence: the structural node array and posting lists.
   void Serialize(BinaryWriter* writer) const;
   static Result<LabelTrie> Deserialize(BinaryReader* reader);

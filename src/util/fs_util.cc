@@ -1,0 +1,23 @@
+#include "util/fs_util.h"
+
+#include <filesystem>
+
+namespace pis {
+
+uintmax_t DirectoryBytes(const std::string& dir) {
+  uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+uintmax_t PathBytes(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) return DirectoryBytes(path);
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+}  // namespace pis

@@ -1,0 +1,21 @@
+// Filesystem size helpers shared by the CLI and the benches (e.g. for
+// reporting the on-disk bytes a compaction reclaimed).
+#ifndef PIS_UTIL_FS_UTIL_H_
+#define PIS_UTIL_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pis {
+
+/// Total bytes of the regular files directly inside `dir` (the layout
+/// SaveDir writes: a manifest plus per-shard files, no subdirectories).
+/// 0 when the directory is missing or unreadable.
+uintmax_t DirectoryBytes(const std::string& dir);
+
+/// DirectoryBytes for a directory, the file size otherwise; 0 on error.
+uintmax_t PathBytes(const std::string& path);
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_FS_UTIL_H_

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/naive_search.h"
 #include "core/pis.h"
@@ -243,6 +246,139 @@ TEST(UpdateEdgeCasesTest, RemovingEveryGraphYieldsEmptyResults) {
   auto nearest = TopKSearch(db, index.value(), query.value(), topk);
   ASSERT_TRUE(nearest.ok()) << nearest.status().ToString();
   EXPECT_TRUE(nearest.value().results.empty());
+}
+
+// ---- Degenerate compactions -------------------------------------------
+
+std::string SaveBytes(const FragmentIndex& index) {
+  std::stringstream out;
+  EXPECT_TRUE(index.Save(out).ok());
+  return out.str();
+}
+
+TEST(CompactionEdgeCasesTest, CompactingAnEmptyIndexIsANoOp) {
+  GraphDatabase db;
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  const std::string before = SaveBytes(index.value());
+  EXPECT_TRUE(index.value().Compact().empty());
+  EXPECT_EQ(index.value().db_size(), 0);
+  EXPECT_EQ(index.value().compaction_epoch(), 0u);
+  EXPECT_EQ(SaveBytes(index.value()), before);
+
+  FragmentIndexOptions iopt;
+  iopt.max_fragment_edges = 2;
+  auto sharded =
+      ShardedFragmentIndex::Build(db, {SingleEdgeFeature()}, iopt, 3);
+  ASSERT_TRUE(sharded.ok());
+  auto compacted = sharded.value().Compact();
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted.value(), 0);
+  EXPECT_EQ(sharded.value().compaction_epoch(), 0);
+}
+
+TEST(CompactionEdgeCasesTest, CompactWithZeroTombstonesIsByteIdentical) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 17;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(8);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  const std::string before = SaveBytes(index.value());
+  const std::vector<int> remap = index.value().Compact();
+  // Identity remap, nothing rewritten, not even the epoch word.
+  for (int gid = 0; gid < db.size(); ++gid) EXPECT_EQ(remap[gid], gid);
+  EXPECT_EQ(index.value().compaction_epoch(), 0u);
+  EXPECT_EQ(SaveBytes(index.value()), before);
+}
+
+TEST(CompactionEdgeCasesTest, CompactAfterRemovingEveryGraph) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 23;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(6);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  FragmentIndexOptions iopt;
+  iopt.max_fragment_edges = 2;
+  auto sharded =
+      ShardedFragmentIndex::Build(db, {SingleEdgeFeature()}, iopt, 3);
+  ASSERT_TRUE(sharded.ok());
+  for (int gid = 0; gid < db.size(); ++gid) {
+    ASSERT_TRUE(index.value().RemoveGraph(gid).ok());
+    ASSERT_TRUE(sharded.value().RemoveGraph(gid).ok());
+  }
+  const std::vector<int> remap = index.value().Compact();
+  for (int mapped : remap) EXPECT_EQ(mapped, -1);
+  EXPECT_EQ(index.value().db_size(), 0);
+  EXPECT_EQ(index.value().num_live(), 0);
+  EXPECT_TRUE(index.value().tombstones().empty());
+  ASSERT_TRUE(sharded.value().Compact().ok());
+  // The global record of the removals outlives their postings.
+  EXPECT_EQ(sharded.value().num_live(), 0);
+  EXPECT_EQ(sharded.value().tombstones().size(), 6u);
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(sharded.value().shard_size(s), 0);
+
+  // Both engines still answer (with nothing) over their aligned databases.
+  GraphDatabase empty_db;
+  QuerySampler sampler(&db, {.seed = 8, .strip_vertex_labels = true});
+  auto query = sampler.Sample(4);
+  ASSERT_TRUE(query.ok());
+  PisOptions options;
+  options.sigma = 3;
+  PisEngine engine(&empty_db, &index.value(), options);
+  auto result = engine.Search(query.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().answers.empty());
+  ShardedPisEngine sharded_engine(&db, &sharded.value(), options);
+  auto sharded_result = sharded_engine.Search(query.value());
+  ASSERT_TRUE(sharded_result.ok());
+  EXPECT_TRUE(sharded_result.value().answers.empty());
+
+  // And the id space regrows cleanly: fresh adds pick up where ids left
+  // off (sharded — slots are immortal) / from zero (flat — re-densified).
+  auto fresh_flat = index.value().AddGraph(db.at(0));
+  ASSERT_TRUE(fresh_flat.ok());
+  EXPECT_EQ(fresh_flat.value(), 0);
+  auto fresh_sharded = sharded.value().AddGraph(db.at(0));
+  ASSERT_TRUE(fresh_sharded.ok());
+  EXPECT_EQ(fresh_sharded.value(), 6);
+  EXPECT_EQ(sharded.value().num_live(), 1);
+}
+
+TEST(CompactionEdgeCasesTest, DoubleCompactIsIdempotent) {
+  MoleculeGeneratorOptions gopt;
+  gopt.seed = 29;
+  MoleculeGenerator gen(gopt);
+  GraphDatabase db = gen.Generate(10);
+  auto index = FragmentIndex::Build(db, {SingleEdgeFeature()}, {});
+  ASSERT_TRUE(index.ok());
+  for (int gid : {1, 3, 8}) ASSERT_TRUE(index.value().RemoveGraph(gid).ok());
+  index.value().Compact();
+  EXPECT_EQ(index.value().compaction_epoch(), 1u);
+  const std::string once = SaveBytes(index.value());
+  // The second compact sees zero tombstones and must change nothing.
+  const std::vector<int> remap = index.value().Compact();
+  for (int gid = 0; gid < index.value().db_size(); ++gid) {
+    EXPECT_EQ(remap[gid], gid);
+  }
+  EXPECT_EQ(index.value().compaction_epoch(), 1u);
+  EXPECT_EQ(SaveBytes(index.value()), once);
+
+  FragmentIndexOptions iopt;
+  iopt.max_fragment_edges = 2;
+  auto sharded =
+      ShardedFragmentIndex::Build(db, {SingleEdgeFeature()}, iopt, 2);
+  ASSERT_TRUE(sharded.ok());
+  for (int gid : {1, 3, 8}) {
+    ASSERT_TRUE(sharded.value().RemoveGraph(gid).ok());
+  }
+  ASSERT_TRUE(sharded.value().Compact().ok());
+  const int epoch = sharded.value().compaction_epoch();
+  auto again = sharded.value().Compact();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0);
+  EXPECT_EQ(sharded.value().compaction_epoch(), epoch);
 }
 
 }  // namespace

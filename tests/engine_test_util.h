@@ -7,13 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/pis.h"
+#include "core/sharded_pis.h"
 #include "graph/generator.h"
 #include "graph/query_sampler.h"
+#include "index/sharded_index.h"
 #include "mining/feature_selector.h"
 #include "mining/gspan.h"
+#include "util/random.h"
 
 namespace pis::testing {
 
@@ -73,6 +80,297 @@ inline std::vector<Graph> SampleQueries(const GraphDatabase& db, int count,
   }
   return queries;
 }
+
+/// Differential index-lifecycle driver shared by the update-equivalence and
+/// compaction suites. It maintains, under one randomized schedule of
+/// add / remove / compact / rebalance / save-load steps:
+///   - a mutable ShardedFragmentIndex over the id-aligned `slots()` database
+///     (removed graphs keep their slot — global ids are stable for life),
+///   - a mutable flat FragmentIndex whose ids re-densify on CompactFlat(),
+///     mirrored by its own aligned database exactly the way `pis_cli
+///     compact` rewrites the db file,
+/// and CheckAgainstRebuild() asserts that both engines answer any query
+/// identically — answers, candidates, and partition-derived counters — to a
+/// from-scratch rebuild over only the live graphs. Every method is void so
+/// ASSERT_* works inside; callers bail on HasFatalFailure() between steps.
+class LifecycleHarness {
+ public:
+  struct Options {
+    int num_shards = 3;
+    uint64_t seed = 0;
+    int initial_graphs = 12;
+    int pool_graphs = 26;
+    int max_fragment_edges = 4;
+    double sigma = 2.0;
+    int queries_per_check = 2;
+  };
+
+  explicit LifecycleHarness(const Options& opt)
+      : opt_(opt),
+        rng_(700 + 13 * opt.seed + static_cast<uint64_t>(opt.num_shards)) {
+    Build();  // ASSERT_* needs a void function; ctor bodies return *this
+  }
+
+ private:
+  void Build() {
+    MoleculeGeneratorOptions gopt;
+    gopt.seed = 500 + opt_.seed;
+    gopt.mean_vertices = 12;
+    gopt.max_vertices = 26;
+    MoleculeGenerator gen(gopt);
+    pool_ = gen.Generate(opt_.pool_graphs);
+    for (int i = 0; i < opt_.initial_graphs; ++i) slots_.Add(pool_.at(i));
+    next_pool_ = opt_.initial_graphs;
+
+    // Features are mined once over the initial snapshot and frozen — the
+    // AddGraph/Compact contract (the class catalog is fixed at Build).
+    GraphDatabase skeletons;
+    for (const Graph& g : slots_.graphs()) skeletons.Add(g.Skeleton());
+    GspanOptions mine;
+    mine.min_support = 2;
+    mine.max_edges = opt_.max_fragment_edges;
+    auto patterns = MineFrequentSubgraphs(skeletons, mine);
+    ASSERT_TRUE(patterns.ok());
+    for (const Pattern& p : patterns.value()) features_.push_back(p.graph);
+    ASSERT_FALSE(features_.empty());
+
+    iopt_.max_fragment_edges = opt_.max_fragment_edges;
+    sharded_ =
+        ShardedFragmentIndex::Build(slots_, features_, iopt_, opt_.num_shards);
+    ASSERT_TRUE(sharded_.ok()) << sharded_.status().ToString();
+    flat_ = FragmentIndex::Build(slots_, features_, iopt_);
+    ASSERT_TRUE(flat_.ok());
+
+    flat_db_ = slots_;
+    live_.assign(opt_.initial_graphs, 1);
+    live_count_ = opt_.initial_graphs;
+    flat_globals_.resize(opt_.initial_graphs);
+    flat_id_of_.resize(opt_.initial_graphs);
+    for (int gid = 0; gid < opt_.initial_graphs; ++gid) {
+      flat_globals_[gid] = gid;
+      flat_id_of_[gid] = gid;
+    }
+    popt_.sigma = opt_.sigma;
+    sampler_.emplace(&pool_, QuerySamplerOptions{.seed = 40u + opt_.seed,
+                                                 .strip_vertex_labels = true});
+  }
+
+ public:
+  bool CanAdd() const { return next_pool_ < pool_.size(); }
+  int live_count() const { return live_count_; }
+  int num_slots() const { return slots_.size(); }
+  const GraphDatabase& slots() const { return slots_; }
+  ShardedFragmentIndex& sharded() { return sharded_.value(); }
+  FragmentIndex& flat() { return flat_.value(); }
+  Rng& rng() { return rng_; }
+
+  /// Indexes the next pool graph in both indexes.
+  void AddOne() {
+    ASSERT_TRUE(CanAdd());
+    const Graph& g = pool_.at(next_pool_++);
+    auto gid = sharded_.value().AddGraph(g);
+    ASSERT_TRUE(gid.ok()) << gid.status().ToString();
+    ASSERT_EQ(gid.value(), slots_.size());
+    auto fid = flat_.value().AddGraph(g);
+    ASSERT_TRUE(fid.ok());
+    ASSERT_EQ(fid.value(), flat_db_.size());
+    slots_.Add(g);
+    flat_db_.Add(g);
+    flat_globals_.push_back(gid.value());
+    flat_id_of_.push_back(fid.value());
+    live_.push_back(1);
+    ++live_count_;
+  }
+
+  /// Removes a uniformly random live graph from both indexes.
+  void RemoveOne() {
+    ASSERT_GT(live_count_, 0);
+    int victim = rng_.UniformInt(0, live_count_ - 1);
+    int gid = -1;
+    for (int i = 0; i < slots_.size(); ++i) {
+      if (live_[i] && victim-- == 0) {
+        gid = i;
+        break;
+      }
+    }
+    RemoveGid(gid);
+  }
+
+  /// Removes a specific live global id from both indexes (directed tests).
+  void RemoveGid(int gid) {
+    ASSERT_GE(gid, 0);
+    ASSERT_LT(gid, slots_.size());
+    ASSERT_TRUE(live_[gid]);
+    ASSERT_TRUE(sharded_.value().RemoveGraph(gid).ok());
+    ASSERT_TRUE(flat_.value().RemoveGraph(flat_id_of_[gid]).ok());
+    live_[gid] = 0;
+    --live_count_;
+  }
+
+  /// Compacts the flat index, re-densifying its ids and its aligned
+  /// database through the returned remap (the pis_cli compact flow).
+  void CompactFlat() {
+    const std::vector<int> remap = flat_.value().Compact();
+    GraphDatabase compacted;
+    std::vector<int> globals;
+    for (size_t fid = 0; fid < remap.size(); ++fid) {
+      if (remap[fid] < 0) continue;
+      ASSERT_EQ(remap[fid], compacted.size());
+      compacted.Add(flat_db_.at(static_cast<int>(fid)));
+      globals.push_back(flat_globals_[fid]);
+    }
+    flat_db_ = std::move(compacted);
+    flat_globals_ = std::move(globals);
+    for (int fid = 0; fid < static_cast<int>(flat_globals_.size()); ++fid) {
+      flat_id_of_[flat_globals_[fid]] = fid;
+    }
+    ASSERT_EQ(flat_.value().db_size(), flat_db_.size());
+    ASSERT_EQ(flat_.value().num_live(), live_count_);
+  }
+
+  /// Compacts sharded shards at/above the dead-ratio floor (0 = all dirty).
+  void CompactSharded(double min_dead_ratio = 0.0) {
+    auto compacted = sharded_.value().Compact(min_dead_ratio);
+    ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  }
+
+  void CompactShard(int s) {
+    ASSERT_TRUE(sharded_.value().CompactShard(s).ok());
+  }
+
+  void CompactAll() {
+    CompactSharded();
+    if (::testing::Test::HasFatalFailure()) return;
+    CompactFlat();
+  }
+
+  /// Rebalances the sharded index over the slot-aligned database.
+  void Rebalance() {
+    auto migrated = sharded_.value().Rebalance(slots_);
+    ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+    int lo = sharded_.value().shard(0).num_live();
+    int hi = lo;
+    for (int s = 1; s < sharded_.value().num_shards(); ++s) {
+      lo = std::min(lo, sharded_.value().shard(s).num_live());
+      hi = std::max(hi, sharded_.value().shard(s).num_live());
+    }
+    EXPECT_LE(hi - lo, 1) << "rebalance left shards unbalanced";
+  }
+
+  /// Round-trips both indexes through persistence (directory manifest for
+  /// the sharded one, stream for the flat one) and swaps in the reloads.
+  void SaveLoadRoundTrip(const std::string& tag) {
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) /
+         ("pis_lifecycle_" + tag + "_" + std::to_string(opt_.num_shards) +
+          "_" + std::to_string(opt_.seed)))
+            .string();
+    ASSERT_TRUE(sharded_.value().SaveDir(dir).ok());
+    auto reloaded = ShardedFragmentIndex::LoadDir(dir);
+    std::filesystem::remove_all(dir);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    EXPECT_EQ(reloaded.value().db_size(), sharded_.value().db_size());
+    EXPECT_EQ(reloaded.value().num_live(), sharded_.value().num_live());
+    EXPECT_EQ(reloaded.value().compaction_epoch(),
+              sharded_.value().compaction_epoch());
+    sharded_ = std::move(reloaded);
+
+    std::stringstream buffer;
+    ASSERT_TRUE(flat_.value().Save(buffer).ok());
+    auto reloaded_flat = FragmentIndex::Load(buffer);
+    ASSERT_TRUE(reloaded_flat.ok()) << reloaded_flat.status().ToString();
+    flat_ = std::move(reloaded_flat);
+  }
+
+  /// The differential oracle: rebuilds a reference index from scratch over
+  /// only the live graphs and requires both incremental engines to agree
+  /// with it query for query. The flat engine must also match the
+  /// reference's physical range-query count; the sharded engine issues one
+  /// per shard per fragment.
+  void CheckAgainstRebuild() {
+    std::vector<int> live_ids;
+    GraphDatabase ref_db;
+    for (int gid = 0; gid < slots_.size(); ++gid) {
+      if (!live_[gid]) continue;
+      live_ids.push_back(gid);
+      ref_db.Add(slots_.at(gid));
+    }
+    ASSERT_EQ(static_cast<int>(live_ids.size()), live_count_);
+    ASSERT_EQ(sharded_.value().num_live(), live_count_);
+    ASSERT_EQ(flat_.value().num_live(), live_count_);
+    auto ref_index = FragmentIndex::Build(ref_db, features_, iopt_);
+    ASSERT_TRUE(ref_index.ok());
+    PisEngine ref_engine(&ref_db, &ref_index.value(), popt_);
+    ShardedPisEngine sharded_engine(&slots_, &sharded_.value(), popt_);
+    PisEngine flat_engine(&flat_db_, &flat_.value(), popt_);
+
+    for (int trial = 0; trial < opt_.queries_per_check; ++trial) {
+      auto query = sampler_->Sample(5 + rng_.UniformInt(0, 3));
+      ASSERT_TRUE(query.ok());
+      auto want = ref_engine.Search(query.value());
+      auto got_sharded = sharded_engine.Search(query.value());
+      auto got_flat = flat_engine.Search(query.value());
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got_sharded.ok()) << got_sharded.status().ToString();
+      ASSERT_TRUE(got_flat.ok()) << got_flat.status().ToString();
+
+      EXPECT_EQ(ToGlobal(want.value().answers, live_ids),
+                got_sharded.value().answers);
+      EXPECT_EQ(ToGlobal(want.value().candidates, live_ids),
+                got_sharded.value().candidates);
+      EXPECT_EQ(ToGlobal(want.value().answers, live_ids),
+                ToGlobal(got_flat.value().answers, flat_globals_));
+      EXPECT_EQ(ToGlobal(want.value().candidates, live_ids),
+                ToGlobal(got_flat.value().candidates, flat_globals_));
+
+      const QueryStats& w = want.value().stats;
+      for (const QueryStats* g :
+           {&got_sharded.value().stats, &got_flat.value().stats}) {
+        EXPECT_EQ(w.fragments_enumerated, g->fragments_enumerated);
+        EXPECT_EQ(w.fragments_kept, g->fragments_kept);
+        EXPECT_EQ(w.partition_size, g->partition_size);
+        EXPECT_DOUBLE_EQ(w.partition_weight, g->partition_weight);
+        EXPECT_EQ(w.candidates_after_intersection,
+                  g->candidates_after_intersection);
+        EXPECT_EQ(w.candidates_final, g->candidates_final);
+        EXPECT_EQ(w.answers, g->answers);
+      }
+      EXPECT_EQ(w.range_queries, got_flat.value().stats.range_queries);
+      EXPECT_EQ(w.range_queries *
+                    static_cast<size_t>(sharded_.value().num_shards()),
+                got_sharded.value().stats.range_queries);
+    }
+  }
+
+  /// Maps ids of one aligned space back to global ids.
+  static std::vector<int> ToGlobal(const std::vector<int>& compact,
+                                   const std::vector<int>& id_map) {
+    std::vector<int> global;
+    global.reserve(compact.size());
+    for (int cid : compact) global.push_back(id_map[cid]);
+    return global;
+  }
+
+ private:
+  Options opt_;
+  Rng rng_;
+  GraphDatabase pool_;
+  GraphDatabase slots_;
+  GraphDatabase flat_db_;
+  std::vector<Graph> features_;
+  FragmentIndexOptions iopt_;
+  Result<ShardedFragmentIndex> sharded_ = Status::Internal("unbuilt");
+  Result<FragmentIndex> flat_ = Status::Internal("unbuilt");
+  /// Global liveness by gid; live_count_ is its popcount.
+  std::vector<char> live_;
+  int live_count_ = 0;
+  int next_pool_ = 0;
+  /// Flat-index id -> global gid and its inverse (stale for dead globals).
+  std::vector<int> flat_globals_;
+  std::vector<int> flat_id_of_;
+  PisOptions popt_;
+  std::optional<QuerySampler> sampler_;
+};
 
 /// Timings legitimately differ between runs; every other field must match.
 inline void ExpectSameCounters(const QueryStats& a, const QueryStats& b) {

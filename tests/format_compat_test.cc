@@ -1,9 +1,13 @@
 // Serde format versioning: the incremental-update PR bumped the fragment
 // index format to v2 (trailing tombstone section) and the shard manifest to
-// v2 (explicit routing table). Old fixtures must still load, files from the
-// future must fail with a clear Status instead of garbage, and a manifest
-// that disagrees with the files on disk must come back as InvalidArgument —
-// never a crash or DCHECK.
+// v2 (explicit routing table); the compaction PR bumped both to v3 (index:
+// compaction epoch + live count trailer; manifest: epoch, -1-aware routing,
+// explicit local ids, per-shard live counts). Old fixtures must still load
+// — including v2 files carrying tombstones, which must then compact
+// correctly — files from the future must fail with a clear Status instead
+// of garbage, and a manifest that disagrees with the files on disk (or is
+// truncated mid-section) must come back as InvalidArgument — never a crash
+// or DCHECK.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -33,17 +37,26 @@ void PatchU32(std::string* bytes, size_t offset, uint32_t value) {
   std::memcpy(bytes->data() + offset, &value, 4);
 }
 
-// A v1 index file is byte-identical to a v2 file minus the trailing
-// tombstone section (8 zero bytes for "none"), with the version word
-// rewound — Save() keeps the section last exactly so this fixture stays
-// constructible. If this test breaks after a format change, either keep the
-// tombstone section trailing or bump to v3 with its own compat fixture.
-std::string MakeV1IndexBytes(const FragmentIndex& index) {
-  EXPECT_TRUE(index.tombstones().empty());
+// Every index version is a strict prefix of the next, with only the
+// version word rewound — Save() keeps the newer sections trailing exactly
+// so these fixtures stay constructible. A v2 file is a v3 file minus the
+// 8-byte epoch+live trailer; a v1 file additionally drops the 8-byte empty
+// tombstone section. If this breaks after a format change, keep the new
+// section trailing or bump the version with its own compat fixture.
+std::string MakeV2IndexBytes(const FragmentIndex& index) {
+  EXPECT_EQ(index.compaction_epoch(), 0u);
   std::stringstream out;
   EXPECT_TRUE(index.Save(out).ok());
   std::string bytes = out.str();
   EXPECT_GE(bytes.size(), 16u);
+  bytes.resize(bytes.size() - 8);
+  PatchU32(&bytes, 4, 2);
+  return bytes;
+}
+
+std::string MakeV1IndexBytes(const FragmentIndex& index) {
+  EXPECT_TRUE(index.tombstones().empty());
+  std::string bytes = MakeV2IndexBytes(index);
   bytes.resize(bytes.size() - 8);
   PatchU32(&bytes, 4, 1);
   return bytes;
@@ -72,6 +85,85 @@ TEST(FormatCompatTest, FragmentIndexV1FixtureLoads) {
     EXPECT_EQ(a.value().answers, b.value().answers);
     EXPECT_EQ(a.value().candidates, b.value().candidates);
   }
+}
+
+// A v2 file that carries tombstones (written before the v3 trailer
+// existed) must load with its dead set intact — and then compact exactly
+// like a natively written index: ids re-densified, postings dropped, and
+// answers identical to a from-scratch build over the survivors.
+TEST(FormatCompatTest, FragmentIndexV2WithTombstonesLoadsAndCompacts) {
+  EngineFixture fx(12, 21);
+  ASSERT_TRUE(fx.index.ok());
+  const std::vector<int> dead = {1, 4, 9};
+  for (int gid : dead) ASSERT_TRUE(fx.index.value().RemoveGraph(gid).ok());
+  std::stringstream in(MakeV2IndexBytes(fx.index.value()));
+  auto loaded = FragmentIndex::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().compaction_epoch(), 0u);
+  EXPECT_EQ(loaded.value().tombstones().size(), dead.size());
+  EXPECT_EQ(loaded.value().num_live(), 9);
+
+  const std::vector<int> remap = loaded.value().Compact();
+  EXPECT_EQ(loaded.value().db_size(), 9);
+  EXPECT_EQ(loaded.value().compaction_epoch(), 1u);
+  EXPECT_TRUE(loaded.value().tombstones().empty());
+
+  GraphDatabase live_db;
+  std::vector<int> live_ids;
+  for (int gid = 0; gid < fx.db.size(); ++gid) {
+    if (remap[gid] < 0) continue;
+    ASSERT_EQ(remap[gid], live_db.size());
+    live_db.Add(fx.db.at(gid));
+    live_ids.push_back(gid);
+  }
+  auto rebuilt = FragmentIndex::Build(live_db, fx.features,
+                                      fx.index.value().options());
+  ASSERT_TRUE(rebuilt.ok());
+  PisOptions options;
+  options.sigma = 2.0;
+  PisEngine compacted_engine(&live_db, &loaded.value(), options);
+  PisEngine rebuilt_engine(&live_db, &rebuilt.value(), options);
+  for (const Graph& q : SampleQueries(fx.db, 3, 6, 23)) {
+    auto a = compacted_engine.Search(q);
+    auto b = rebuilt_engine.Search(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().answers, b.value().answers);
+    EXPECT_EQ(a.value().candidates, b.value().candidates);
+  }
+}
+
+// v3 round trip: tombstones AND the compaction trailer survive Save/Load.
+TEST(FormatCompatTest, FragmentIndexV3RoundTripsEpochAndTombstones) {
+  EngineFixture fx(10, 31);
+  ASSERT_TRUE(fx.index.ok());
+  ASSERT_TRUE(fx.index.value().RemoveGraph(2).ok());
+  fx.index.value().Compact();  // epoch 1, no tombstones
+  ASSERT_TRUE(fx.index.value().RemoveGraph(5).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(fx.index.value().Save(buffer).ok());
+  auto loaded = FragmentIndex::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().compaction_epoch(), 1u);
+  EXPECT_EQ(loaded.value().db_size(), 9);
+  EXPECT_EQ(loaded.value().num_live(), 8);
+  EXPECT_EQ(loaded.value().tombstones().count(5), 1u);
+}
+
+// A v3 trailer whose live count disagrees with the tombstone section is
+// corruption, not a silently wrong selectivity denominator.
+TEST(FormatCompatTest, FragmentIndexV3BadLiveCountRejected) {
+  EngineFixture fx(8, 41);
+  ASSERT_TRUE(fx.index.ok());
+  std::stringstream out;
+  ASSERT_TRUE(fx.index.value().Save(out).ok());
+  std::string bytes = out.str();
+  PatchU32(&bytes, bytes.size() - 4, 3);  // claim 3 live of 8, all live
+  std::stringstream in(bytes);
+  auto loaded = FragmentIndex::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("live count"), std::string::npos);
 }
 
 TEST(FormatCompatTest, FragmentIndexFutureVersionRejected) {
@@ -199,6 +291,47 @@ TEST_F(ManifestCompatTest, InPlaceResaveWithFewerShardsRemovesStaleFiles) {
   auto loaded = ShardedFragmentIndex::LoadDir(dir_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded.value().num_shards(), 2);
+}
+
+// SaveDir writes a v3 manifest; compaction state must round-trip through
+// it: epoch, -1 routing for compacted-away ids, per-shard live counts.
+TEST_F(ManifestCompatTest, V3ManifestRoundTripsCompactionState) {
+  ASSERT_TRUE(sharded_->RemoveGraph(3).ok());
+  ASSERT_TRUE(sharded_->RemoveGraph(11).ok());
+  ASSERT_TRUE(sharded_->Compact().ok());
+  EXPECT_EQ(sharded_->compaction_epoch(), 2);  // two shards rewritten
+  ASSERT_TRUE(sharded_->SaveDir(dir_).ok());
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().compaction_epoch(), 2);
+  EXPECT_EQ(loaded.value().db_size(), 15);
+  EXPECT_EQ(loaded.value().num_live(), 13);
+  EXPECT_EQ(loaded.value().shard_of(3), -1);
+  EXPECT_EQ(loaded.value().shard_of(11), -1);
+  EXPECT_FALSE(loaded.value().IsLive(3));
+  EXPECT_TRUE(loaded.value().IsLive(4));
+  for (int s = 0; s < loaded.value().num_shards(); ++s) {
+    EXPECT_TRUE(loaded.value().shard(s).tombstones().empty());
+  }
+}
+
+// A v3 manifest cut off after its routing table (local ids and live counts
+// missing) parsed far enough to know what it promised — the failure is a
+// structural disagreement (InvalidArgument), not unreadable garbage, and
+// never a crash.
+TEST_F(ManifestCompatTest, TruncatedV3ManifestIsInvalidArgument) {
+  // Layout: magic(4) version(4) shards(4) epoch(4), VecInt shard_of
+  // (8 + 15*4), then the sections we cut off.
+  std::error_code ec;
+  const auto full = std::filesystem::file_size(ManifestPath(), ec);
+  ASSERT_FALSE(ec);
+  ASSERT_GT(full, 16u + 68u);
+  std::filesystem::resize_file(ManifestPath(), 16 + 68, ec);
+  ASSERT_FALSE(ec);
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
 }
 
 TEST_F(ManifestCompatTest, TruncatedManifestIsParseError) {

@@ -4,206 +4,59 @@
 // candidates, and filter counters identical to an index rebuilt from
 // scratch over the live graphs after every single step, and again after a
 // persistence round trip. This is the checkable form of the incremental
-// subsystem's contract: updates never change query semantics.
+// subsystem's contract: updates never change query semantics. The shared
+// driver lives in engine_test_util.h (LifecycleHarness); the suites in
+// compaction_test.cc extend the same schedule with compaction and
+// rebalancing steps.
 #include <gtest/gtest.h>
 
-#include <filesystem>
-#include <sstream>
-#include <string>
+#include <algorithm>
 #include <tuple>
 #include <vector>
 
-#include "core/pis.h"
-#include "core/sharded_pis.h"
+#include "engine_test_util.h"
 #include "graph/generator.h"
-#include "graph/query_sampler.h"
-#include "index/fragment_index.h"
 #include "index/sharded_index.h"
 #include "mining/gspan.h"
-#include "util/random.h"
 
 namespace pis {
 namespace {
 
-std::vector<Graph> MineInitialFeatures(const GraphDatabase& db, int max_edges) {
-  GraphDatabase skeletons;
-  for (const Graph& g : db.graphs()) skeletons.Add(g.Skeleton());
-  GspanOptions mine;
-  mine.min_support = 2;
-  mine.max_edges = max_edges;
-  auto patterns = MineFrequentSubgraphs(skeletons, mine);
-  EXPECT_TRUE(patterns.ok());
-  std::vector<Graph> features;
-  for (const Pattern& p : patterns.value()) features.push_back(p.graph);
-  return features;
-}
-
-// Maps the compact ids a from-scratch rebuild reports back to global ids.
-std::vector<int> ToGlobal(const std::vector<int>& compact,
-                          const std::vector<int>& live_ids) {
-  std::vector<int> global;
-  global.reserve(compact.size());
-  for (int cid : compact) global.push_back(live_ids[cid]);
-  return global;
-}
+using ::pis::testing::LifecycleHarness;
 
 // (num_shards, seed).
 class UpdateEquivalenceTest
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(UpdateEquivalenceTest, EveryStepMatchesFromScratchRebuild) {
-  const int num_shards = std::get<0>(GetParam());
-  const int seed = std::get<1>(GetParam());
-  constexpr int kInitial = 12;
-  constexpr int kPool = 26;
+  LifecycleHarness::Options opt;
+  opt.num_shards = std::get<0>(GetParam());
+  opt.seed = std::get<1>(GetParam());
+  LifecycleHarness h(opt);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  h.CheckAgainstRebuild();
   constexpr int kSteps = 10;
-
-  MoleculeGeneratorOptions gopt;
-  gopt.seed = 500 + seed;
-  gopt.mean_vertices = 12;
-  gopt.max_vertices = 26;
-  MoleculeGenerator gen(gopt);
-  GraphDatabase pool = gen.Generate(kPool);
-
-  // `slots` is the id-aligned database both incremental indexes cover;
-  // removed ids keep their slot (ids are never reused).
-  GraphDatabase slots;
-  for (int i = 0; i < kInitial; ++i) slots.Add(pool.at(i));
-  const std::vector<Graph> features = MineInitialFeatures(slots, 4);
-  ASSERT_FALSE(features.empty());
-
-  FragmentIndexOptions iopt;
-  iopt.max_fragment_edges = 4;
-  auto sharded = ShardedFragmentIndex::Build(slots, features, iopt, num_shards);
-  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
-  auto flat = FragmentIndex::Build(slots, features, iopt);
-  ASSERT_TRUE(flat.ok());
-
-  std::vector<char> live(kInitial, 1);
-  int live_count = kInitial;
-  int next_pool = kInitial;
-  Rng rng(700 + 13 * seed + num_shards);
-  QuerySampler sampler(&pool, {.seed = 40u + seed, .strip_vertex_labels = true});
-  PisOptions popt;
-  popt.sigma = 2.0;
-
-  // Rebuilds a reference index over only the live graphs and checks that
-  // both incremental engines agree with it query for query: answers,
-  // candidates (mapped back to global ids), and every partition-derived
-  // counter. range_queries is per physical index: the flat engine must
-  // match the reference exactly; the sharded engine issues one per shard.
-  auto check_against_rebuild = [&]() {
-    std::vector<int> live_ids;
-    GraphDatabase ref_db;
-    for (int gid = 0; gid < slots.size(); ++gid) {
-      if (!live[gid]) continue;
-      live_ids.push_back(gid);
-      ref_db.Add(slots.at(gid));
-    }
-    ASSERT_EQ(static_cast<int>(live_ids.size()), live_count);
-    ASSERT_EQ(sharded.value().num_live(), live_count);
-    ASSERT_EQ(flat.value().num_live(), live_count);
-    auto ref_index = FragmentIndex::Build(ref_db, features, iopt);
-    ASSERT_TRUE(ref_index.ok());
-    PisEngine ref_engine(&ref_db, &ref_index.value(), popt);
-    ShardedPisEngine sharded_engine(&slots, &sharded.value(), popt);
-    PisEngine flat_engine(&slots, &flat.value(), popt);
-
-    for (int trial = 0; trial < 2; ++trial) {
-      auto query = sampler.Sample(5 + rng.UniformInt(0, 3));
-      ASSERT_TRUE(query.ok());
-      auto want = ref_engine.Search(query.value());
-      auto got_sharded = sharded_engine.Search(query.value());
-      auto got_flat = flat_engine.Search(query.value());
-      ASSERT_TRUE(want.ok()) << want.status().ToString();
-      ASSERT_TRUE(got_sharded.ok()) << got_sharded.status().ToString();
-      ASSERT_TRUE(got_flat.ok()) << got_flat.status().ToString();
-
-      const std::vector<int> want_answers =
-          ToGlobal(want.value().answers, live_ids);
-      const std::vector<int> want_candidates =
-          ToGlobal(want.value().candidates, live_ids);
-      EXPECT_EQ(want_answers, got_sharded.value().answers);
-      EXPECT_EQ(want_answers, got_flat.value().answers);
-      EXPECT_EQ(want_candidates, got_sharded.value().candidates);
-      EXPECT_EQ(want_candidates, got_flat.value().candidates);
-
-      const QueryStats& w = want.value().stats;
-      for (const QueryStats* g :
-           {&got_sharded.value().stats, &got_flat.value().stats}) {
-        EXPECT_EQ(w.fragments_enumerated, g->fragments_enumerated);
-        EXPECT_EQ(w.fragments_kept, g->fragments_kept);
-        EXPECT_EQ(w.partition_size, g->partition_size);
-        EXPECT_DOUBLE_EQ(w.partition_weight, g->partition_weight);
-        EXPECT_EQ(w.candidates_after_intersection,
-                  g->candidates_after_intersection);
-        EXPECT_EQ(w.candidates_final, g->candidates_final);
-        EXPECT_EQ(w.answers, g->answers);
-      }
-      EXPECT_EQ(w.range_queries, got_flat.value().stats.range_queries);
-      EXPECT_EQ(w.range_queries * static_cast<size_t>(num_shards),
-                got_sharded.value().stats.range_queries);
-    }
-  };
-
-  check_against_rebuild();
   for (int step = 0; step < kSteps; ++step) {
-    const bool can_add = next_pool < kPool;
     const bool do_add =
-        can_add && (live_count <= 2 || rng.UniformInt(0, 1) == 0);
+        h.CanAdd() &&
+        (h.live_count() <= 2 || h.rng().UniformInt(0, 1) == 0);
     if (do_add) {
-      const Graph& g = pool.at(next_pool++);
-      auto gid_sharded = sharded.value().AddGraph(g);
-      auto gid_flat = flat.value().AddGraph(g);
-      ASSERT_TRUE(gid_sharded.ok()) << gid_sharded.status().ToString();
-      ASSERT_TRUE(gid_flat.ok());
-      EXPECT_EQ(gid_sharded.value(), slots.size());
-      EXPECT_EQ(gid_flat.value(), slots.size());
-      slots.Add(g);
-      live.push_back(1);
-      ++live_count;
+      h.AddOne();
     } else {
-      int victim = rng.UniformInt(0, live_count - 1);
-      int gid = -1;
-      for (int i = 0; i < slots.size(); ++i) {
-        if (live[i] && victim-- == 0) {
-          gid = i;
-          break;
-        }
-      }
-      ASSERT_GE(gid, 0);
-      ASSERT_TRUE(sharded.value().RemoveGraph(gid).ok());
-      ASSERT_TRUE(flat.value().RemoveGraph(gid).ok());
-      live[gid] = 0;
-      --live_count;
+      h.RemoveOne();
     }
-    check_against_rebuild();
+    if (::testing::Test::HasFatalFailure()) return;
+    h.CheckAgainstRebuild();
     if (::testing::Test::HasFatalFailure()) return;
   }
 
   // The mutated indexes must survive persistence: directory round trip for
-  // the sharded index (manifest v2 routing + per-shard tombstones), stream
+  // the sharded index (manifest routing + per-shard tombstones), stream
   // round trip for the flat one — then pass the same differential check.
-  const std::string dir =
-      (std::filesystem::path(::testing::TempDir()) /
-       ("pis_update_rt_" + std::to_string(num_shards) + "_" +
-        std::to_string(seed)))
-          .string();
-  ASSERT_TRUE(sharded.value().SaveDir(dir).ok());
-  auto reloaded = ShardedFragmentIndex::LoadDir(dir);
-  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
-  EXPECT_EQ(reloaded.value().db_size(), sharded.value().db_size());
-  EXPECT_EQ(reloaded.value().num_live(), sharded.value().num_live());
-  sharded = reloaded.MoveValue();
-
-  std::stringstream buffer;
-  ASSERT_TRUE(flat.value().Save(buffer).ok());
-  auto reloaded_flat = FragmentIndex::Load(buffer);
-  ASSERT_TRUE(reloaded_flat.ok()) << reloaded_flat.status().ToString();
-  flat = reloaded_flat.MoveValue();
-
-  check_against_rebuild();
-  std::filesystem::remove_all(dir);
+  h.SaveLoadRoundTrip("update_eq");
+  if (::testing::Test::HasFatalFailure()) return;
+  h.CheckAgainstRebuild();
 }
 
 INSTANTIATE_TEST_SUITE_P(ShardsBySeeds, UpdateEquivalenceTest,
@@ -219,7 +72,15 @@ TEST(ShardedUpdateTest, AddsBalanceAcrossShards) {
   GraphDatabase pool = gen.Generate(30);
   GraphDatabase slots;
   for (int i = 0; i < 9; ++i) slots.Add(pool.at(i));
-  const std::vector<Graph> features = MineInitialFeatures(slots, 3);
+  GraphDatabase skeletons;
+  for (const Graph& g : slots.graphs()) skeletons.Add(g.Skeleton());
+  GspanOptions mine;
+  mine.min_support = 2;
+  mine.max_edges = 3;
+  auto patterns = MineFrequentSubgraphs(skeletons, mine);
+  ASSERT_TRUE(patterns.ok());
+  std::vector<Graph> features;
+  for (const Pattern& p : patterns.value()) features.push_back(p.graph);
   FragmentIndexOptions iopt;
   iopt.max_fragment_edges = 3;
   auto sharded = ShardedFragmentIndex::Build(slots, features, iopt, 3);

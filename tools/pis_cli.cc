@@ -12,15 +12,25 @@
 //   pis_cli topk      --db db.txt --index index.bin --query query.txt [--k K]
 //   pis_cli add       --db db.txt --index index.bin --graphs new.txt
 //   pis_cli remove    --index index.bin --ids 3,17,42
+//                     [--compact_dead_ratio R]
+//   pis_cli compact   --index index.bin [--db db.txt]
+//                     [--min_dead_ratio R] [--rebalance]
 //
 // With --shards > 1, build writes a sharded index directory (manifest plus
-// one file per shard) instead of a single file; stats, query, add, and
-// remove detect the directory and use the sharded index transparently.
+// one file per shard) instead of a single file; stats, query, add, remove,
+// and compact detect the directory and use the sharded index transparently.
 //
 // `add` indexes every graph in --graphs incrementally (no rebuild), appends
 // them to the --db file so ids stay aligned, and saves the index in place.
 // `remove` tombstones the given ids in the index (the db file keeps its
-// records; removed ids simply stop matching queries).
+// records; removed ids simply stop matching queries); with
+// --compact_dead_ratio, any sharded shard whose dead fraction crosses the
+// threshold is compacted in the same run. `compact` reclaims tombstoned
+// postings: on a sharded directory it rewrites the affected shards in place
+// (global ids stay stable, the db file is untouched; --rebalance
+// additionally migrates graphs off overloaded shards and needs --db); on a
+// single-file index it re-densifies ids, so --db is required and the db
+// file is rewritten without the removed graphs.
 //
 // Graph files use the native text format (see src/graph/io.h); the query
 // file holds a single record, or any number of records with --batch.
@@ -34,6 +44,7 @@
 #include "core/topk.h"
 #include "pis.h"
 #include "util/flags.h"
+#include "util/fs_util.h"
 #include "util/string_util.h"
 
 using namespace pis;
@@ -48,7 +59,8 @@ int Fail(const Status& status) {
 int FailUsage() {
   std::fprintf(
       stderr,
-      "usage: pis_cli <generate|convert|build|stats|query|topk|add|remove> "
+      "usage: pis_cli "
+      "<generate|convert|build|stats|query|topk|add|remove|compact> "
       "[flags]\nRun a subcommand with --help for its flags.\n");
   return 2;
 }
@@ -199,22 +211,29 @@ int CmdStats(int argc, char** argv) {
     auto sharded = ShardedFragmentIndex::LoadDir(index_path);
     if (!sharded.ok()) return Fail(sharded.status());
     const ShardedFragmentIndex& idx = sharded.value();
-    std::printf("sharded index over a %d-graph database (%d live)\n",
-                idx.db_size(), idx.num_live());
-    std::printf("shards: %d, classes: %d\n", idx.num_shards(),
-                idx.num_classes());
+    std::printf("sharded index over %d id slots (%d live, %zu removed)\n",
+                idx.db_size(), idx.num_live(), idx.tombstones().size());
+    std::printf("shards: %d, classes: %d, compaction epoch: %d\n",
+                idx.num_shards(), idx.num_classes(), idx.compaction_epoch());
     for (int s = 0; s < idx.num_shards(); ++s) {
-      std::printf("  shard %d: %d graphs (%d live), %zu fragment occurrences\n",
-                  s, idx.shard_size(s), idx.shard(s).num_live(),
-                  idx.shard(s).stats().num_fragment_occurrences);
+      const FragmentIndex& shard = idx.shard(s);
+      // Per-shard tombstone pressure is the signal operators compact on.
+      std::printf(
+          "  shard %d: %d resident (%d live, %zu dead, dead ratio %.2f), "
+          "%zu fragment occurrences\n",
+          s, idx.shard_size(s), shard.num_live(), shard.tombstones().size(),
+          shard.dead_ratio(), shard.stats().num_fragment_occurrences);
     }
     return 0;
   }
   auto index = FragmentIndex::LoadFile(index_path);
   if (!index.ok()) return Fail(index.status());
   const FragmentIndex& idx = index.value();
-  std::printf("index over a %d-graph database (%d live)\n", idx.db_size(),
-              idx.num_live());
+  std::printf(
+      "index over a %d-graph database (%d live, %zu dead, dead ratio %.2f, "
+      "compaction epoch %u)\n",
+      idx.db_size(), idx.num_live(), idx.tombstones().size(), idx.dead_ratio(),
+      idx.compaction_epoch());
   std::printf("distance: %s\n",
               idx.options().spec.type == DistanceType::kMutation ? "mutation"
                                                                  : "linear");
@@ -461,9 +480,13 @@ int CmdAdd(int argc, char** argv) {
 int CmdRemove(int argc, char** argv) {
   std::string index_path;
   std::string ids;
+  PisOptions policy;
   FlagSet flags;
   flags.AddString("index", &index_path, "index path (file or sharded dir)");
   flags.AddString("ids", &ids, "comma-separated graph ids to remove");
+  flags.AddDouble("compact_dead_ratio", &policy.compact_dead_ratio,
+                  "auto-compact a shard once its dead fraction reaches this "
+                  "(sharded dirs only; 0 = off)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -488,10 +511,13 @@ int CmdRemove(int argc, char** argv) {
   if (sharded) {
     sharded_index = ShardedFragmentIndex::LoadDir(index_path);
     if (!sharded_index.ok()) return Fail(sharded_index.status());
+    sharded_index.value().set_compact_dead_ratio(policy.compact_dead_ratio);
   } else {
     index = FragmentIndex::LoadFile(index_path);
     if (!index.ok()) return Fail(index.status());
   }
+  const int epoch_before =
+      sharded ? sharded_index.value().compaction_epoch() : 0;
   int removed = 0;
   for (int id : parsed) {
     Status status = sharded ? sharded_index.value().RemoveGraph(id)
@@ -513,7 +539,135 @@ int CmdRemove(int argc, char** argv) {
                            : index.value().num_live();
   std::printf("removed %d of %zu ids (%d live graphs remain)\n", removed,
               parsed.size(), live);
+  if (sharded && sharded_index.value().compaction_epoch() > epoch_before) {
+    // Epoch delta counts compaction runs, not distinct shards — one shard
+    // can cross the threshold more than once in a single invocation.
+    std::printf("ran %d auto-compaction(s) past dead ratio %.2f\n",
+                sharded_index.value().compaction_epoch() - epoch_before,
+                policy.compact_dead_ratio);
+  }
   return removed == static_cast<int>(parsed.size()) ? 0 : 1;
+}
+
+int CmdCompact(int argc, char** argv) {
+  std::string index_path;
+  std::string db_path;
+  double min_dead_ratio = 0.0;
+  bool rebalance = false;
+  FlagSet flags;
+  flags.AddString("index", &index_path, "index path (file or sharded dir)");
+  flags.AddString("db", &db_path,
+                  "database path (required for single-file indexes, which "
+                  "re-densify ids, and for --rebalance)");
+  flags.AddDouble("min_dead_ratio", &min_dead_ratio,
+                  "only compact shards at or above this dead fraction "
+                  "(sharded dirs; 0 = every shard with tombstones)");
+  flags.AddBool("rebalance", &rebalance,
+                "also migrate graphs off overloaded shards (sharded dirs)");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  if (index_path.empty()) {
+    return Fail(Status::InvalidArgument("--index is required"));
+  }
+  const uintmax_t bytes_before = PathBytes(index_path);
+
+  if (std::filesystem::is_directory(index_path)) {
+    auto sharded = ShardedFragmentIndex::LoadDir(index_path);
+    if (!sharded.ok()) return Fail(sharded.status());
+    auto compacted = sharded.value().Compact(min_dead_ratio);
+    if (!compacted.ok()) return Fail(compacted.status());
+    int migrated = 0;
+    if (rebalance) {
+      auto db = LoadDb(db_path);
+      if (!db.ok()) return Fail(db.status());
+      // Rebalance itself validates the db/index alignment.
+      auto moved = sharded.value().Rebalance(db.value());
+      if (!moved.ok()) return Fail(moved.status());
+      migrated = moved.value();
+    }
+    if (compacted.value() == 0 && migrated == 0) {
+      // Nothing changed; don't rewrite a healthy on-disk index in place.
+      std::printf("nothing to compact (%d live of %d slots)\n",
+                  sharded.value().num_live(), sharded.value().db_size());
+      return 0;
+    }
+    // Stage the rewrite beside the live directory and swap via renames, so
+    // a crash or full disk mid-write can't strand a manifest that
+    // disagrees with its shard files (LoadDir would reject the directory).
+    const std::string staged = index_path + ".compact.tmp";
+    const std::string retired = index_path + ".compact.old";
+    std::error_code ec;
+    std::filesystem::remove_all(staged, ec);
+    std::filesystem::remove_all(retired, ec);
+    Status saved = sharded.value().SaveDir(staged);
+    if (!saved.ok()) return Fail(saved);
+    std::filesystem::rename(index_path, retired, ec);
+    if (!ec) std::filesystem::rename(staged, index_path, ec);
+    if (ec) {
+      return Fail(Status::IOError("compaction staged but rename failed: " +
+                                  ec.message()));
+    }
+    std::filesystem::remove_all(retired, ec);
+    std::printf(
+        "compacted %d shard(s), migrated %d graph(s); %d live of %d slots; "
+        "%ju -> %ju bytes on disk\n",
+        compacted.value(), migrated, sharded.value().num_live(),
+        sharded.value().db_size(), static_cast<uintmax_t>(bytes_before),
+        static_cast<uintmax_t>(PathBytes(index_path)));
+    return 0;
+  }
+
+  if (rebalance) {
+    return Fail(Status::InvalidArgument(
+        "--rebalance requires a sharded index directory"));
+  }
+  auto index = FragmentIndex::LoadFile(index_path);
+  if (!index.ok()) return Fail(index.status());
+  if (index.value().tombstones().empty()) {
+    std::printf("nothing to compact (0 dead of %d slots)\n",
+                index.value().db_size());
+    return 0;
+  }
+  // Single-file compaction re-densifies graph ids, so the aligned database
+  // must shed its removed records in the same pass or every later query
+  // would mis-map ids.
+  auto db = LoadDb(db_path);
+  if (!db.ok()) return Fail(db.status());
+  if (db.value().size() != index.value().db_size()) {
+    return Fail(Status::InvalidArgument(
+        "index covers " + std::to_string(index.value().db_size()) +
+        " graphs but --db holds " + std::to_string(db.value().size())));
+  }
+  const std::vector<int> remap = index.value().Compact();
+  GraphDatabase compacted;
+  for (int gid = 0; gid < static_cast<int>(remap.size()); ++gid) {
+    if (remap[gid] >= 0) compacted.Add(db.value().at(gid));
+  }
+  // The index and db must move together or their ids misalign forever (the
+  // remap lives only in this process). Stage both next to their targets and
+  // rename at the end, so any single failure leaves the old aligned pair —
+  // or at worst a fully written new db with the old index, which the next
+  // run's size check rejects loudly instead of serving wrong ids.
+  const std::string index_tmp = index_path + ".compact.tmp";
+  const std::string db_tmp = db_path + ".compact.tmp";
+  Status saved = index.value().SaveFile(index_tmp);
+  if (!saved.ok()) return Fail(saved);
+  Status written = WriteGraphDatabaseFile(compacted, db_tmp);
+  if (!written.ok()) return Fail(written);
+  std::error_code rename_ec;
+  std::filesystem::rename(db_tmp, db_path, rename_ec);
+  if (!rename_ec) std::filesystem::rename(index_tmp, index_path, rename_ec);
+  if (rename_ec) {
+    return Fail(Status::IOError("compaction staged but rename failed: " +
+                                rename_ec.message()));
+  }
+  std::printf(
+      "compacted index: %d live graphs re-densified (ids changed!), db file "
+      "rewritten; %ju -> %ju bytes on disk\n",
+      index.value().db_size(), static_cast<uintmax_t>(bytes_before),
+      static_cast<uintmax_t>(PathBytes(index_path)));
+  return 0;
 }
 
 }  // namespace
@@ -532,5 +686,6 @@ int main(int argc, char** argv) {
   if (cmd == "topk") return CmdTopK(sub_argc, sub_argv);
   if (cmd == "add") return CmdAdd(sub_argc, sub_argv);
   if (cmd == "remove") return CmdRemove(sub_argc, sub_argv);
+  if (cmd == "compact") return CmdCompact(sub_argc, sub_argv);
   return FailUsage();
 }
