@@ -1,0 +1,283 @@
+// bench_server: query latency percentiles of the serving subsystem under a
+// mixed read / write / compact workload.
+//
+//   bench_server [--db_size N] [--shards S] [--readers R] [--seconds T]
+//                [--write_every_ms W] [--compact_dead_ratio D] [--sigma SG]
+//
+// Drives an in-process EngineHost (the same object pis_server fronts) in
+// three phases:
+//
+//   1. read-only        — R reader threads, no writers (the baseline);
+//   2. mixed            — readers plus one writer alternating AddGraph /
+//                         RemoveGraph every W ms, with the background
+//                         dead-ratio compactor running;
+//   3. forced compact   — readers keep running while a dedicated thread
+//                         runs a full Compact() + Rebalance(); latencies
+//                         landing inside that window are reported
+//                         separately.
+//
+// The headline check (the PR's acceptance criterion): queries keep being
+// answered — with a reported p99 — while compaction runs. The process
+// exits 1 if the compaction window saw no completed queries.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/engine_host.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+using namespace pis;
+using namespace pis::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double millis = 0;
+  Clock::time_point done;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+void PrintLatencies(const char* label, const std::vector<double>& millis,
+                    double seconds) {
+  std::printf(
+      "%-16s %7zu queries  %8.1f qps   p50 %7.3f ms   p95 %7.3f ms   "
+      "p99 %7.3f ms\n",
+      label, millis.size(), seconds > 0 ? millis.size() / seconds : 0.0,
+      Percentile(millis, 0.50), Percentile(millis, 0.95),
+      Percentile(millis, 0.99));
+}
+
+/// Runs `readers` threads querying the host until stopped; collects one
+/// Sample per completed query.
+class ReaderPool {
+ public:
+  ReaderPool(const EngineHost& host, const std::vector<Graph>& queries,
+             int readers)
+      : host_(host), queries_(queries), samples_(readers) {
+    threads_.reserve(readers);
+    for (int r = 0; r < readers; ++r) {
+      threads_.emplace_back([this, r] { Loop(r); });
+    }
+  }
+
+  std::vector<Sample> StopAndCollect() {
+    stop_.store(true);
+    for (std::thread& t : threads_) t.join();
+    std::vector<Sample> all;
+    for (const std::vector<Sample>& s : samples_) {
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    return all;
+  }
+
+  size_t failed() const { return failed_.load(); }
+
+ private:
+  void Loop(int reader) {
+    size_t qi = static_cast<size_t>(reader);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const Graph& query = queries_[qi++ % queries_.size()];
+      Timer timer;
+      Result<SearchResult> result = host_.Search(query);
+      if (result.ok()) {
+        samples_[reader].push_back({timer.Millis(), Clock::now()});
+      } else {
+        ++failed_;
+      }
+    }
+  }
+
+  const EngineHost& host_;
+  const std::vector<Graph>& queries_;
+  std::vector<std::vector<Sample>> samples_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> failed_{0};
+};
+
+std::vector<double> MillisIn(const std::vector<Sample>& samples,
+                             Clock::time_point begin, Clock::time_point end) {
+  std::vector<double> out;
+  for (const Sample& s : samples) {
+    if (s.done >= begin && s.done <= end) out.push_back(s.millis);
+  }
+  return out;
+}
+
+std::vector<double> AllMillis(const std::vector<Sample>& samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const Sample& s : samples) out.push_back(s.millis);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkloadConfig config;
+  config.db_size = 600;
+  config.feature_min_support = 0.05;
+  config.max_fragment_edges = 4;
+  int shards = 4;
+  int readers = 4;
+  double seconds = 2.0;
+  int write_every_ms = 20;
+  // Low enough that the default run's removals cross it per shard, so the
+  // mixed phase visibly exercises the background compactor.
+  double compact_dead_ratio = 0.04;
+  double sigma = 2.0;
+  int query_edges = 10;
+
+  FlagSet flags;
+  config.Register(&flags);
+  flags.AddInt("shards", &shards, "index shard count");
+  flags.AddInt("readers", &readers, "concurrent reader threads");
+  flags.AddDouble("seconds", &seconds, "duration of each phase");
+  flags.AddInt("write_every_ms", &write_every_ms,
+               "writer cadence in the mixed phase");
+  flags.AddDouble("compact_dead_ratio", &compact_dead_ratio,
+                  "background compaction threshold (mixed phase)");
+  flags.AddDouble("sigma", &sigma, "query distance threshold");
+  flags.AddInt("query_edges", &query_edges, "edges per sampled query");
+  PIS_CHECK(flags.Parse(argc, argv).ok());
+
+  std::printf("bench_server: db=%d shards=%d readers=%d phase=%.1fs\n",
+              config.db_size, shards, readers, seconds);
+
+  GraphDatabase db = MakeDatabase(config);
+  auto features = MineFeatures(db, config);
+  PIS_CHECK(features.ok());
+  FragmentIndexOptions iopt;
+  iopt.min_fragment_edges = config.min_fragment_edges;
+  iopt.max_fragment_edges = config.max_fragment_edges;
+  iopt.spec = DistanceSpec::EdgeMutation();
+  iopt.num_threads = config.threads <= 0 ? HardwareThreads() : config.threads;
+  auto index = ShardedFragmentIndex::Build(db, features.value(), iopt, shards);
+  PIS_CHECK(index.ok()) << index.status().ToString();
+  auto queries = SampleQueries(db, query_edges, config);
+  PIS_CHECK(queries.ok());
+
+  // Writer fodder: fresh graphs to add, drawn from the same generator.
+  MoleculeGeneratorOptions gen_opt;
+  gen_opt.seed = config.db_seed + 1;
+  MoleculeGenerator gen(gen_opt);
+  GraphDatabase fresh = gen.Generate(2000);
+
+  PisOptions options;
+  options.sigma = sigma;
+  options.compact_dead_ratio = compact_dead_ratio;
+  EngineHost host(std::move(db), index.MoveValue(), options);
+
+  const auto phase_len = std::chrono::duration<double>(seconds);
+
+  // ---- Phase 1: read-only baseline.
+  {
+    Timer timer;
+    ReaderPool pool(host, queries.value(), readers);
+    std::this_thread::sleep_for(phase_len);
+    std::vector<Sample> samples = pool.StopAndCollect();
+    PrintLatencies("read-only", AllMillis(samples), timer.Seconds());
+  }
+
+  // ---- Phase 2: mixed read/write with the background compactor on.
+  {
+    PIS_CHECK(host.StartAutoCompaction(std::chrono::milliseconds(200)).ok());
+    Timer timer;
+    ReaderPool pool(host, queries.value(), readers);
+    std::atomic<bool> stop_writer{false};
+    size_t writes = 0;
+    std::thread writer([&] {
+      size_t next_fresh = 0;
+      int next_remove = 0;
+      bool add = true;
+      while (!stop_writer.load()) {
+        if (add) {
+          PIS_CHECK(host.AddGraph(fresh.at(next_fresh++ % fresh.size())).ok());
+        } else {
+          // Ids are immortal; marching upward never repeats a victim.
+          (void)host.RemoveGraph(next_remove++);
+        }
+        add = !add;
+        ++writes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(write_every_ms));
+      }
+    });
+    std::this_thread::sleep_for(phase_len);
+    stop_writer.store(true);
+    writer.join();
+    std::vector<Sample> samples = pool.StopAndCollect();
+    PrintLatencies("mixed r/w", AllMillis(samples), timer.Seconds());
+    std::printf(
+        "                 %zu writes, %llu background compaction(s)\n",
+        writes,
+        static_cast<unsigned long long>(host.background_compactions()));
+    host.StopAutoCompaction();
+  }
+
+  // ---- Phase 3: full compaction + rebalance while readers hammer.
+  size_t during_compaction = 0;
+  {
+    // Tombstone enough graphs that every shard has work to rewrite.
+    EngineHost::HostStats before = host.Stats();
+    for (int gid = before.db_slots - 1, removed = 0;
+         gid >= 0 && removed < before.live / 5; --gid) {
+      if (host.RemoveGraph(gid).ok()) ++removed;
+    }
+    Timer timer;
+    ReaderPool pool(host, queries.value(), readers);
+    // Let readers reach steady state before the window opens. The readers
+    // supply the concurrency; the compaction itself runs right here and
+    // its wall-clock span is the measurement window.
+    std::this_thread::sleep_for(phase_len / 4);
+    const Clock::time_point window_begin = Clock::now();
+    auto compacted = host.Compact(0.0);
+    PIS_CHECK(compacted.ok()) << compacted.status().ToString();
+    auto migrated = host.Rebalance();
+    PIS_CHECK(migrated.ok()) << migrated.status().ToString();
+    const Clock::time_point window_end = Clock::now();
+    std::printf(
+        "                 compacted %d shard(s), migrated %d graph(s) in "
+        "%.1f ms\n",
+        compacted.value(), migrated.value(),
+        std::chrono::duration<double>(window_end - window_begin).count() *
+            1e3);
+    std::this_thread::sleep_for(phase_len / 4);
+    std::vector<Sample> samples = pool.StopAndCollect();
+    PrintLatencies("around compact", AllMillis(samples), timer.Seconds());
+    std::vector<double> inside = MillisIn(samples, window_begin, window_end);
+    during_compaction = inside.size();
+    const double window_seconds =
+        std::chrono::duration<double>(window_end - window_begin).count();
+    PrintLatencies("  in window", inside, window_seconds);
+    PIS_CHECK(pool.failed() == 0) << "queries failed during compaction";
+  }
+
+  EngineHost::HostStats final_stats = host.Stats();
+  std::printf("final: %d live / %d slots, compaction epoch %d\n",
+              final_stats.live, final_stats.db_slots,
+              final_stats.compaction_epoch);
+  if (during_compaction == 0) {
+    std::printf(
+        "FAIL: no queries completed inside the compaction window (window too "
+        "short? raise --db_size)\n");
+    return 1;
+  }
+  std::printf(
+      "OK: %zu queries answered while the background compaction ran\n",
+      during_compaction);
+  return 0;
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving subsystem: build a sample DB + sharded
+# index with pis_cli, start pis_server, drive every protocol op through
+# pis_client, and require a clean shutdown. CI runs this against the
+# freshly built binaries; locally:
+#
+#   scripts/server_smoke.sh ./build
+set -euo pipefail
+
+BIN="$(cd "${1:-./build}" && pwd)"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+echo "== prepare sample DB + sharded index"
+"$BIN/pis_cli" generate --out db.txt --count 60 --seed 42
+"$BIN/pis_cli" build --db db.txt --out sharded_dir --max_fragment_edges 4 \
+  --min_support 0.08 --shards 4
+# The first record of the DB is its own sigma-0 answer — a query with a
+# known non-empty result.
+awk '/^t /{n++} n<=1' db.txt > probe.txt
+"$BIN/pis_cli" generate --out new.txt --count 2 --seed 7
+
+echo "== machine-readable stats (pis_cli stats --json)"
+"$BIN/pis_cli" stats --index sharded_dir --json | tee stats.json
+grep -q '"type":"sharded"' stats.json
+grep -q '"num_shards":4' stats.json
+
+echo "== manifest v4 keeps the auto-compaction policy across plain removes"
+cp -r sharded_dir policy_dir
+"$BIN/pis_cli" remove --index policy_dir --ids 58 --compact_dead_ratio 0.3 \
+  > /dev/null
+"$BIN/pis_cli" remove --index policy_dir --ids 59 > /dev/null
+"$BIN/pis_cli" stats --index policy_dir --json | tee policy.json
+grep -q '"compact_dead_ratio":0.3' policy.json
+rm -rf policy_dir
+
+echo "== start pis_server (ephemeral port, background compaction on)"
+"$BIN/pis_server" --db db.txt --index sharded_dir --port 0 \
+  --compact_dead_ratio 0.2 --compact_interval_ms 200 > server.log 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on port" server.log && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat server.log; exit 1; }
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' server.log)"
+echo "   port $PORT"
+
+echo "== health"
+"$BIN/pis_client" health --port "$PORT" | tee health.json
+grep -q '"ok":true' health.json
+
+echo "== query (graph 0 must answer itself)"
+"$BIN/pis_client" query --port "$PORT" --query probe.txt | tee query.json
+grep -q '"ok":true' query.json
+grep -q '"answers":\[0[],]' query.json
+
+echo "== add two graphs, remove one, query still serves"
+"$BIN/pis_client" add --port "$PORT" --graphs new.txt | tee add.json
+grep -q '"id":60' add.json
+grep -q '"id":61' add.json
+"$BIN/pis_client" remove --port "$PORT" --ids 60 | tee remove.json
+grep -q '"ok":true' remove.json
+"$BIN/pis_client" query --port "$PORT" --query probe.txt | grep -q '"ok":true'
+
+echo "== compact (the removed graph's postings) and check stats"
+"$BIN/pis_client" compact --port "$PORT" | tee compact.json
+grep -q '"compacted":1' compact.json
+"$BIN/pis_client" stats --port "$PORT" | tee server_stats.json
+grep -q '"live":61' server_stats.json
+grep -q '"removed":1' server_stats.json
+
+echo "== protocol errors do not wedge the server"
+if "$BIN/pis_client" remove --port "$PORT" --ids 99999 > bad.json; then
+  echo "expected nonzero exit for a failed remove"; exit 1
+fi
+grep -q '"ok":false' bad.json
+"$BIN/pis_client" health --port "$PORT" | grep -q '"ok":true'
+
+echo "== shutdown must be clean"
+"$BIN/pis_client" shutdown --port "$PORT" | grep -q '"ok":true'
+wait "$SERVER_PID"
+grep -q "shut down cleanly" server.log
+cat server.log
+
+echo "server smoke: OK"

@@ -5,13 +5,48 @@
 #include <utility>
 #include <vector>
 
+#include "canonical/min_dfs.h"
 #include "core/partition.h"
 #include "core/query_fragments.h"
 #include "core/selectivity.h"
+#include "graph/io.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 namespace pis::internal {
+
+namespace {
+
+/// Looks the query up in the batch enumeration cache. On a hit, copies the
+/// memoized fragment list into `result` (the copy happens outside the
+/// cache lock — only the shared_ptr is fetched under it) and returns true.
+/// On a miss, leaves the composite cache key in `key` so the caller can
+/// insert its enumeration; an unkeyable query (MinDfsCode rejects it, e.g.
+/// disconnected) leaves `key` empty and the caller skips the insert too.
+bool LookUpEnumCache(QueryEnumCache* cache, const Graph& query,
+                     FilterResult* result, std::string* key) {
+  CanonicalOptions canon_opts;
+  canon_opts.use_labels = true;
+  canon_opts.first_embedding_only = true;
+  Result<CanonicalForm> canon = MinDfsCode(query, canon_opts);
+  if (!canon.ok()) return false;
+  // Composite key: canonical code (the isomorphism class) plus the exact
+  // encoding (distinguishes renumbered twins — see QueryEnumCache docs).
+  // '\n' cannot appear in a code key, so the join is unambiguous.
+  *key = canon.value().Key() + '\n' + FormatGraph(query, 0);
+  std::shared_ptr<const std::vector<QueryFragment>> cached;
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    auto it = cache->by_key.find(*key);
+    if (it != cache->by_key.end()) cached = it->second;
+  }
+  if (cached == nullptr) return false;
+  result->fragments = *cached;
+  result->stats.enum_cache_hits = 1;
+  return true;
+}
+
+}  // namespace
 
 Status MinDistancePerGraph(const FragmentIndex& index,
                            const PreparedFragment& fragment, double sigma,
@@ -26,7 +61,8 @@ Status MinDistancePerGraph(const FragmentIndex& index,
 Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
                                   const std::unordered_set<int>* tombstones,
                                   const PisOptions& options, const Graph& query,
-                                  const FragmentQueryFn& query_fn) {
+                                  const FragmentQueryFn& query_fn,
+                                  QueryEnumCache* enum_cache) {
   if (query.Empty()) {
     return Status::InvalidArgument("query graph is empty");
   }
@@ -34,10 +70,22 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
   const double sigma = options.sigma;
   FilterResult result;
 
-  PIS_ASSIGN_OR_RETURN(
-      result.fragments,
-      EnumerateIndexedQueryFragments(enum_index, query,
-                                     options.max_query_fragments));
+  std::string cache_key;
+  const bool cached = enum_cache != nullptr &&
+                      LookUpEnumCache(enum_cache, query, &result, &cache_key);
+  if (!cached) {
+    PIS_ASSIGN_OR_RETURN(
+        result.fragments,
+        EnumerateIndexedQueryFragments(enum_index, query,
+                                       options.max_query_fragments));
+    if (enum_cache != nullptr && !cache_key.empty()) {
+      auto shared = std::make_shared<const std::vector<QueryFragment>>(
+          result.fragments);
+      std::lock_guard<std::mutex> lock(enum_cache->mu);
+      // First writer wins on a race; both enumerated the same thing.
+      enum_cache->by_key.emplace(std::move(cache_key), std::move(shared));
+    }
+  }
   result.stats.fragments_enumerated = result.fragments.size();
 
   // Pass 1 (Algorithm 2 lines 6-18): one range query per fragment; keep CQ

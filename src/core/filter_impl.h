@@ -11,15 +11,40 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/options.h"
 #include "core/pis.h"
+#include "core/query_fragments.h"
 #include "index/fragment_index.h"
 #include "util/status.h"
 
 namespace pis::internal {
+
+/// Per-batch memo of query-fragment enumeration, shared by the workers of
+/// one SearchBatch call (ROADMAP "duplicate queries" lever). Keyed by the
+/// canonical minimum DFS code of the query COMBINED with its exact
+/// serialized encoding: a hit strictly isomorphism-keyed on the code alone
+/// would let a renumbered twin inherit a foreign fragment list, permuting
+/// fragment order and vertex sets — answers would stay exact (verification
+/// runs on the real query), but selectivity-tie partition choices could
+/// drift and the batch would no longer equal a sequential Search loop
+/// counter for counter. With the composite key, identical repeats of EVERY
+/// distinct encoding hit (including repeats of each renumbered twin), and
+/// distinct encodings never share an entry. The mutex guards only the map;
+/// entries are immutable shared_ptrs copied out before use, so workers
+/// never hold the lock across fragment-vector copies.
+struct QueryEnumCache {
+  std::mutex mu;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<QueryFragment>>>
+      by_key;
+};
 
 /// Answers one fragment's range query: fills `min_dist` with the per-graph
 /// minimum distance over all matches within `sigma` (Eq. 3), keyed by
@@ -50,10 +75,17 @@ Status MinDistancePerGraph(const FragmentIndex& index,
 /// index filters exactly like one rebuilt from scratch over the live
 /// graphs. `query_fn` must already exclude tombstoned ids from its results
 /// (FragmentIndex::RangeQuery does).
+///
+/// `enum_cache` (nullable) memoizes the fragment enumeration across the
+/// queries of one batch: a duplicate query reuses the first duplicate's
+/// fragment list (stats.enum_cache_hits = 1) instead of re-enumerating and
+/// re-preparing every connected edge subset. Results are identical either
+/// way; unkeyable queries (disconnected) simply bypass the cache.
 Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
                                   const std::unordered_set<int>* tombstones,
                                   const PisOptions& options, const Graph& query,
-                                  const FragmentQueryFn& query_fn);
+                                  const FragmentQueryFn& query_fn,
+                                  QueryEnumCache* enum_cache = nullptr);
 
 /// The SearchBatch driver: fans `run_query` over 0..num_queries-1 with
 /// ParallelFor, isolates per-query exceptions as Internal errors, and

@@ -45,10 +45,11 @@ struct PisOptions {
   /// Auto-compaction threshold for sharded serving: when > 0, callers that
   /// own a mutable ShardedFragmentIndex forward this to
   /// set_compact_dead_ratio so a RemoveGraph compacts the owning shard once
-  /// its tombstoned fraction reaches the threshold. 0 (default) disables —
-  /// compaction then only happens on explicit Compact()/CompactShard()
-  /// calls (`pis_cli compact`). Never affects query results, only when the
-  /// dead postings are reclaimed.
+  /// its tombstoned fraction reaches the threshold; EngineHost instead
+  /// hands it to its background compactor so the write path stays cheap.
+  /// 0 (default) disables — compaction then only happens on explicit
+  /// Compact()/CompactShard() calls (`pis_cli compact`). Never affects
+  /// query results, only when the dead postings are reclaimed.
   double compact_dead_ratio = 0.0;
 };
 

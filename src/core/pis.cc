@@ -18,17 +18,28 @@ PisEngine::PisEngine(const GraphDatabase* db, const FragmentIndex* index,
 }
 
 Result<FilterResult> PisEngine::Filter(const Graph& query) const {
+  return FilterImpl(query, nullptr);
+}
+
+Result<FilterResult> PisEngine::FilterImpl(
+    const Graph& query, internal::QueryEnumCache* enum_cache) const {
   return internal::RunPisFilter(
       *index_, db_->size(), &index_->tombstones(), options_, query,
       [this](const PreparedFragment& fragment, double sigma,
              std::unordered_map<int, double>* min_dist, QueryStats* stats) {
         ++stats->range_queries;
         return internal::MinDistancePerGraph(*index_, fragment, sigma, min_dist);
-      });
+      },
+      enum_cache);
 }
 
 Result<SearchResult> PisEngine::Search(const Graph& query) const {
-  PIS_ASSIGN_OR_RETURN(FilterResult filtered, Filter(query));
+  return SearchImpl(query, nullptr);
+}
+
+Result<SearchResult> PisEngine::SearchImpl(
+    const Graph& query, internal::QueryEnumCache* enum_cache) const {
+  PIS_ASSIGN_OR_RETURN(FilterResult filtered, FilterImpl(query, enum_cache));
   SearchResult result;
   result.candidates = std::move(filtered.candidates);
   result.stats = filtered.stats;
@@ -58,9 +69,13 @@ BatchSearchResult PisEngine::SearchBatch(std::span<const Graph> queries,
     flat.options_.verify_threads = 1;
     engine = &flat;
   }
+  // One enumeration memo per batch: duplicate queries reuse the first
+  // duplicate's fragment list instead of re-enumerating (results are
+  // identical; only work and stats.enum_cache_hits change).
+  internal::QueryEnumCache enum_cache;
   return internal::RunSearchBatch(
       queries.size(), num_threads,
-      [&](size_t qi) { return engine->Search(queries[qi]); });
+      [&](size_t qi) { return engine->SearchImpl(queries[qi], &enum_cache); });
 }
 
 }  // namespace pis

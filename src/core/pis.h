@@ -17,6 +17,10 @@
 
 namespace pis {
 
+namespace internal {
+struct QueryEnumCache;  // batch-scoped enumeration memo (core/filter_impl.h)
+}  // namespace internal
+
 /// Output of the filtering phase (Algorithm 2) — everything the benchmark
 /// harness needs without paying for verification.
 struct FilterResult {
@@ -72,6 +76,15 @@ class PisEngine {
   const PisOptions& options() const { return options_; }
 
  private:
+  /// Filter/Search with an optional batch-scoped enumeration cache:
+  /// duplicate queries in one SearchBatch skip re-enumerating their
+  /// fragments (stats.enum_cache_hits reports reuse). Results are
+  /// identical with or without the cache.
+  Result<FilterResult> FilterImpl(const Graph& query,
+                                  internal::QueryEnumCache* enum_cache) const;
+  Result<SearchResult> SearchImpl(const Graph& query,
+                                  internal::QueryEnumCache* enum_cache) const;
+
   const GraphDatabase* db_;
   const FragmentIndex* index_;
   PisOptions options_;

@@ -21,6 +21,11 @@ ShardedPisEngine::ShardedPisEngine(const GraphDatabase* db,
 }
 
 Result<FilterResult> ShardedPisEngine::Filter(const Graph& query) const {
+  return FilterImpl(query, nullptr);
+}
+
+Result<FilterResult> ShardedPisEngine::FilterImpl(
+    const Graph& query, internal::QueryEnumCache* enum_cache) const {
   const int num_shards = index_->num_shards();
   // One fragment's range query = one physical query per shard, merged back
   // to global ids. Shards own disjoint id ranges, so the merge is a plain
@@ -50,11 +55,16 @@ Result<FilterResult> ShardedPisEngine::Filter(const Graph& query) const {
   // live selectivity denominator.
   return internal::RunPisFilter(index_->shard(0), db_->size(),
                                 &index_->tombstones(), options_, query,
-                                query_fn);
+                                query_fn, enum_cache);
 }
 
 Result<SearchResult> ShardedPisEngine::Search(const Graph& query) const {
-  PIS_ASSIGN_OR_RETURN(FilterResult filtered, Filter(query));
+  return SearchImpl(query, nullptr);
+}
+
+Result<SearchResult> ShardedPisEngine::SearchImpl(
+    const Graph& query, internal::QueryEnumCache* enum_cache) const {
+  PIS_ASSIGN_OR_RETURN(FilterResult filtered, FilterImpl(query, enum_cache));
   SearchResult result;
   result.candidates = std::move(filtered.candidates);
   result.stats = filtered.stats;
@@ -83,9 +93,11 @@ BatchSearchResult ShardedPisEngine::SearchBatch(std::span<const Graph> queries,
     flat.options_.shard_threads = 1;
     engine = &flat;
   }
+  // One enumeration memo per batch (see PisEngine::SearchBatch).
+  internal::QueryEnumCache enum_cache;
   return internal::RunSearchBatch(
       queries.size(), num_threads,
-      [&](size_t qi) { return engine->Search(queries[qi]); });
+      [&](size_t qi) { return engine->SearchImpl(queries[qi], &enum_cache); });
 }
 
 }  // namespace pis

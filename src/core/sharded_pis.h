@@ -45,6 +45,13 @@ class ShardedPisEngine {
   const ShardedFragmentIndex& index() const { return *index_; }
 
  private:
+  /// Filter/Search with an optional batch-scoped enumeration cache (same
+  /// contract as PisEngine::FilterImpl/SearchImpl).
+  Result<FilterResult> FilterImpl(const Graph& query,
+                                  internal::QueryEnumCache* enum_cache) const;
+  Result<SearchResult> SearchImpl(const Graph& query,
+                                  internal::QueryEnumCache* enum_cache) const;
+
   const GraphDatabase* db_;
   const ShardedFragmentIndex* index_;
   PisOptions options_;

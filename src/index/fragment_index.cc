@@ -4,6 +4,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "canonical/min_dfs.h"
 #include "util/logging.h"
@@ -353,6 +354,15 @@ Status FragmentIndex::Save(std::ostream& out) const {
   writer.I32(num_live());
   if (!writer.ok()) return Status::IOError("index write failed");
   return Status::OK();
+}
+
+Result<FragmentIndex> FragmentIndex::Clone() const {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  PIS_RETURN_NOT_OK(Save(buffer));
+  PIS_ASSIGN_OR_RETURN(FragmentIndex copy, Load(buffer));
+  copy.options_.num_threads = options_.num_threads;
+  copy.stats_ = stats_;
+  return copy;
 }
 
 Status FragmentIndex::SaveFile(const std::string& path) const {

@@ -1,6 +1,7 @@
 #include "index/sharded_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,9 +22,10 @@ constexpr uint32_t kManifestMagic = 0x5049534D;  // "PISM"
 // contiguity. v3: compaction epoch, routing that admits -1 (removed and
 // compacted away), explicit per-graph local ids (Rebalance breaks the
 // "locals ascend with globals" derivation v2 relied on), and per-shard
-// live counts cross-checked against the shard files. v1/v2 manifests still
-// load.
-constexpr uint32_t kManifestVersion = 3;
+// live counts cross-checked against the shard files. v4: trailing
+// auto-compaction dead-ratio policy, so a reloaded server keeps it. v1-v3
+// manifests still load (with the policy off).
+constexpr uint32_t kManifestVersion = 4;
 constexpr char kManifestName[] = "MANIFEST";
 
 std::string ShardFileName(int s) {
@@ -130,11 +132,12 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
   sharded.shards_.reserve(num_shards);
   for (int s = 0; s < num_shards; ++s) {
     if (!built[s].ok()) return built[s].status();
-    sharded.shards_.push_back(built[s].MoveValue());
+    sharded.shards_.push_back(
+        std::make_shared<FragmentIndex>(built[s].MoveValue()));
   }
   for (int s = 1; s < num_shards; ++s) {
-    PIS_CHECK(sharded.shards_[s].num_classes() ==
-              sharded.shards_[0].num_classes())
+    PIS_CHECK(sharded.shards_[s]->num_classes() ==
+              sharded.shards_[0]->num_classes())
         << "shards disagree on the class catalog";
   }
   sharded.DeriveRouting();
@@ -142,14 +145,36 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::Build(
   return sharded;
 }
 
+Result<FragmentIndex*> ShardedFragmentIndex::MutableShard(int s) {
+  // use_count == 1 means nobody else can observe the shard: mutate in
+  // place. Anything higher means a snapshot handle or an index copy pins
+  // it, so detach a deep copy first (their view stays frozen, ours moves).
+  //
+  // Concurrency note: under EngineHost the published snapshot always
+  // shares every shard of the writer's master copy, so the in-place path
+  // is only ever taken by single-threaded owners (CLI, tests) — a racing
+  // reader releasing the last pin concurrently with this check cannot
+  // happen there by construction. The acquire fence still pairs with the
+  // release decrement of a hypothetical releasing thread, so even that
+  // interleaving would not reorder its reads past our writes.
+  if (shards_[s].use_count() > 1) {
+    PIS_ASSIGN_OR_RETURN(FragmentIndex detached, shards_[s]->Clone());
+    shards_[s] = std::make_shared<FragmentIndex>(std::move(detached));
+  } else {
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+  return shards_[s].get();
+}
+
 Result<int> ShardedFragmentIndex::AddGraph(const Graph& g) {
   // Least-loaded routing by live graph count; ties go to the lowest shard
   // id so a replayed update sequence reproduces the same routing.
   int best = 0;
   for (int s = 1; s < num_shards(); ++s) {
-    if (shards_[s].num_live() < shards_[best].num_live()) best = s;
+    if (shards_[s]->num_live() < shards_[best]->num_live()) best = s;
   }
-  PIS_ASSIGN_OR_RETURN(int local, shards_[best].AddGraph(g));
+  PIS_ASSIGN_OR_RETURN(FragmentIndex * target, MutableShard(best));
+  PIS_ASSIGN_OR_RETURN(int local, target->AddGraph(g));
   PIS_DCHECK(local == static_cast<int>(globals_[best].size()));
   const int gid = db_size();
   shard_of_.push_back(best);
@@ -170,10 +195,11 @@ Status ShardedFragmentIndex::RemoveGraph(int gid) {
                             " was already removed");
   }
   const int s = shard_of_[gid];
-  PIS_RETURN_NOT_OK(shards_[s].RemoveGraph(local_of_[gid]));
+  PIS_ASSIGN_OR_RETURN(FragmentIndex * target, MutableShard(s));
+  PIS_RETURN_NOT_OK(target->RemoveGraph(local_of_[gid]));
   tombstones_.insert(gid);
   if (compact_dead_ratio_ > 0 &&
-      shards_[s].dead_ratio() >= compact_dead_ratio_) {
+      shards_[s]->dead_ratio() >= compact_dead_ratio_) {
     return CompactShard(s);
   }
   return Status::OK();
@@ -184,12 +210,16 @@ Status ShardedFragmentIndex::CompactShard(int s) {
     return Status::InvalidArgument("shard " + std::to_string(s) +
                                    " out of range");
   }
-  if (shards_[s].tombstones().empty()) return Status::OK();
-  const std::vector<int> remap = shards_[s].Compact();
+  if (shards_[s]->tombstones().empty()) return Status::OK();
+  // The detached-copy-then-swap below is the serving layer's zero-downtime
+  // compaction: when a snapshot pins the shard, the rewrite happens off to
+  // the side and lands atomically in this index's handle slot.
+  PIS_ASSIGN_OR_RETURN(FragmentIndex * target, MutableShard(s));
+  const std::vector<int> remap = target->Compact();
   // The remap is monotone over survivors, so rebuilding globals_[s] in old
   // local order lands every surviving gid at exactly its new local id.
   std::vector<int> survivors;
-  survivors.reserve(shards_[s].db_size());
+  survivors.reserve(target->db_size());
   for (size_t local = 0; local < remap.size(); ++local) {
     const int gid = globals_[s][local];
     if (gid < 0) {
@@ -216,8 +246,8 @@ Status ShardedFragmentIndex::CompactShard(int s) {
 Result<int> ShardedFragmentIndex::Compact(double min_dead_ratio) {
   int compacted = 0;
   for (int s = 0; s < num_shards(); ++s) {
-    if (shards_[s].tombstones().empty()) continue;
-    if (shards_[s].dead_ratio() < min_dead_ratio) continue;
+    if (shards_[s]->tombstones().empty()) continue;
+    if (shards_[s]->dead_ratio() < min_dead_ratio) continue;
     PIS_RETURN_NOT_OK(CompactShard(s));
     ++compacted;
   }
@@ -235,8 +265,10 @@ Result<int> ShardedFragmentIndex::Rebalance(const GraphDatabase& db) {
     *fullest = 0;
     *emptiest = 0;
     for (int s = 1; s < num_shards(); ++s) {
-      if (shards_[s].num_live() > shards_[*fullest].num_live()) *fullest = s;
-      if (shards_[s].num_live() < shards_[*emptiest].num_live()) *emptiest = s;
+      if (shards_[s]->num_live() > shards_[*fullest]->num_live()) *fullest = s;
+      if (shards_[s]->num_live() < shards_[*emptiest]->num_live()) {
+        *emptiest = s;
+      }
     }
   };
   std::vector<char> donor(num_shards(), 0);
@@ -245,19 +277,24 @@ Result<int> ShardedFragmentIndex::Rebalance(const GraphDatabase& db) {
   while (failed.ok()) {
     int src, dst;
     extreme_shards(&src, &dst);
-    if (shards_[src].num_live() - shards_[dst].num_live() <= 1) break;
+    if (shards_[src]->num_live() - shards_[dst]->num_live() <= 1) break;
     // Migrate the donor's most recently indexed live graph: its postings
     // sit at the tail of the shard, and the choice is deterministic.
     int gid = -1;
     for (int local = static_cast<int>(globals_[src].size()) - 1; local >= 0;
          --local) {
-      if (shards_[src].IsLive(local)) {
+      if (shards_[src]->IsLive(local)) {
         gid = globals_[src][local];
         break;
       }
     }
     PIS_CHECK(gid >= 0) << "overloaded shard has no live graph";
-    Result<int> local = shards_[dst].AddGraph(db.at(gid));
+    Result<FragmentIndex*> recipient = MutableShard(dst);
+    if (!recipient.ok()) {
+      failed = recipient.status();
+      break;
+    }
+    Result<int> local = recipient.value()->AddGraph(db.at(gid));
     if (!local.ok()) {
       failed = local.status();
       break;
@@ -267,7 +304,12 @@ Result<int> ShardedFragmentIndex::Rebalance(const GraphDatabase& db) {
     // compaction below drains it so per-shard tombstones remain a subset of
     // the global (removed-forever) set. The donor's globals slot becomes a
     // -1 hole so that compaction doesn't clobber the rewritten routing.
-    failed = shards_[src].RemoveGraph(local_of_[gid]);
+    Result<FragmentIndex*> donor_shard = MutableShard(src);
+    if (!donor_shard.ok()) {
+      failed = donor_shard.status();
+      break;
+    }
+    failed = donor_shard.value()->RemoveGraph(local_of_[gid]);
     if (!failed.ok()) break;
     globals_[src][local_of_[gid]] = -1;
     shard_of_[gid] = dst;
@@ -306,12 +348,14 @@ Status ShardedFragmentIndex::SaveDir(const std::string& dir) const {
     writer.VecInt(shard_of_);
     writer.VecInt(local_of_);
     std::vector<int> live(num_shards());
-    for (int s = 0; s < num_shards(); ++s) live[s] = shards_[s].num_live();
+    for (int s = 0; s < num_shards(); ++s) live[s] = shards_[s]->num_live();
     writer.VecInt(live);
+    // v4 trailing section: the auto-compaction policy.
+    writer.F64(compact_dead_ratio_);
     if (!writer.ok()) return Status::IOError("manifest write failed");
   }
   for (int s = 0; s < num_shards(); ++s) {
-    PIS_RETURN_NOT_OK(shards_[s].SaveFile((root / ShardFileName(s)).string()));
+    PIS_RETURN_NOT_OK(shards_[s]->SaveFile((root / ShardFileName(s)).string()));
   }
   // An in-place re-save with a smaller shard count must not leave stale
   // shard files behind: LoadDir treats surplus files as manifest/disk
@@ -380,18 +424,25 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
     if (version >= 3) {
       sharded.local_of_ = reader.VecInt();
       manifest_live = reader.VecInt();
-      // The routing parsed but the trailing v3 sections are short: the
+      double dead_ratio = 0.0;
+      if (version >= 4) dead_ratio = reader.F64();
+      // The routing parsed but the trailing v3/v4 sections are short: the
       // manifest structurally disagrees with what it declares rather than
       // being unreadable garbage.
       if (!reader.ok()) {
-        return Status::InvalidArgument("v3 manifest truncated mid-section");
+        return Status::InvalidArgument("manifest truncated mid-section");
       }
       if (sharded.local_of_.size() != sharded.shard_of_.size() ||
           manifest_live.size() != num_shards) {
         return Status::InvalidArgument(
-            "v3 manifest local-id/live-count sections disagree with its "
+            "manifest local-id/live-count sections disagree with its "
             "routing table");
       }
+      if (!(dead_ratio >= 0.0 && dead_ratio <= 1.0)) {
+        return Status::InvalidArgument(
+            "manifest auto-compaction dead ratio outside [0, 1]");
+      }
+      sharded.compact_dead_ratio_ = dead_ratio;
     }
   }
 
@@ -438,11 +489,11 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
           std::to_string(manifest_live[s]));
     }
     if (s > 0 &&
-        shard.num_classes() != sharded.shards_.front().num_classes()) {
+        shard.num_classes() != sharded.shards_.front()->num_classes()) {
       return Status::InvalidArgument("shard " + std::to_string(s) +
                                      " class catalog disagrees with shard 0");
     }
-    sharded.shards_.push_back(std::move(shard));
+    sharded.shards_.push_back(std::make_shared<FragmentIndex>(std::move(shard)));
   }
   if (version >= 3) {
     PIS_RETURN_NOT_OK(sharded.DeriveGlobalsFromLocals());
@@ -452,7 +503,7 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
   // Global tombstones: the per-shard sets (persisted inside the per-shard
   // index files) plus every compacted-away slot the routing marks -1.
   for (uint32_t s = 0; s < num_shards; ++s) {
-    for (int local : sharded.shards_[s].tombstones()) {
+    for (int local : sharded.shards_[s]->tombstones()) {
       if (local < 0 || local >= sharded.shard_size(static_cast<int>(s))) {
         return Status::InvalidArgument("shard " + std::to_string(s) +
                                        " tombstone out of range");
@@ -463,7 +514,7 @@ Result<ShardedFragmentIndex> ShardedFragmentIndex::LoadDir(
   for (int gid = 0; gid < sharded.db_size(); ++gid) {
     if (sharded.shard_of_[gid] < 0) sharded.tombstones_.insert(gid);
   }
-  sharded.options_ = sharded.shards_.front().options();
+  sharded.options_ = sharded.shards_.front()->options();
   return sharded;
 }
 

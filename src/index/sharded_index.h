@@ -13,9 +13,20 @@
 // stable; dead ids simply stop being resident anywhere) and Rebalance
 // migrates graphs off overloaded shards through the routing table, so the
 // index can serve a mutating workload indefinitely without a full rebuild.
+//
+// Shards are held behind shared_ptr handles with copy-on-write mutation:
+// copying a ShardedFragmentIndex is cheap (the copies share the per-shard
+// indexes), and any mutator detaches — deep-copies — a shard before
+// touching it whenever the handle is shared. The serving layer
+// (server/engine_host.h) builds its immutable published snapshots on
+// exactly this: a snapshot pins the shard handles it was published with,
+// while the writer keeps mutating its own copy, and an expensive
+// CompactShard rewrites happen on a detached copy that is swapped in —
+// never under a concurrent reader.
 #ifndef PIS_INDEX_SHARDED_INDEX_H_
 #define PIS_INDEX_SHARDED_INDEX_H_
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -41,7 +52,14 @@ class ShardedFragmentIndex {
                                             int num_shards);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  const FragmentIndex& shard(int s) const { return shards_[s]; }
+  const FragmentIndex& shard(int s) const { return *shards_[s]; }
+  /// Snapshot handle: keeps shard `s`'s current index alive independently of
+  /// this object. A later mutation of shard `s` (on this index or any copy)
+  /// detaches a fresh copy first, so the handle's index never changes under
+  /// the holder — the building block of the serving layer's snapshots.
+  std::shared_ptr<const FragmentIndex> shard_handle(int s) const {
+    return shards_[s];
+  }
   /// Graph-id slots resident in shard `s`: live plus tombstoned-but-not-
   /// yet-compacted (compaction evicts dead slots from the shard entirely).
   int shard_size(int s) const { return static_cast<int>(globals_[s].size()); }
@@ -70,7 +88,7 @@ class ShardedFragmentIndex {
   }
   /// Dead fraction of shard `s`'s resident slots — the auto-compaction
   /// trigger signal. 0 for an empty shard.
-  double shard_dead_ratio(int s) const { return shards_[s].dead_ratio(); }
+  double shard_dead_ratio(int s) const { return shards_[s]->dead_ratio(); }
 
   /// Incremental maintenance: routes the graph to the shard with the fewest
   /// live graphs (ties break toward the lowest shard id, so a fixed update
@@ -97,8 +115,9 @@ class ShardedFragmentIndex {
   /// Auto-compaction policy: a threshold in (0, 1] makes RemoveGraph
   /// compact the owning shard once its dead ratio reaches the threshold
   /// (PisOptions::compact_dead_ratio is the conventional source of the
-  /// value). 0 — the default — disables the policy. Runtime-only, not
-  /// persisted (like FragmentIndexOptions::num_threads).
+  /// value). 0 — the default — disables the policy. Persisted by manifest
+  /// v4, so a reloaded server keeps its policy; v1-v3 directories load with
+  /// the policy off.
   void set_compact_dead_ratio(double ratio) { compact_dead_ratio_ = ratio; }
   double compact_dead_ratio() const { return compact_dead_ratio_; }
 
@@ -116,7 +135,7 @@ class ShardedFragmentIndex {
   int compaction_epoch() const { return compaction_epoch_; }
 
   /// Identical across shards (classes are feature-derived).
-  int num_classes() const { return shards_.front().num_classes(); }
+  int num_classes() const { return shards_.front()->num_classes(); }
   const FragmentIndexOptions& options() const { return options_; }
   /// Wall-clock build time of the whole sharded build (covers the parallel
   /// per-shard builds; per-shard CPU times are in shard(s).stats()).
@@ -146,8 +165,15 @@ class ShardedFragmentIndex {
   /// Rebuilds globals_ from shard_of_/local_of_ (any routing shape).
   Status DeriveGlobalsFromLocals();
 
+  /// Copy-on-write guard: returns shard `s` for mutation, first detaching a
+  /// deep copy when the handle is shared (a snapshot or another index copy
+  /// still pins the current one). Every mutator goes through this, so a
+  /// shard an outside holder can observe is never modified in place.
+  Result<FragmentIndex*> MutableShard(int s);
+
   FragmentIndexOptions options_;
-  std::vector<FragmentIndex> shards_;
+  /// Shared with snapshot handles and index copies; COW via MutableShard.
+  std::vector<std::shared_ptr<FragmentIndex>> shards_;
   /// Global graph id -> owning shard; -1 once the graph was removed and
   /// compacted away (resident nowhere).
   std::vector<int> shard_of_;

@@ -1,0 +1,38 @@
+#include "mining/pipeline.h"
+
+#include <algorithm>
+
+#include "mining/feature_selector.h"
+#include "mining/gspan.h"
+
+namespace pis {
+
+Result<std::vector<Graph>> MineDiscriminativeFeatures(
+    const GraphDatabase& db, int max_fragment_edges,
+    double min_support_fraction, double gamma) {
+  GraphDatabase skeletons;
+  for (const Graph& g : db.graphs()) skeletons.Add(g.Skeleton());
+  GspanOptions mine;
+  mine.min_support =
+      std::max(1, static_cast<int>(min_support_fraction * db.size()));
+  mine.max_edges = max_fragment_edges;
+  PIS_ASSIGN_OR_RETURN(std::vector<Pattern> patterns,
+                       MineFrequentSubgraphs(skeletons, mine));
+  FeatureSelectorOptions select;
+  select.gamma = gamma;
+  PIS_ASSIGN_OR_RETURN(
+      std::vector<size_t> selected,
+      SelectDiscriminativeFeatures(patterns, db.size(), select));
+  std::vector<Graph> features;
+  features.reserve(selected.size());
+  for (size_t idx : selected) features.push_back(patterns[idx].graph);
+  return features;
+}
+
+Result<DistanceSpec> DistanceSpecFromName(const std::string& name) {
+  if (name == "mutation") return DistanceSpec::EdgeMutation();
+  if (name == "linear") return DistanceSpec::EdgeLinear();
+  return Status::InvalidArgument("unknown --distance " + name);
+}
+
+}  // namespace pis

@@ -49,9 +49,15 @@
 #include "index/sharded_index.h"     // IWYU pragma: export
 #include "isomorphism/ullmann.h"     // IWYU pragma: export
 #include "isomorphism/vf2.h"         // IWYU pragma: export
+// The serving layer (server/engine_host.h, server/pis_server.h,
+// util/socket.h) is deliberately NOT exported here: it drags POSIX socket
+// headers into every consumer, and only the server binaries need it —
+// include those headers directly.
 #include "mining/feature_selector.h" // IWYU pragma: export
 #include "mining/gspan.h"            // IWYU pragma: export
 #include "mining/path_features.h"    // IWYU pragma: export
+#include "mining/pipeline.h"         // IWYU pragma: export
+#include "util/json.h"               // IWYU pragma: export
 #include "util/parallel.h"           // IWYU pragma: export
 
 #endif  // PIS_PIS_H_

@@ -1,0 +1,242 @@
+#include "server/engine_host.h"
+
+#include <utility>
+
+#include "graph/io.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace pis {
+
+JsonValue EngineHost::HostStats::ToJsonValue() const {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("epoch", static_cast<uint64_t>(epoch));
+  obj.Set("db_slots", db_slots);
+  obj.Set("live", live);
+  obj.Set("removed", removed);
+  obj.Set("num_shards", num_shards);
+  obj.Set("compaction_epoch", compaction_epoch);
+  obj.Set("compact_dead_ratio", compact_dead_ratio);
+  obj.Set("background_compactions",
+          static_cast<uint64_t>(background_compactions));
+  JsonValue shard_list = JsonValue::Array();
+  for (const ShardInfo& s : shards) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("resident", s.resident);
+    entry.Set("live", s.live);
+    entry.Set("dead", s.dead);
+    entry.Set("dead_ratio", s.dead_ratio);
+    shard_list.Push(std::move(entry));
+  }
+  obj.Set("shards", std::move(shard_list));
+  return obj;
+}
+
+EngineHost::EngineHost(GraphDatabase db, ShardedFragmentIndex index,
+                       const PisOptions& options)
+    : options_(options),
+      master_db_(std::make_shared<const GraphDatabase>(std::move(db))),
+      master_(std::move(index)) {
+  PIS_CHECK(master_.db_size() == master_db_->size())
+      << "sharded index was built over a different database";
+  compact_dead_ratio_ = options_.compact_dead_ratio > 0
+                            ? options_.compact_dead_ratio
+                            : master_.compact_dead_ratio();
+  // The dead-ratio policy belongs to the background compactor here; inline
+  // compaction inside RemoveGraph would re-serialize it into the write
+  // path. (Save() restores the ratio so the manifest keeps the policy.)
+  master_.set_compact_dead_ratio(0);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Publish();
+}
+
+EngineHost::~EngineHost() { StopAutoCompaction(); }
+
+void EngineHost::Publish() {
+  // The index copy shares every shard handle with master_; the next
+  // mutation of a shard detaches it first (COW), so published snapshots
+  // are frozen for their whole lifetime.
+  auto frozen = std::make_shared<const ShardedFragmentIndex>(master_);
+  auto next = std::make_shared<const Snapshot>(master_db_, std::move(frozen),
+                                               options_, epoch_);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  current_ = std::move(next);
+}
+
+std::shared_ptr<const EngineHost::Snapshot> EngineHost::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return current_;
+}
+
+Result<SearchResult> EngineHost::Search(const Graph& query) const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  return snap->engine.Search(query);
+}
+
+Result<FilterResult> EngineHost::Filter(const Graph& query) const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  return snap->engine.Filter(query);
+}
+
+BatchSearchResult EngineHost::SearchBatch(std::span<const Graph> queries,
+                                          int num_threads) const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  return snap->engine.SearchBatch(queries, num_threads);
+}
+
+Result<int> EngineHost::AddGraph(const Graph& g, uint64_t* epoch_out) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PIS_ASSIGN_OR_RETURN(int gid, master_.AddGraph(g));
+  // Copy-on-add keeps ids aligned without mutating the database published
+  // snapshots still reference. O(db) per add; batch adds through the
+  // protocol amortize by arriving as one connection-serialized stream.
+  auto appended = std::make_shared<GraphDatabase>(*master_db_);
+  const int db_gid = appended->Add(g);
+  PIS_CHECK(db_gid == gid) << "index and database ids diverged";
+  master_db_ = std::move(appended);
+  ++epoch_;
+  Publish();
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  return gid;
+}
+
+Status EngineHost::RemoveGraph(int gid, uint64_t* epoch_out) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PIS_RETURN_NOT_OK(master_.RemoveGraph(gid));
+  ++epoch_;
+  Publish();
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  return Status::OK();
+}
+
+Status EngineHost::CompactShard(int s, uint64_t* epoch_out) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PIS_RETURN_NOT_OK(master_.CompactShard(s));
+  ++epoch_;
+  Publish();
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  return Status::OK();
+}
+
+Result<int> EngineHost::Compact(double min_dead_ratio, uint64_t* epoch_out) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PIS_ASSIGN_OR_RETURN(int compacted, master_.Compact(min_dead_ratio));
+  ++epoch_;
+  Publish();
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  return compacted;
+}
+
+Result<int> EngineHost::Rebalance(uint64_t* epoch_out) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PIS_ASSIGN_OR_RETURN(int migrated, master_.Rebalance(*master_db_));
+  ++epoch_;
+  Publish();
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  return migrated;
+}
+
+Status EngineHost::StartAutoCompaction(std::chrono::milliseconds interval,
+                                       double dead_ratio_override) {
+  const double ratio =
+      dead_ratio_override > 0 ? dead_ratio_override : compact_dead_ratio_;
+  if (ratio <= 0 || ratio > 1) {
+    return Status::InvalidArgument(
+        "auto-compaction needs a dead ratio in (0, 1]; configure "
+        "PisOptions::compact_dead_ratio or pass an override");
+  }
+  if (interval.count() <= 0) {
+    return Status::InvalidArgument("auto-compaction interval must be > 0");
+  }
+  std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+  if (compactor_.joinable()) {
+    return Status::AlreadyExists("auto-compaction is already running");
+  }
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compactor_stop_ = false;
+  }
+  compactor_ = std::thread(
+      [this, interval, ratio] { CompactorLoop(interval, ratio); });
+  return Status::OK();
+}
+
+void EngineHost::StopAutoCompaction() {
+  std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+  if (!compactor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compactor_stop_ = true;
+  }
+  compactor_cv_.notify_all();
+  compactor_.join();
+  compactor_ = std::thread();
+}
+
+bool EngineHost::auto_compaction_running() const {
+  std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+  return compactor_.joinable();
+}
+
+void EngineHost::CompactorLoop(std::chrono::milliseconds interval,
+                               double dead_ratio) {
+  while (true) {
+    {
+      // One pass. Readers never notice: the rewrite happens on detached
+      // shard copies and lands with the snapshot publish.
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      Result<int> compacted = master_.Compact(dead_ratio);
+      // Compact on a healthy index cannot fail; a zero result just means no
+      // shard crossed the threshold — skip the publish so the epoch only
+      // moves when the state does.
+      if (compacted.ok() && compacted.value() > 0) {
+        ++epoch_;
+        Publish();
+        ++background_compactions_;
+      }
+    }
+    std::unique_lock<std::mutex> lock(compactor_mu_);
+    if (compactor_cv_.wait_for(lock, interval,
+                               [this] { return compactor_stop_; })) {
+      return;
+    }
+  }
+}
+
+EngineHost::HostStats EngineHost::Stats() const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  const ShardedFragmentIndex& index = *snap->index;
+  HostStats stats;
+  stats.epoch = snap->epoch;
+  stats.db_slots = index.db_size();
+  stats.live = index.num_live();
+  stats.removed = static_cast<int>(index.tombstones().size());
+  stats.num_shards = index.num_shards();
+  stats.compaction_epoch = index.compaction_epoch();
+  stats.compact_dead_ratio = compact_dead_ratio_;
+  stats.background_compactions = background_compactions_.load();
+  stats.shards.reserve(index.num_shards());
+  for (int s = 0; s < index.num_shards(); ++s) {
+    ShardInfo info;
+    info.resident = index.shard_size(s);
+    info.live = index.shard(s).num_live();
+    info.dead = static_cast<int>(index.shard(s).tombstones().size());
+    info.dead_ratio = index.shard(s).dead_ratio();
+    stats.shards.push_back(info);
+  }
+  return stats;
+}
+
+Status EngineHost::Save(const std::string& dir,
+                        const std::string& db_path) const {
+  // Serialize against writers so the saved pair is one published state, and
+  // restore the policy ratio into the manifest (the host zeroes it on the
+  // live index to keep RemoveGraph from compacting inline).
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  ShardedFragmentIndex to_save = master_;
+  to_save.set_compact_dead_ratio(compact_dead_ratio_);
+  PIS_RETURN_NOT_OK(to_save.SaveDir(dir));
+  return WriteGraphDatabaseFile(*master_db_, db_path);
+}
+
+}  // namespace pis

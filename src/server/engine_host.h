@@ -1,0 +1,192 @@
+// The concurrent serving core: an EngineHost owns a sharded PIS index (plus
+// its id-aligned database) behind immutable published snapshots, giving
+//
+//   - non-blocking concurrent readers: Search / SearchBatch / Filter pin
+//     the current snapshot (one shared_ptr copy under a mutex held for
+//     just that copy — never across query work), run entirely against
+//     immutable state, and never wait on — or get waited on by — a
+//     mutation in flight;
+//   - linearizable results: mutators run under one writer mutex and publish
+//     a complete new snapshot as their single atomic commit point, so every
+//     query observes exactly the state left by some prefix of the applied
+//     mutations (never a partial one), and a mutation that returned is
+//     visible to every snapshot taken afterwards;
+//   - zero-downtime maintenance: CompactShard / Compact / Rebalance rewrite
+//     shards on detached copies (the copy-on-write layer of
+//     ShardedFragmentIndex) and land via shard-handle swap, so the
+//     PR 4 dead-ratio policy can run on the background compactor thread
+//     while queries keep answering.
+//
+// Cost model: publishing shares everything a mutation didn't touch. A
+// mutation detaches (deep-copies) only the shard it mutates, and only
+// AddGraph copies the database (append-only; RemoveGraph tombstones and
+// compaction never move global ids). Readers pay one mutex-guarded
+// shared_ptr copy (std::atomic<std::shared_ptr> would make the pin
+// lock-free, but libstdc++'s implementation trips TSan — the explicit
+// mutex keeps the CI race-checking meaningful and costs nanoseconds).
+#ifndef PIS_SERVER_ENGINE_HOST_H_
+#define PIS_SERVER_ENGINE_HOST_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sharded_pis.h"
+#include "graph/graph.h"
+#include "index/sharded_index.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace pis {
+
+/// \brief Snapshot-isolated serving host over a sharded PIS index.
+class EngineHost {
+ public:
+  /// One immutable published state. Readers that want a consistent view
+  /// across several calls (or the epoch they answered at) pin one of these
+  /// and use `engine` directly; the shared_ptr keeps db and index alive.
+  struct Snapshot {
+    std::shared_ptr<const GraphDatabase> db;
+    std::shared_ptr<const ShardedFragmentIndex> index;
+    ShardedPisEngine engine;  // views into *db / *index
+    /// Number of mutations applied before this snapshot; bumps by exactly
+    /// one per writer call (including background compactor passes that
+    /// compacted at least one shard).
+    uint64_t epoch = 0;
+
+    Snapshot(std::shared_ptr<const GraphDatabase> db_in,
+             std::shared_ptr<const ShardedFragmentIndex> index_in,
+             const PisOptions& options, uint64_t epoch_in)
+        : db(std::move(db_in)),
+          index(std::move(index_in)),
+          engine(db.get(), index.get(), options),
+          epoch(epoch_in) {}
+  };
+
+  /// Per-shard serving stats (machine-readable via HostStats::ToJson).
+  struct ShardInfo {
+    int resident = 0;
+    int live = 0;
+    int dead = 0;
+    double dead_ratio = 0;
+  };
+  struct HostStats {
+    uint64_t epoch = 0;
+    int db_slots = 0;
+    int live = 0;
+    int removed = 0;
+    int num_shards = 0;
+    int compaction_epoch = 0;
+    double compact_dead_ratio = 0;
+    uint64_t background_compactions = 0;
+    std::vector<ShardInfo> shards;
+
+    /// JSON shape ({"epoch":..,"shards":[{..},..],..}) — the payload of
+    /// the server's `stats` reply and `pis_cli stats --json`.
+    JsonValue ToJsonValue() const;
+    /// Compact one-line rendering of ToJsonValue().
+    std::string ToJson() const { return ToJsonValue().Serialize(); }
+  };
+
+  /// Takes ownership of an id-aligned database/index pair (the same
+  /// alignment contract as ShardedPisEngine). The auto-compaction policy is
+  /// `options.compact_dead_ratio` when set, else the ratio persisted in the
+  /// index (manifest v4); either way it runs only on the background
+  /// compactor here — RemoveGraph never compacts inline on the host.
+  EngineHost(GraphDatabase db, ShardedFragmentIndex index,
+             const PisOptions& options = {});
+  ~EngineHost();
+  EngineHost(const EngineHost&) = delete;
+  EngineHost& operator=(const EngineHost&) = delete;
+
+  /// The current published snapshot (a pointer copy; never null). The
+  /// returned snapshot stays valid and frozen for as long as the caller
+  /// holds it, regardless of concurrent mutations.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Reader API: each call pins one snapshot for its whole duration, so a
+  /// batch sees a single consistent state.
+  Result<SearchResult> Search(const Graph& query) const;
+  Result<FilterResult> Filter(const Graph& query) const;
+  BatchSearchResult SearchBatch(std::span<const Graph> queries,
+                                int num_threads = 0) const;
+
+  /// Serialized writers. Each successful call publishes exactly one new
+  /// snapshot before returning; concurrent readers are never blocked.
+  /// `epoch_out` (nullable) receives the epoch THIS mutation published —
+  /// reading snapshot()->epoch afterwards could observe a later concurrent
+  /// mutation's epoch, so callers that report their commit point (the
+  /// server's add/remove/compact replies) must use the out-param.
+  Result<int> AddGraph(const Graph& g, uint64_t* epoch_out = nullptr);
+  Status RemoveGraph(int gid, uint64_t* epoch_out = nullptr);
+  Status CompactShard(int s, uint64_t* epoch_out = nullptr);
+  Result<int> Compact(double min_dead_ratio = 0.0,
+                      uint64_t* epoch_out = nullptr);
+  Result<int> Rebalance(uint64_t* epoch_out = nullptr);
+
+  /// Background compactor: every `interval`, compact shards whose dead
+  /// ratio is at/above the policy ratio (see constructor). InvalidArgument
+  /// when the policy ratio is 0 and `dead_ratio_override` is too, or when
+  /// already running. The first scan runs immediately on start.
+  Status StartAutoCompaction(std::chrono::milliseconds interval,
+                             double dead_ratio_override = 0.0);
+  void StopAutoCompaction();
+  bool auto_compaction_running() const;
+  /// Background passes that compacted at least one shard.
+  uint64_t background_compactions() const { return background_compactions_; }
+
+  HostStats Stats() const;
+
+  /// Persists the index under `dir` (manifest v4 records the policy ratio)
+  /// and the database to `db_path` (native text format) from one snapshot,
+  /// so the pair on disk is always mutually consistent.
+  Status Save(const std::string& dir, const std::string& db_path) const;
+
+  const PisOptions& options() const { return options_; }
+  double compact_dead_ratio() const { return compact_dead_ratio_; }
+
+ private:
+  /// Publishes master state as the next snapshot. Callers hold writer_mu_.
+  void Publish();
+  void CompactorLoop(std::chrono::milliseconds interval, double dead_ratio);
+
+  PisOptions options_;
+  /// The background policy ratio (options override, else persisted value).
+  double compact_dead_ratio_ = 0;
+
+  /// Writer state: mutators copy-on-write from here and publish. master_db_
+  /// is never mutated in place once shared with a snapshot — AddGraph
+  /// replaces it with an appended copy.
+  mutable std::mutex writer_mu_;
+  std::shared_ptr<const GraphDatabase> master_db_;
+  ShardedFragmentIndex master_;
+  uint64_t epoch_ = 0;
+
+  /// Guards only the pointer swap/copy of current_ — held for nanoseconds,
+  /// never across query execution or mutation work.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> current_;
+
+  /// Background compactor plumbing. lifecycle_mu_ guards the thread object
+  /// itself (Start/Stop/running racing each other); compactor_mu_ guards
+  /// only the stop flag the loop's condition variable waits on — the loop
+  /// must be able to take it while Stop holds lifecycle_mu_ across join().
+  mutable std::mutex compactor_lifecycle_mu_;
+  std::thread compactor_;
+  std::mutex compactor_mu_;
+  std::condition_variable compactor_cv_;
+  bool compactor_stop_ = false;
+  std::atomic<uint64_t> background_compactions_{0};
+};
+
+}  // namespace pis
+
+#endif  // PIS_SERVER_ENGINE_HOST_H_

@@ -1,0 +1,257 @@
+#include "server/pis_server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "graph/io.h"
+#include "util/parallel.h"
+
+namespace pis {
+
+namespace {
+
+JsonValue ErrorReply(const std::string& message) {
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", false);
+  reply.Set("error", message);
+  return reply;
+}
+
+JsonValue ErrorReply(const Status& status) {
+  return ErrorReply(status.ToString());
+}
+
+}  // namespace
+
+PisServer::PisServer(EngineHost* host, const PisServerOptions& options)
+    : host_(host), options_(options) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+}
+
+PisServer::~PisServer() {
+  Shutdown();
+  Wait();
+}
+
+Status PisServer::Start() {
+  if (serve_thread_.joinable()) {
+    return Status::AlreadyExists("server already started");
+  }
+  PIS_ASSIGN_OR_RETURN(
+      listener_,
+      TcpListener::Listen(options_.port, options_.loopback_only,
+                          /*backlog=*/options_.num_workers * 4));
+  // ParallelFor is the worker pool: N long-lived accept-and-serve loops.
+  const int workers = options_.num_workers;
+  serve_thread_ = std::thread([this, workers] {
+    ParallelFor(static_cast<size_t>(workers), workers,
+                [this](size_t) { WorkerLoop(); });
+  });
+  return Status::OK();
+}
+
+void PisServer::Wait() {
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+void PisServer::Shutdown() {
+  stopping_.store(true);
+  listener_.Shutdown();
+  std::lock_guard<std::mutex> lock(live_mu_);
+  for (int fd : live_fds_) {
+    // Severing the stream unblocks a worker parked in RecvLine; the worker
+    // owns (and closes) the descriptor itself.
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void PisServer::WorkerLoop() {
+  while (!stopping_.load()) {
+    Result<TcpSocket> conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (stopping_.load()) return;  // listener shut down: normal exit
+      // Operational failure while serving (e.g. fd exhaustion): back off
+      // and keep the worker alive rather than silently shrinking the pool
+      // to zero under pressure.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    ++connections_served_;
+    ServeConnection(conn.MoveValue());
+  }
+}
+
+void PisServer::ServeConnection(TcpSocket conn) {
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_fds_.insert(conn.fd());
+  }
+  // A Shutdown() racing with the insert above may have severed the live set
+  // before this fd joined it; stopping_ is always set first, so re-checking
+  // here closes the window (otherwise RecvLine could park forever).
+  if (stopping_.load()) {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_fds_.erase(conn.fd());
+    return;
+  }
+  const int fd = conn.fd();
+  while (!stopping_.load()) {
+    Result<std::string> line = conn.RecvLine(options_.max_request_bytes);
+    if (!line.ok()) {
+      if (line.status().code() == StatusCode::kInvalidArgument) {
+        // Oversized frame: tell the peer, then drop the connection (the
+        // stream position is unrecoverable mid-frame).
+        (void)conn.SendLine(ErrorReply(line.status()).Serialize());
+      }
+      break;
+    }
+    if (line.value().empty()) continue;  // blank keep-alive line
+    bool shutdown = false;
+    JsonValue reply = HandleLine(line.value(), &shutdown);
+    ++requests_served_;
+    Status sent = conn.SendLine(reply.Serialize());
+    if (shutdown) {
+      Shutdown();
+      break;
+    }
+    if (!sent.ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(live_mu_);
+  live_fds_.erase(fd);
+}
+
+JsonValue PisServer::HandleLine(const std::string& line, bool* shutdown) {
+  Result<JsonValue> request = JsonValue::Parse(line);
+  if (!request.ok()) return ErrorReply(request.status());
+  if (!request.value().is_object()) {
+    return ErrorReply("request must be a JSON object");
+  }
+  return HandleRequest(request.value(), shutdown);
+}
+
+JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
+  const std::string op = request.GetStringOr("op", "");
+  JsonValue reply = JsonValue::Object();
+
+  if (op == "health") {
+    EngineHost::HostStats stats = host_->Stats();
+    reply.Set("ok", true);
+    reply.Set("status", "serving");
+    reply.Set("epoch", stats.epoch);
+    reply.Set("live", stats.live);
+    return reply;
+  }
+
+  if (op == "stats") {
+    reply.Set("ok", true);
+    reply.Set("stats", host_->Stats().ToJsonValue());
+    return reply;
+  }
+
+  if (op == "query") {
+    const JsonValue* graph_text = request.Find("graph");
+    if (graph_text == nullptr || !graph_text->is_string()) {
+      return ErrorReply("query needs a string \"graph\" field");
+    }
+    Result<Graph> query = ParseGraph(graph_text->AsString());
+    if (!query.ok()) return ErrorReply(query.status());
+    // Pin one snapshot: the engine (and any per-request sigma variant of
+    // it) runs against exactly one published state.
+    std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+    Result<SearchResult> result = Status::Internal("not run");
+    if (request.Has("sigma")) {
+      const JsonValue* sigma = request.Find("sigma");
+      // A wrong-typed sigma must fail loudly, not silently fall back to
+      // the server default (the client asked for a specific threshold).
+      if (!sigma->is_number()) return ErrorReply("sigma must be a number");
+      PisOptions per_request = host_->options();
+      per_request.sigma = sigma->AsNumber();
+      if (per_request.sigma < 0) return ErrorReply("sigma must be >= 0");
+      ShardedPisEngine engine(snap->db.get(), snap->index.get(), per_request);
+      result = engine.Search(query.value());
+    } else {
+      result = snap->engine.Search(query.value());
+    }
+    if (!result.ok()) return ErrorReply(result.status());
+    reply.Set("ok", true);
+    reply.Set("epoch", snap->epoch);
+    JsonValue answers = JsonValue::Array();
+    for (int gid : result.value().answers) answers.Push(gid);
+    reply.Set("answers", std::move(answers));
+    reply.Set("candidates", result.value().stats.candidates_final);
+    JsonValue stats = JsonValue::Object();
+    stats.Set("fragments", result.value().stats.fragments_enumerated);
+    stats.Set("range_queries", result.value().stats.range_queries);
+    stats.Set("filter_ms", result.value().stats.filter_seconds * 1e3);
+    stats.Set("verify_ms", result.value().stats.verify_seconds * 1e3);
+    reply.Set("stats", std::move(stats));
+    return reply;
+  }
+
+  if (op == "add") {
+    const JsonValue* graph_text = request.Find("graph");
+    if (graph_text == nullptr || !graph_text->is_string()) {
+      return ErrorReply("add needs a string \"graph\" field");
+    }
+    Result<Graph> graph = ParseGraph(graph_text->AsString());
+    if (!graph.ok()) return ErrorReply(graph.status());
+    // The out-param epoch is the one THIS mutation published; reading
+    // snapshot()->epoch here could pick up a concurrent later mutation.
+    uint64_t epoch = 0;
+    Result<int> gid = host_->AddGraph(graph.value(), &epoch);
+    if (!gid.ok()) return ErrorReply(gid.status());
+    reply.Set("ok", true);
+    reply.Set("id", gid.value());
+    reply.Set("epoch", epoch);
+    return reply;
+  }
+
+  if (op == "remove") {
+    const JsonValue* id = request.Find("id");
+    if (id == nullptr || !id->is_number()) {
+      return ErrorReply("remove needs a numeric \"id\" field");
+    }
+    // Exact int32 or bust: truncating 3.9 would remove a different graph
+    // than requested, and casting 1e300 to int is undefined behavior.
+    const double raw = id->AsNumber();
+    if (raw != std::floor(raw) || raw < 0 || raw > 2147483647.0) {
+      return ErrorReply("\"id\" must be a non-negative integer graph id");
+    }
+    uint64_t epoch = 0;
+    Status removed = host_->RemoveGraph(static_cast<int>(raw), &epoch);
+    if (!removed.ok()) return ErrorReply(removed);
+    reply.Set("ok", true);
+    reply.Set("epoch", epoch);
+    return reply;
+  }
+
+  if (op == "compact") {
+    const double min_dead_ratio = request.GetNumberOr("min_dead_ratio", 0.0);
+    if (min_dead_ratio < 0 || min_dead_ratio > 1) {
+      return ErrorReply("min_dead_ratio must be in [0, 1]");
+    }
+    uint64_t epoch = 0;
+    Result<int> compacted = host_->Compact(min_dead_ratio, &epoch);
+    if (!compacted.ok()) return ErrorReply(compacted.status());
+    reply.Set("ok", true);
+    reply.Set("compacted", compacted.value());
+    reply.Set("epoch", epoch);
+    return reply;
+  }
+
+  if (op == "shutdown") {
+    *shutdown = true;
+    reply.Set("ok", true);
+    reply.Set("status", "stopping");
+    return reply;
+  }
+
+  return ErrorReply(op.empty() ? "request is missing \"op\""
+                               : "unknown op \"" + op + "\"");
+}
+
+}  // namespace pis

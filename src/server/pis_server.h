@@ -1,0 +1,100 @@
+// TCP front end over an EngineHost: a newline-delimited JSON protocol
+// served by a fixed worker pool (ParallelFor is the pool — each worker
+// accepts and serves one connection at a time, so per-connection requests
+// are processed in order while distinct connections run concurrently).
+//
+// Protocol: one JSON object per line, one reply line per request.
+//
+//   {"op":"health"}                          -> {"ok":true,"status":"serving",...}
+//   {"op":"stats"}                           -> {"ok":true,"stats":{...}}
+//   {"op":"query","graph":"<record>",        -> {"ok":true,"answers":[ids],
+//     "sigma":2.0?}                              "candidates":N,"epoch":E,...}
+//   {"op":"add","graph":"<record>"}          -> {"ok":true,"id":gid,"epoch":E}
+//   {"op":"remove","id":17}                  -> {"ok":true,"epoch":E}
+//   {"op":"compact","min_dead_ratio":0.3?}   -> {"ok":true,"compacted":k,"epoch":E}
+//   {"op":"shutdown"}                        -> {"ok":true} (then the server stops)
+//
+// "<record>" is one graph in the native text format (src/graph/io.h) with
+// newlines JSON-escaped. Failures reply {"ok":false,"error":"..."} and
+// keep the connection open; malformed JSON gets the same treatment.
+//
+// Concurrency guarantees are inherited from EngineHost: every query runs
+// against one immutable snapshot (reads never block on writes, including
+// background compaction), and a mutation acknowledged with "ok" is visible
+// to every later request on any connection.
+#ifndef PIS_SERVER_PIS_SERVER_H_
+#define PIS_SERVER_PIS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "server/engine_host.h"
+#include "util/json.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace pis {
+
+struct PisServerOptions {
+  /// 0 binds a kernel-assigned ephemeral port (read back via port()).
+  int port = 0;
+  bool loopback_only = true;
+  /// Concurrent connections served; excess connections queue in the accept
+  /// backlog.
+  int num_workers = 4;
+  /// Per-request frame cap (a graph record arrives as one line).
+  size_t max_request_bytes = 16u << 20;
+};
+
+/// \brief Newline-delimited JSON server over an EngineHost.
+class PisServer {
+ public:
+  /// `host` must outlive the server.
+  PisServer(EngineHost* host, const PisServerOptions& options = {});
+  ~PisServer();
+  PisServer(const PisServer&) = delete;
+  PisServer& operator=(const PisServer&) = delete;
+
+  /// Binds the listener and spawns the worker pool. Call once.
+  Status Start();
+  /// The bound port (valid after Start).
+  int port() const { return listener_.port(); }
+
+  /// Blocks until the server stopped (a shutdown request or Shutdown()).
+  void Wait();
+  /// Stops accepting, severs live connections, and wakes Wait(). Idempotent
+  /// and callable from any thread (including a protocol handler's).
+  void Shutdown();
+
+  bool running() const { return serve_thread_.joinable(); }
+  uint64_t connections_served() const { return connections_served_; }
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void WorkerLoop();
+  void ServeConnection(TcpSocket conn);
+  /// Returns the reply; sets `*shutdown` when the request asked the server
+  /// to stop (the reply is still sent first).
+  JsonValue HandleLine(const std::string& line, bool* shutdown);
+  JsonValue HandleRequest(const JsonValue& request, bool* shutdown);
+
+  EngineHost* host_;
+  PisServerOptions options_;
+  TcpListener listener_;
+  std::thread serve_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_served_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  /// Raw fds of live connections, severed on Shutdown so workers blocked in
+  /// RecvLine unblock.
+  std::mutex live_mu_;
+  std::unordered_set<int> live_fds_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_SERVER_PIS_SERVER_H_

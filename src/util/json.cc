@@ -1,0 +1,369 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pis {
+
+namespace {
+
+/// Recursive-descent parser over a raw byte range. Depth is bounded so a
+/// hostile "[[[[..." line can't blow the stack of a server worker.
+class Parser {
+ public:
+  Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  Result<JsonValue> ParseDocument() {
+    PIS_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipSpace();
+    if (p_ != end_) return Err("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError("JSON: " + what + " at offset " +
+                              std::to_string(offset_));
+  }
+
+  void SkipSpace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const char* q = p_;
+    size_t n = 0;
+    while (word[n] != '\0') {
+      if (q == end_ || *q != word[n]) return false;
+      ++q;
+      ++n;
+    }
+    p_ = q;
+    offset_ += n;
+    return true;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipSpace();
+    if (p_ == end_) return Err("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        PIS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return JsonValue(true);
+        return Err("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) return JsonValue(false);
+        return Err("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue();
+        return Err("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Advance();  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipSpace();
+      if (p_ == end_ || *p_ != '"') return Err("expected object key");
+      PIS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      PIS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      obj.Set(key, std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Advance();  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return arr;
+    while (true) {
+      PIS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      arr.Push(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Advance();  // '"'
+    std::string out;
+    while (true) {
+      if (p_ == end_) return Err("unterminated string");
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        Advance();
+        return out;
+      }
+      if (c == '\\') {
+        Advance();
+        if (p_ == end_) return Err("unterminated escape");
+        char esc = *p_;
+        Advance();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            PIS_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+            // BMP code points only (no surrogate-pair recombination):
+            // enough for the protocol, whose strings are ASCII graph
+            // records and status text. Encode as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("bad escape");
+        }
+        continue;
+      }
+      if (c < 0x20) return Err("raw control character in string");
+      out.push_back(static_cast<char>(c));
+      Advance();
+    }
+  }
+
+  Result<unsigned> ParseHex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (p_ == end_) return Err("truncated \\u escape");
+      char c = *p_;
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Err("bad \\u escape");
+      }
+      Advance();
+    }
+    return code;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const char* start = p_;
+    if (Consume('-')) {
+    }
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+      Advance();
+    }
+    if (Consume('.')) {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      Advance();
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) Advance();
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    if (p_ == start) return Err("expected a value");
+    std::string token(start, p_);
+    char* parsed_end = nullptr;
+    double value = std::strtod(token.c_str(), &parsed_end);
+    if (parsed_end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Err("bad number '" + token + "'");
+    }
+    return JsonValue(value);
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+void SerializeTo(const JsonValue& v, std::string* out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Type::kBool:
+      out->append(v.AsBool() ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber: {
+      double d = v.AsNumber();
+      // Integral values in int64 range print as integers so ids and
+      // counters round-trip textually.
+      if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 9.2e18) {
+        out->append(std::to_string(static_cast<int64_t>(d)));
+      } else {
+        // 12 significant digits: enough for latencies/ratios to round-trip
+        // at the precision anyone consumes, without the %.17g noise
+        // ("6.7517449999999997").
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", d);
+        out->append(buf);
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      out->push_back('"');
+      out->append(JsonEscape(v.AsString()));
+      out->push_back('"');
+      break;
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        out->append(JsonEscape(key));
+        out->append("\":");
+        SerializeTo(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        SerializeTo(v.at(i), out);
+      }
+      out->push_back(']');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return Find(key) != nullptr;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::GetNumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : fallback;
+}
+
+bool JsonValue::GetBoolOr(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
+}
+
+std::string JsonValue::GetStringOr(const std::string& key,
+                                   const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  type_ = Type::kObject;
+  members_[key] = std::move(value);
+  return *this;
+}
+
+void JsonValue::Push(JsonValue value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+}
+
+size_t JsonValue::size() const {
+  return type_ == Type::kObject ? members_.size() : items_.size();
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(*this, &out);
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pis

@@ -1,0 +1,98 @@
+// Minimal JSON for the serving protocol (util only — no external deps).
+//
+// Supports the full JSON value model (null, bool, number, string, object,
+// array) with compact single-line serialization — exactly what the
+// newline-delimited protocol of pis_server needs. Objects keep their keys
+// sorted (std::map), so serialization is deterministic: the same value
+// always renders to the same bytes, which the smoke tests and goldens rely
+// on. Numbers are doubles; integral values within int64 range render
+// without a decimal point so graph ids round-trip as "17", not "17.0".
+#ifndef PIS_UTIL_JSON_H_
+#define PIS_UTIL_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pis {
+
+/// \brief A parsed/buildable JSON value.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}      // NOLINT
+  JsonValue(int i) : type_(Type::kNumber), number_(i) {}         // NOLINT
+  JsonValue(int64_t i)                                           // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(uint64_t i)                                          // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  JsonValue(std::string s)                                        // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Object access. `Get*Or` helpers make protocol handlers terse: they
+  /// return the fallback when the key is missing or of the wrong type.
+  bool Has(const std::string& key) const;
+  const JsonValue* Find(const std::string& key) const;
+  double GetNumberOr(const std::string& key, double fallback) const;
+  bool GetBoolOr(const std::string& key, bool fallback) const;
+  std::string GetStringOr(const std::string& key,
+                          const std::string& fallback) const;
+  JsonValue& Set(const std::string& key, JsonValue value);
+
+  /// Array access.
+  void Push(JsonValue value);
+  size_t size() const;
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  /// Compact single-line rendering (no trailing newline).
+  std::string Serialize() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::map<std::string, JsonValue> members_;  // kObject
+  std::vector<JsonValue> items_;              // kArray
+};
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_JSON_H_

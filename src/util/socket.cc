@@ -1,0 +1,231 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pis {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port " + std::to_string(port));
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    return Status::IOError("cannot resolve " + host + ": " +
+                           gai_strerror(rc));
+  }
+  Status failure = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      failure = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(resolved);
+      // Latency over throughput: protocol frames are small request/reply
+      // lines, so coalescing (Nagle) only adds round-trip delay.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpSocket(fd);
+    }
+    failure = Errno("connect to " + host + ":" + service);
+    ::close(fd);
+  }
+  ::freeaddrinfo(resolved);
+  return failure;
+}
+
+Status TcpSocket::SendLine(const std::string& line) {
+  if (!valid()) return Status::IOError("socket is closed");
+  // Gather-write the payload and its delimiter: no copy of a frame that
+  // can legitimately be megabytes (a graph record in an add request).
+  static const char kNewline = '\n';
+  size_t sent = 0;
+  const size_t total = line.size() + 1;
+  while (sent < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (sent < line.size()) {
+      iov[iovcnt].iov_base = const_cast<char*>(line.data()) + sent;
+      iov[iovcnt].iov_len = line.size() - sent;
+      ++iovcnt;
+    }
+    iov[iovcnt].iov_base = const_cast<char*>(&kNewline);
+    iov[iovcnt].iov_len = 1;
+    ++iovcnt;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the process with SIGPIPE.
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> TcpSocket::RecvLine(size_t max_bytes) {
+  if (!valid()) return Status::IOError("socket is closed");
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      // The cap applies to the frame itself, not just the buffered bytes —
+      // a delimiter that arrived in the same segment must not smuggle an
+      // oversized line through.
+      if (newline > max_bytes) {
+        return Status::InvalidArgument("frame exceeds " +
+                                       std::to_string(max_bytes) + " bytes");
+      }
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    if (buffer_.size() > max_bytes) {
+      return Status::InvalidArgument("frame exceeds " +
+                                     std::to_string(max_bytes) + " bytes");
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void TcpSocket::ShutdownBothEnds() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Listen(int port, bool loopback_only,
+                                        int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad port " + std::to_string(port));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind port " + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  while (true) {
+    if (fd_ < 0) return Status::IOError("listener shut down");
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpSocket(client);
+    }
+    // Transient per-connection failures (a peer RSTing before accept, an
+    // interrupted syscall) must not look like a dead listener — a worker
+    // that treated them as fatal would silently leave the accept pool.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
+    // shutdown(2) from another thread surfaces as EINVAL (or EBADF once
+    // closed); resource pressure (EMFILE/ENFILE) lands here too and is the
+    // caller's retry-or-die decision.
+    return Status::IOError(std::string("accept failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace pis

@@ -1,0 +1,93 @@
+// Line-oriented TCP sockets for the serving layer (POSIX only, no external
+// deps). TcpListener accepts connections — safely from several worker
+// threads at once — and TcpSocket moves newline-delimited frames, which is
+// all the JSON protocol of pis_server needs. Both are move-only RAII
+// wrappers over file descriptors.
+#ifndef PIS_UTIL_SOCKET_H_
+#define PIS_UTIL_SOCKET_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace pis {
+
+/// \brief A connected TCP stream with buffered line framing.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { Close(); }
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port (IPv4 "a.b.c.d" or a resolvable name).
+  static Result<TcpSocket> Connect(const std::string& host, int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes `line` plus a trailing '\n' (the frame delimiter), retrying
+  /// short writes. `line` must not itself contain '\n'.
+  Status SendLine(const std::string& line);
+
+  /// Reads up to and including the next '\n'; returns the line without the
+  /// delimiter. IOError("connection closed") on clean EOF with no buffered
+  /// partial line. `max_bytes` bounds a single frame so a peer that never
+  /// sends '\n' can't grow the buffer without limit.
+  Result<std::string> RecvLine(size_t max_bytes = 64 << 20);
+
+  /// Half-closes both directions (unblocks a peer or a reader thread) then
+  /// releases the descriptor.
+  void Close();
+
+  /// shutdown(2) both directions without closing the fd — used to unblock
+  /// another thread parked in RecvLine on this socket.
+  void ShutdownBothEnds();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received beyond the last returned line
+};
+
+/// \brief A listening TCP socket (IPv4 loopback-or-any).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on `port` (0 = kernel-assigned ephemeral port; read
+  /// it back with port()). `loopback_only` binds 127.0.0.1 instead of
+  /// INADDR_ANY.
+  static Result<TcpListener> Listen(int port, bool loopback_only = false,
+                                    int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolved after Listen, including port 0 requests).
+  int port() const { return port_; }
+
+  /// Blocks for the next connection. Safe to call concurrently from many
+  /// worker threads. After Shutdown() (from any thread), pending and future
+  /// calls return IOError("listener shut down").
+  Result<TcpSocket> Accept();
+
+  /// Unblocks every Accept() and makes future ones fail. Idempotent and
+  /// callable from any thread.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_SOCKET_H_

@@ -2,7 +2,8 @@
 // index format to v2 (trailing tombstone section) and the shard manifest to
 // v2 (explicit routing table); the compaction PR bumped both to v3 (index:
 // compaction epoch + live count trailer; manifest: epoch, -1-aware routing,
-// explicit local ids, per-shard live counts). Old fixtures must still load
+// explicit local ids, per-shard live counts); the serving PR bumped the
+// manifest to v4 (trailing auto-compaction policy). Old fixtures must still load
 // — including v2 files carrying tombstones, which must then compact
 // correctly — files from the future must fail with a clear Status instead
 // of garbage, and a manifest that disagrees with the files on disk (or is
@@ -293,9 +294,9 @@ TEST_F(ManifestCompatTest, InPlaceResaveWithFewerShardsRemovesStaleFiles) {
   EXPECT_EQ(loaded.value().num_shards(), 2);
 }
 
-// SaveDir writes a v3 manifest; compaction state must round-trip through
+// SaveDir writes a v4 manifest; compaction state must round-trip through
 // it: epoch, -1 routing for compacted-away ids, per-shard live counts.
-TEST_F(ManifestCompatTest, V3ManifestRoundTripsCompactionState) {
+TEST_F(ManifestCompatTest, ManifestRoundTripsCompactionState) {
   ASSERT_TRUE(sharded_->RemoveGraph(3).ok());
   ASSERT_TRUE(sharded_->RemoveGraph(11).ok());
   ASSERT_TRUE(sharded_->Compact().ok());
@@ -315,11 +316,84 @@ TEST_F(ManifestCompatTest, V3ManifestRoundTripsCompactionState) {
   }
 }
 
-// A v3 manifest cut off after its routing table (local ids and live counts
+// The v4 manifest trailing section: the auto-compaction policy must
+// survive SaveDir/LoadDir, so a reloaded server keeps compacting at the
+// configured dead ratio.
+TEST_F(ManifestCompatTest, V4ManifestRoundTripsCompactionPolicy) {
+  sharded_->set_compact_dead_ratio(0.35);
+  ASSERT_TRUE(sharded_->SaveDir(dir_).ok());
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().compact_dead_ratio(), 0.35);
+}
+
+// A v3 directory (one written before the policy section existed) is
+// exactly a v4 manifest with the version word rewound and the trailing
+// ratio cut off — the strict-prefix property every format bump keeps. It
+// must load with the policy off.
+TEST_F(ManifestCompatTest, V3ManifestLoadsWithPolicyOff) {
+  sharded_->set_compact_dead_ratio(0.35);
+  ASSERT_TRUE(sharded_->SaveDir(dir_).ok());
+  std::error_code ec;
+  const auto full = std::filesystem::file_size(ManifestPath(), ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(ManifestPath(), full - sizeof(double), ec);
+  ASSERT_FALSE(ec);
+  {
+    std::fstream patch(ManifestPath(),
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(4);
+    BinaryWriter writer(patch);
+    writer.U32(3u);
+    ASSERT_TRUE(writer.ok());
+  }
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().compact_dead_ratio(), 0.0);
+  EXPECT_EQ(loaded.value().db_size(), sharded_->db_size());
+}
+
+// A v4 manifest whose policy ratio was cut off parsed far enough to know
+// what it promised: structural disagreement, not garbage.
+TEST_F(ManifestCompatTest, V4ManifestMissingPolicyIsInvalidArgument) {
+  ASSERT_TRUE(sharded_->SaveDir(dir_).ok());
+  std::error_code ec;
+  const auto full = std::filesystem::file_size(ManifestPath(), ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(ManifestPath(), full - sizeof(double), ec);
+  ASSERT_FALSE(ec);
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+// A structurally valid manifest carrying a nonsense policy ratio is
+// rejected loudly instead of arming a bogus auto-compaction threshold.
+TEST_F(ManifestCompatTest, OutOfRangePolicyRatioIsInvalidArgument) {
+  ASSERT_TRUE(sharded_->SaveDir(dir_).ok());
+  std::error_code ec;
+  const auto full = std::filesystem::file_size(ManifestPath(), ec);
+  ASSERT_FALSE(ec);
+  {
+    std::fstream patch(ManifestPath(),
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(static_cast<std::streamoff>(full - sizeof(double)));
+    BinaryWriter writer(patch);
+    writer.F64(17.5);
+    ASSERT_TRUE(writer.ok());
+  }
+  auto loaded = ShardedFragmentIndex::LoadDir(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("dead ratio"), std::string::npos);
+}
+
+// A manifest cut off after its routing table (local ids and live counts
 // missing) parsed far enough to know what it promised — the failure is a
 // structural disagreement (InvalidArgument), not unreadable garbage, and
 // never a crash.
-TEST_F(ManifestCompatTest, TruncatedV3ManifestIsInvalidArgument) {
+TEST_F(ManifestCompatTest, TruncatedV3SectionsAreInvalidArgument) {
   // Layout: magic(4) version(4) shards(4) epoch(4), VecInt shard_of
   // (8 + 15*4), then the sections we cut off.
   std::error_code ec;

@@ -1,0 +1,176 @@
+// util/json + util/socket: the protocol substrate of the serving layer.
+// JSON must round-trip the values the protocol moves (graph records with
+// newlines, ids, ratios) and reject malformed frames without crashing;
+// sockets must frame lines exactly and unblock cleanly on shutdown.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace pis {
+namespace {
+
+TEST(JsonTest, ObjectRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("op", "query");
+  obj.Set("id", 17);
+  obj.Set("ratio", 0.25);
+  obj.Set("ok", true);
+  obj.Set("note", JsonValue());
+  JsonValue answers = JsonValue::Array();
+  answers.Push(1);
+  answers.Push(2);
+  obj.Set("answers", std::move(answers));
+
+  const std::string text = obj.Serialize();
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().GetStringOr("op", ""), "query");
+  EXPECT_EQ(parsed.value().GetNumberOr("id", -1), 17);
+  EXPECT_EQ(parsed.value().GetNumberOr("ratio", -1), 0.25);
+  EXPECT_TRUE(parsed.value().GetBoolOr("ok", false));
+  ASSERT_NE(parsed.value().Find("note"), nullptr);
+  EXPECT_TRUE(parsed.value().Find("note")->is_null());
+  const JsonValue* arr = parsed.value().Find("answers");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->size(), 2u);
+  EXPECT_EQ(arr->at(0).AsNumber(), 1);
+  // Serialization is deterministic (sorted keys), so it is its own golden.
+  EXPECT_EQ(parsed.value().Serialize(), text);
+}
+
+TEST(JsonTest, IntegersRenderWithoutDecimalPoint) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", 42);
+  obj.Set("big", static_cast<uint64_t>(1) << 40);
+  EXPECT_EQ(obj.Serialize(), "{\"big\":1099511627776,\"id\":42}");
+}
+
+TEST(JsonTest, EscapesRoundTrip) {
+  // A graph record is a multi-line string — exactly what must survive.
+  const std::string record = "t # 0\nv 0 1\nv 1 2\ne 0 1 1\n\t\"quoted\"\\";
+  JsonValue obj = JsonValue::Object();
+  obj.Set("graph", record);
+  auto parsed = JsonValue::Parse(obj.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GetStringOr("graph", ""), record);
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  auto parsed = JsonValue::Parse("\"a\\u00e9\\u4e2d\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "a\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonTest, ParseErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "{\"a\":1}x",
+        "\"bad\\escape\"", "01a", "nan", "\"ctrl\x01char\""}) {
+    auto parsed = JsonValue::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << bad;
+    }
+  }
+}
+
+TEST(JsonTest, NestingDepthIsBounded) {
+  std::string deep(200, '[');
+  auto parsed = JsonValue::Parse(deep);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("deep"), std::string::npos);
+}
+
+TEST(JsonTest, GetOrHelpersFallBackOnWrongType) {
+  auto parsed = JsonValue::Parse("{\"s\":\"x\",\"n\":3}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GetNumberOr("s", -1), -1);
+  EXPECT_EQ(parsed.value().GetStringOr("n", "fallback"), "fallback");
+  EXPECT_EQ(parsed.value().GetNumberOr("missing", 7), 7);
+}
+
+TEST(SocketTest, LoopbackLineRoundTrip) {
+  auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ASSERT_GT(listener.value().port(), 0);
+
+  std::thread server([&] {
+    auto conn = listener.value().Accept();
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    // Echo until the client hangs up.
+    while (true) {
+      auto line = conn.value().RecvLine();
+      if (!line.ok()) break;
+      ASSERT_TRUE(conn.value().SendLine("echo " + line.value()).ok());
+    }
+  });
+
+  auto client = TcpSocket::Connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // Two frames sent back to back exercise the framing buffer: the first
+  // RecvLine may pull both into the buffer.
+  ASSERT_TRUE(client.value().SendLine("one").ok());
+  ASSERT_TRUE(client.value().SendLine("two").ok());
+  auto first = client.value().RecvLine();
+  auto second = client.value().RecvLine();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), "echo one");
+  EXPECT_EQ(second.value(), "echo two");
+
+  client.value().Close();
+  server.join();
+}
+
+TEST(SocketTest, RecvLineReportsCleanEofAsConnectionClosed) {
+  auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener.value().Accept();
+    ASSERT_TRUE(conn.ok());
+    conn.value().Close();
+  });
+  auto client = TcpSocket::Connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  auto line = client.value().RecvLine();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kIOError);
+  EXPECT_NE(line.status().message().find("closed"), std::string::npos);
+  server.join();
+}
+
+TEST(SocketTest, ShutdownUnblocksAccept) {
+  auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok());
+  std::thread acceptor([&] {
+    auto conn = listener.value().Accept();
+    EXPECT_FALSE(conn.ok());
+  });
+  // Give the acceptor a moment to park in accept(2); the shutdown must
+  // still unblock it even if it has not parked yet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.value().Shutdown();
+  acceptor.join();
+}
+
+TEST(SocketTest, OversizedFrameIsRejected) {
+  auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener.value().Accept();
+    ASSERT_TRUE(conn.ok());
+    auto line = conn.value().RecvLine(/*max_bytes=*/64);
+    EXPECT_FALSE(line.ok());
+    EXPECT_EQ(line.status().code(), StatusCode::kInvalidArgument);
+  });
+  auto client = TcpSocket::Connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().SendLine(std::string(1024, 'x')).ok());
+  server.join();
+}
+
+}  // namespace
+}  // namespace pis

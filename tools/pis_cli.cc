@@ -5,7 +5,7 @@
 //   pis_cli build     --db db.txt --out index.bin [--max_fragment_edges K]
 //                     [--min_support F] [--gamma G] [--distance mutation|linear]
 //                     [--shards S] [--threads N]
-//   pis_cli stats     --index index.bin
+//   pis_cli stats     --index index.bin [--json]
 //   pis_cli query     --db db.txt --index index.bin --query query.txt
 //                     [--sigma S] [--engine pis|topo|naive]
 //                     [--batch] [--threads N]
@@ -146,35 +146,19 @@ int CmdBuild(int argc, char** argv) {
   auto db = LoadDb(db_path);
   if (!db.ok()) return Fail(db.status());
 
-  GraphDatabase skeletons;
-  for (const Graph& g : db.value().graphs()) skeletons.Add(g.Skeleton());
-  GspanOptions mine;
-  mine.min_support =
-      std::max(1, static_cast<int>(min_support * db.value().size()));
-  mine.max_edges = max_fragment_edges;
-  auto patterns = MineFrequentSubgraphs(skeletons, mine);
-  if (!patterns.ok()) return Fail(patterns.status());
-  FeatureSelectorOptions select;
-  select.gamma = gamma;
-  auto selected = SelectDiscriminativeFeatures(patterns.value(),
-                                               db.value().size(), select);
-  if (!selected.ok()) return Fail(selected.status());
-  std::vector<Graph> features;
-  for (size_t idx : selected.value()) features.push_back(patterns.value()[idx].graph);
+  auto features = MineDiscriminativeFeatures(db.value(), max_fragment_edges,
+                                             min_support, gamma);
+  if (!features.ok()) return Fail(features.status());
 
   FragmentIndexOptions options;
   options.max_fragment_edges = max_fragment_edges;
   options.num_threads = threads <= 0 ? HardwareThreads() : threads;
-  if (distance == "mutation") {
-    options.spec = DistanceSpec::EdgeMutation();
-  } else if (distance == "linear") {
-    options.spec = DistanceSpec::EdgeLinear();
-  } else {
-    return Fail(Status::InvalidArgument("unknown --distance " + distance));
-  }
+  auto spec = DistanceSpecFromName(distance);
+  if (!spec.ok()) return Fail(spec.status());
+  options.spec = spec.value();
   if (shards > 1) {
     auto index =
-        ShardedFragmentIndex::Build(db.value(), features, options, shards);
+        ShardedFragmentIndex::Build(db.value(), features.value(), options, shards);
     if (!index.ok()) return Fail(index.status());
     Status saved = index.value().SaveDir(out);
     if (!saved.ok()) return Fail(saved);
@@ -189,7 +173,7 @@ int CmdBuild(int argc, char** argv) {
         index.value().build_seconds(), out.c_str());
     return 0;
   }
-  auto index = FragmentIndex::Build(db.value(), features, options);
+  auto index = FragmentIndex::Build(db.value(), features.value(), options);
   if (!index.ok()) return Fail(index.status());
   Status saved = index.value().SaveFile(out);
   if (!saved.ok()) return Fail(saved);
@@ -202,8 +186,11 @@ int CmdBuild(int argc, char** argv) {
 
 int CmdStats(int argc, char** argv) {
   std::string index_path;
+  bool json = false;
   FlagSet flags;
   flags.AddString("index", &index_path, "index path");
+  flags.AddBool("json", &json,
+                "emit one machine-readable JSON object instead of text");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -211,10 +198,44 @@ int CmdStats(int argc, char** argv) {
     auto sharded = ShardedFragmentIndex::LoadDir(index_path);
     if (!sharded.ok()) return Fail(sharded.status());
     const ShardedFragmentIndex& idx = sharded.value();
+    if (json) {
+      // Same shape as the server's `stats` reply payload (minus the
+      // host-only epoch/background counters), so operators and
+      // bench_server scrape one format instead of text.
+      JsonValue obj = JsonValue::Object();
+      obj.Set("type", "sharded");
+      obj.Set("db_slots", idx.db_size());
+      obj.Set("live", idx.num_live());
+      obj.Set("removed", static_cast<uint64_t>(idx.tombstones().size()));
+      obj.Set("num_shards", idx.num_shards());
+      obj.Set("classes", idx.num_classes());
+      obj.Set("compaction_epoch", idx.compaction_epoch());
+      obj.Set("compact_dead_ratio", idx.compact_dead_ratio());
+      JsonValue shard_list = JsonValue::Array();
+      for (int s = 0; s < idx.num_shards(); ++s) {
+        const FragmentIndex& shard = idx.shard(s);
+        JsonValue entry = JsonValue::Object();
+        entry.Set("resident", idx.shard_size(s));
+        entry.Set("live", shard.num_live());
+        entry.Set("dead", static_cast<uint64_t>(shard.tombstones().size()));
+        entry.Set("dead_ratio", shard.dead_ratio());
+        entry.Set("fragment_occurrences",
+                  static_cast<uint64_t>(
+                      shard.stats().num_fragment_occurrences));
+        shard_list.Push(std::move(entry));
+      }
+      obj.Set("shards", std::move(shard_list));
+      std::printf("%s\n", obj.Serialize().c_str());
+      return 0;
+    }
     std::printf("sharded index over %d id slots (%d live, %zu removed)\n",
                 idx.db_size(), idx.num_live(), idx.tombstones().size());
     std::printf("shards: %d, classes: %d, compaction epoch: %d\n",
                 idx.num_shards(), idx.num_classes(), idx.compaction_epoch());
+    if (idx.compact_dead_ratio() > 0) {
+      std::printf("auto-compaction dead ratio: %.2f\n",
+                  idx.compact_dead_ratio());
+    }
     for (int s = 0; s < idx.num_shards(); ++s) {
       const FragmentIndex& shard = idx.shard(s);
       // Per-shard tombstone pressure is the signal operators compact on.
@@ -229,6 +250,23 @@ int CmdStats(int argc, char** argv) {
   auto index = FragmentIndex::LoadFile(index_path);
   if (!index.ok()) return Fail(index.status());
   const FragmentIndex& idx = index.value();
+  if (json) {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("type", "flat");
+    obj.Set("db_slots", idx.db_size());
+    obj.Set("live", idx.num_live());
+    obj.Set("removed", static_cast<uint64_t>(idx.tombstones().size()));
+    obj.Set("dead_ratio", idx.dead_ratio());
+    obj.Set("classes", idx.num_classes());
+    obj.Set("compaction_epoch", static_cast<int>(idx.compaction_epoch()));
+    obj.Set("distance", idx.options().spec.type == DistanceType::kMutation
+                            ? "mutation"
+                            : "linear");
+    obj.Set("fragment_occurrences",
+            static_cast<uint64_t>(idx.stats().num_fragment_occurrences));
+    std::printf("%s\n", obj.Serialize().c_str());
+    return 0;
+  }
   std::printf(
       "index over a %d-graph database (%d live, %zu dead, dead ratio %.2f, "
       "compaction epoch %u)\n",
@@ -480,13 +518,16 @@ int CmdAdd(int argc, char** argv) {
 int CmdRemove(int argc, char** argv) {
   std::string index_path;
   std::string ids;
-  PisOptions policy;
+  // -1 = flag not given: keep whatever policy the manifest persisted.
+  // An explicit 0 clears the persisted policy; > 0 (re)arms it.
+  double compact_dead_ratio = -1;
   FlagSet flags;
   flags.AddString("index", &index_path, "index path (file or sharded dir)");
   flags.AddString("ids", &ids, "comma-separated graph ids to remove");
-  flags.AddDouble("compact_dead_ratio", &policy.compact_dead_ratio,
+  flags.AddDouble("compact_dead_ratio", &compact_dead_ratio,
                   "auto-compact a shard once its dead fraction reaches this "
-                  "(sharded dirs only; 0 = off)");
+                  "(sharded dirs only; 0 = clear the persisted policy, "
+                  "-1 = keep it)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -508,10 +549,19 @@ int CmdRemove(int argc, char** argv) {
   Result<FragmentIndex> index = Status::Internal("index not loaded");
   Result<ShardedFragmentIndex> sharded_index =
       Status::Internal("index not loaded");
+  if (compact_dead_ratio > 1) {
+    return Fail(
+        Status::InvalidArgument("--compact_dead_ratio must be <= 1"));
+  }
   if (sharded) {
     sharded_index = ShardedFragmentIndex::LoadDir(index_path);
     if (!sharded_index.ok()) return Fail(sharded_index.status());
-    sharded_index.value().set_compact_dead_ratio(policy.compact_dead_ratio);
+    // Only an explicit flag overrides the policy the manifest persisted
+    // (v4); the unset default must not erase a server's configured ratio
+    // on the next save.
+    if (compact_dead_ratio >= 0) {
+      sharded_index.value().set_compact_dead_ratio(compact_dead_ratio);
+    }
   } else {
     index = FragmentIndex::LoadFile(index_path);
     if (!index.ok()) return Fail(index.status());
@@ -542,9 +592,10 @@ int CmdRemove(int argc, char** argv) {
   if (sharded && sharded_index.value().compaction_epoch() > epoch_before) {
     // Epoch delta counts compaction runs, not distinct shards — one shard
     // can cross the threshold more than once in a single invocation.
+    // The effective ratio may come from the flag or the persisted policy.
     std::printf("ran %d auto-compaction(s) past dead ratio %.2f\n",
                 sharded_index.value().compaction_epoch() - epoch_before,
-                policy.compact_dead_ratio);
+                sharded_index.value().compact_dead_ratio());
   }
   return removed == static_cast<int>(parsed.size()) ? 0 : 1;
 }

@@ -1,0 +1,157 @@
+// pis_client: command-line client for the pis_server JSON protocol.
+//
+//   pis_client health    --port P [--host H]
+//   pis_client stats     --port P
+//   pis_client query     --port P --query q.txt [--sigma S]
+//   pis_client add       --port P --graphs new.txt
+//   pis_client remove    --port P --ids 3,17,42
+//   pis_client compact   --port P [--min_dead_ratio R]
+//   pis_client shutdown  --port P
+//   pis_client raw       --port P          (JSON lines from stdin)
+//
+// Every server reply is printed verbatim — one JSON object per line — so
+// scripts can pipe the output straight into a JSON tool. The exit code is
+// 0 iff every reply had "ok":true.
+//
+// `query` sends each record of --query as one query request on a single
+// connection; `add` likewise indexes every record of --graphs.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "pis.h"
+#include "util/flags.h"
+#include "util/socket.h"
+#include "util/string_util.h"
+
+using namespace pis;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailUsage() {
+  std::fprintf(stderr,
+               "usage: pis_client "
+               "<health|stats|query|add|remove|compact|shutdown|raw> "
+               "--port P [flags]\nRun a subcommand with --help for its "
+               "flags.\n");
+  return 2;
+}
+
+/// Sends one request line, prints the reply line, and returns whether the
+/// reply had "ok":true.
+Result<bool> RoundTrip(TcpSocket* conn, const JsonValue& request) {
+  PIS_RETURN_NOT_OK(conn->SendLine(request.Serialize()));
+  PIS_ASSIGN_OR_RETURN(std::string reply, conn->RecvLine());
+  std::printf("%s\n", reply.c_str());
+  PIS_ASSIGN_OR_RETURN(JsonValue parsed, JsonValue::Parse(reply));
+  return parsed.GetBoolOr("ok", false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return FailUsage();
+  const std::string cmd = argv[1];
+  std::string host = "127.0.0.1";
+  int port = 4871;
+  std::string query_path;
+  std::string graphs_path;
+  std::string ids;
+  double sigma = -1;
+  double min_dead_ratio = 0.0;
+
+  FlagSet flags;
+  flags.AddString("host", &host, "server host");
+  flags.AddInt("port", &port, "server port");
+  flags.AddString("query", &query_path, "query graph file (query)");
+  flags.AddString("graphs", &graphs_path, "graphs to add (add)");
+  flags.AddString("ids", &ids, "comma-separated graph ids (remove)");
+  flags.AddDouble("sigma", &sigma, "per-query sigma override (query; "
+                  "< 0 = server default)");
+  flags.AddDouble("min_dead_ratio", &min_dead_ratio,
+                  "compaction threshold (compact)");
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+
+  auto conn = TcpSocket::Connect(host, port);
+  if (!conn.ok()) return Fail(conn.status());
+  TcpSocket socket = conn.MoveValue();
+  bool all_ok = true;
+
+  auto run = [&](const JsonValue& request) -> Status {
+    PIS_ASSIGN_OR_RETURN(bool ok, RoundTrip(&socket, request));
+    all_ok = all_ok && ok;
+    return Status::OK();
+  };
+
+  Status failure = Status::OK();
+  if (cmd == "health" || cmd == "stats" || cmd == "shutdown" ||
+      cmd == "compact") {
+    JsonValue request = JsonValue::Object();
+    request.Set("op", cmd);
+    if (cmd == "compact" && min_dead_ratio > 0) {
+      request.Set("min_dead_ratio", min_dead_ratio);
+    }
+    failure = run(request);
+  } else if (cmd == "query" || cmd == "add") {
+    const std::string& path = cmd == "query" ? query_path : graphs_path;
+    if (path.empty()) {
+      return Fail(Status::InvalidArgument(
+          cmd == "query" ? "--query is required" : "--graphs is required"));
+    }
+    auto records = ReadGraphDatabaseFile(path);
+    if (!records.ok()) return Fail(records.status());
+    for (const Graph& g : records.value().graphs()) {
+      JsonValue request = JsonValue::Object();
+      request.Set("op", cmd);
+      request.Set("graph", FormatGraph(g, 0));
+      if (cmd == "query" && sigma >= 0) request.Set("sigma", sigma);
+      failure = run(request);
+      if (!failure.ok()) break;
+    }
+  } else if (cmd == "remove") {
+    if (ids.empty()) return Fail(Status::InvalidArgument("--ids is required"));
+    for (const std::string& token : Split(ids, ',')) {
+      int id = 0;
+      try {
+        size_t used = 0;
+        id = std::stoi(token, &used);
+        if (used != token.size()) throw std::invalid_argument(token);
+      } catch (...) {
+        return Fail(
+            Status::InvalidArgument("bad graph id '" + token + "' in --ids"));
+      }
+      JsonValue request = JsonValue::Object();
+      request.Set("op", "remove");
+      request.Set("id", id);
+      failure = run(request);
+      if (!failure.ok()) break;
+    }
+  } else if (cmd == "raw") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      failure = socket.SendLine(line);
+      if (!failure.ok()) break;
+      auto reply = socket.RecvLine();
+      if (!reply.ok()) {
+        failure = reply.status();
+        break;
+      }
+      std::printf("%s\n", reply.value().c_str());
+      auto parsed = JsonValue::Parse(reply.value());
+      all_ok = all_ok && parsed.ok() && parsed.value().GetBoolOr("ok", false);
+    }
+  } else {
+    return FailUsage();
+  }
+
+  if (!failure.ok()) return Fail(failure);
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,171 @@
+// pis_server: TCP serving front end over the sharded PIS engine.
+//
+//   pis_server --db db.txt --index sharded_dir [--port P] [--workers N]
+//              [--sigma S] [--compact_dead_ratio R] [--compact_interval_ms M]
+//              [--save_on_exit]
+//   pis_server --db db.txt --shards 4 [--max_fragment_edges K]
+//              [--min_support F] [--gamma G] [--distance mutation|linear] ...
+//
+// With --index, a sharded index directory (pis_cli build --shards > 1) is
+// loaded and served; the db file must be the id-aligned database. Without
+// it, the index is mined and built in memory at startup (the pis_cli build
+// pipeline) — convenient for demos and the CI smoke test.
+//
+// The server speaks the newline-delimited JSON protocol documented in
+// src/server/pis_server.h on the bound port (loopback only; --port 0 picks
+// an ephemeral port). The line "pis_server listening on port <P>" goes to
+// stdout once serving, so scripts can wait for readiness and learn the
+// port. A {"op":"shutdown"} request stops the server; with --save_on_exit
+// the mutated index (and db file) are saved back before exit.
+//
+// When --compact_dead_ratio > 0 (or the loaded manifest carries a policy),
+// the background compactor scans every --compact_interval_ms and rewrites
+// shards past the threshold via copy-on-write swaps — queries keep
+// answering throughout.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "pis.h"
+#include "server/pis_server.h"
+#include "util/flags.h"
+
+using namespace pis;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// The pis_cli build pipeline (shared via mining/pipeline.h so the two
+/// binaries cannot drift), producing a sharded index in memory.
+Result<ShardedFragmentIndex> BuildIndex(const GraphDatabase& db, int shards,
+                                        int max_fragment_edges,
+                                        double min_support, double gamma,
+                                        const std::string& distance,
+                                        int threads) {
+  PIS_ASSIGN_OR_RETURN(
+      std::vector<Graph> features,
+      MineDiscriminativeFeatures(db, max_fragment_edges, min_support, gamma));
+  FragmentIndexOptions options;
+  options.max_fragment_edges = max_fragment_edges;
+  options.num_threads = threads <= 0 ? HardwareThreads() : threads;
+  PIS_ASSIGN_OR_RETURN(options.spec, DistanceSpecFromName(distance));
+  return ShardedFragmentIndex::Build(db, features, options, shards);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_path;
+  std::string index_path;
+  int port = 4871;
+  int workers = 4;
+  double sigma = 2.0;
+  int shards = 4;
+  int max_fragment_edges = 4;
+  double min_support = 0.05;
+  double gamma = 1.0;
+  std::string distance = "mutation";
+  int threads = 0;
+  double compact_dead_ratio = 0.0;
+  int compact_interval_ms = 2000;
+  bool save_on_exit = false;
+
+  FlagSet flags;
+  flags.AddString("db", &db_path, "database path (native text format)");
+  flags.AddString("index", &index_path,
+                  "sharded index directory (omit to build at startup)");
+  flags.AddInt("port", &port, "TCP port (0 = ephemeral)");
+  flags.AddInt("workers", &workers, "concurrent connections served");
+  flags.AddDouble("sigma", &sigma, "default max superimposed distance");
+  flags.AddInt("shards", &shards, "shard count when building at startup");
+  flags.AddInt("max_fragment_edges", &max_fragment_edges,
+               "max indexed fragment size when building at startup");
+  flags.AddDouble("min_support", &min_support,
+                  "relative feature min support when building at startup");
+  flags.AddDouble("gamma", &gamma,
+                  "gIndex discriminative ratio when building at startup");
+  flags.AddString("distance", &distance, "mutation | linear");
+  flags.AddInt("threads", &threads, "index build threads (0 = all hardware)");
+  flags.AddDouble("compact_dead_ratio", &compact_dead_ratio,
+                  "background compaction threshold (0 = use the manifest's "
+                  "persisted policy, if any)");
+  flags.AddInt("compact_interval_ms", &compact_interval_ms,
+               "background compaction scan interval");
+  flags.AddBool("save_on_exit", &save_on_exit,
+                "save the mutated index (and db file) back on shutdown "
+                "(requires --index)");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;
+  if (!st.ok()) return Fail(st);
+  if (db_path.empty()) {
+    return Fail(Status::InvalidArgument("--db is required"));
+  }
+  if (save_on_exit && index_path.empty()) {
+    return Fail(Status::InvalidArgument("--save_on_exit requires --index"));
+  }
+
+  auto db = ReadGraphDatabaseFile(db_path);
+  if (!db.ok()) return Fail(db.status());
+
+  Result<ShardedFragmentIndex> index = Status::Internal("index not loaded");
+  if (!index_path.empty()) {
+    if (!std::filesystem::is_directory(index_path)) {
+      return Fail(Status::InvalidArgument(
+          "--index must name a sharded index directory (pis_cli build "
+          "--shards > 1)"));
+    }
+    index = ShardedFragmentIndex::LoadDir(index_path);
+  } else {
+    index = BuildIndex(db.value(), shards, max_fragment_edges, min_support,
+                       gamma, distance, threads);
+  }
+  if (!index.ok()) return Fail(index.status());
+  if (index.value().db_size() != db.value().size()) {
+    return Fail(Status::InvalidArgument(
+        "index covers " + std::to_string(index.value().db_size()) +
+        " graphs but --db holds " + std::to_string(db.value().size())));
+  }
+
+  PisOptions options;
+  options.sigma = sigma;
+  options.compact_dead_ratio = compact_dead_ratio;
+  EngineHost host(std::move(db.value()), index.MoveValue(), options);
+  if (host.compact_dead_ratio() > 0) {
+    Status started = host.StartAutoCompaction(
+        std::chrono::milliseconds(compact_interval_ms));
+    if (!started.ok()) return Fail(started);
+    std::fprintf(stderr,
+                 "background compaction: dead ratio %.2f every %d ms\n",
+                 host.compact_dead_ratio(), compact_interval_ms);
+  }
+
+  PisServerOptions server_options;
+  server_options.port = port;
+  server_options.num_workers = workers;
+  PisServer server(&host, server_options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  EngineHost::HostStats stats = host.Stats();
+  std::printf("pis_server listening on port %d\n", server.port());
+  std::printf("serving %d live graphs over %d shards (sigma %.2f, %d workers)\n",
+              stats.live, stats.num_shards, sigma, workers);
+  std::fflush(stdout);
+
+  server.Wait();
+  host.StopAutoCompaction();
+  std::printf("served %llu requests over %llu connections\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.connections_served()));
+  if (save_on_exit) {
+    Status saved = host.Save(index_path, db_path);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("saved index to %s and db to %s\n", index_path.c_str(),
+                db_path.c_str());
+  }
+  std::printf("pis_server shut down cleanly\n");
+  return 0;
+}
