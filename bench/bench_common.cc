@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "util/logging.h"
@@ -246,6 +248,19 @@ std::vector<std::vector<double>> ReductionRatios(const FilterExperiment& ex) {
     ratios.push_back(std::move(r));
   }
   return ratios;
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << value.Serialize() << "\n";
+  out.flush();
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
 }
 
 int ReductionFigureMain(int argc, char** argv, const std::string& figure_title,

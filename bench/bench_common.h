@@ -9,6 +9,7 @@
 
 #include "pis.h"
 #include "util/flags.h"
+#include "util/json.h"
 
 namespace pis::bench {
 
@@ -125,6 +126,12 @@ void ReportBucketed(const std::string& title, const WorkloadConfig& config,
 
 /// Computes per-query reduction ratios Yt / max(Yp, 1) for each series.
 std::vector<std::vector<double>> ReductionRatios(const FilterExperiment& ex);
+
+/// Writes `value` plus a trailing newline to `path`, creating parent
+/// directories as needed — the machine-readable side channel of a bench run
+/// (the human-readable tables stay on stdout). Serialization is
+/// deterministic (sorted keys), so checked-in bench JSON diffs cleanly.
+Status WriteJsonFile(const std::string& path, const JsonValue& value);
 
 /// Complete driver for a reduction-ratio figure (Figures 9 and 10): parse
 /// flags, build workload, run the σ series, print the bucket table.

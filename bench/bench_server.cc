@@ -3,6 +3,7 @@
 //
 //   bench_server [--db_size N] [--shards S] [--readers R] [--seconds T]
 //                [--write_every_ms W] [--compact_dead_ratio D] [--sigma SG]
+//                [--json_out results.json]
 //
 // Drives an in-process EngineHost (the same object pis_server fronts) in
 // three phases:
@@ -19,11 +20,17 @@
 // The headline check (the PR's acceptance criterion): queries keep being
 // answered — with a reported p99 — while compaction runs. The process
 // exits 1 if the compaction window saw no completed queries.
+//
+// --json_out writes the same numbers as one machine-readable JSON object
+// (per-phase latency percentiles, writer/compaction counters, final host
+// stats) so CI and trend tooling can consume a run without scraping stdout.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -59,6 +66,17 @@ void PrintLatencies(const char* label, const std::vector<double>& millis,
       label, millis.size(), seconds > 0 ? millis.size() / seconds : 0.0,
       Percentile(millis, 0.50), Percentile(millis, 0.95),
       Percentile(millis, 0.99));
+}
+
+/// The same numbers PrintLatencies reports, as a JSON object.
+JsonValue LatencyJson(const std::vector<double>& millis, double seconds) {
+  JsonValue v = JsonValue::Object();
+  v.Set("queries", static_cast<uint64_t>(millis.size()));
+  v.Set("qps", seconds > 0 ? millis.size() / seconds : 0.0);
+  v.Set("p50_ms", Percentile(millis, 0.50));
+  v.Set("p95_ms", Percentile(millis, 0.95));
+  v.Set("p99_ms", Percentile(millis, 0.99));
+  return v;
 }
 
 /// Runs `readers` threads querying the host until stopped; collects one
@@ -141,6 +159,7 @@ int main(int argc, char** argv) {
   double compact_dead_ratio = 0.04;
   double sigma = 2.0;
   int query_edges = 10;
+  std::string json_out;
 
   FlagSet flags;
   config.Register(&flags);
@@ -153,6 +172,8 @@ int main(int argc, char** argv) {
                   "background compaction threshold (mixed phase)");
   flags.AddDouble("sigma", &sigma, "query distance threshold");
   flags.AddInt("query_edges", &query_edges, "edges per sampled query");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   PIS_CHECK(flags.Parse(argc, argv).ok());
 
   std::printf("bench_server: db=%d shards=%d readers=%d phase=%.1fs\n",
@@ -184,13 +205,31 @@ int main(int argc, char** argv) {
 
   const auto phase_len = std::chrono::duration<double>(seconds);
 
+  JsonValue report = JsonValue::Object();
+  report.Set("bench", "bench_server");
+  {
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("shards", shards);
+    cfg.Set("readers", readers);
+    cfg.Set("seconds", seconds);
+    cfg.Set("write_every_ms", write_every_ms);
+    cfg.Set("compact_dead_ratio", compact_dead_ratio);
+    cfg.Set("sigma", sigma);
+    cfg.Set("query_edges", query_edges);
+    report.Set("config", std::move(cfg));
+  }
+  JsonValue phases = JsonValue::Object();
+
   // ---- Phase 1: read-only baseline.
   {
     Timer timer;
     ReaderPool pool(host, queries.value(), readers);
     std::this_thread::sleep_for(phase_len);
     std::vector<Sample> samples = pool.StopAndCollect();
-    PrintLatencies("read-only", AllMillis(samples), timer.Seconds());
+    const std::vector<double> millis = AllMillis(samples);
+    PrintLatencies("read-only", millis, timer.Seconds());
+    phases.Set("read_only", LatencyJson(millis, timer.Seconds()));
   }
 
   // ---- Phase 2: mixed read/write with the background compactor on.
@@ -220,12 +259,17 @@ int main(int argc, char** argv) {
     stop_writer.store(true);
     writer.join();
     std::vector<Sample> samples = pool.StopAndCollect();
-    PrintLatencies("mixed r/w", AllMillis(samples), timer.Seconds());
+    const std::vector<double> millis = AllMillis(samples);
+    PrintLatencies("mixed r/w", millis, timer.Seconds());
     std::printf(
         "                 %zu writes, %llu background compaction(s)\n",
         writes,
         static_cast<unsigned long long>(host.background_compactions()));
     host.StopAutoCompaction();
+    JsonValue mixed = LatencyJson(millis, timer.Seconds());
+    mixed.Set("writes", static_cast<uint64_t>(writes));
+    mixed.Set("background_compactions", host.background_compactions());
+    phases.Set("mixed", std::move(mixed));
   }
 
   // ---- Phase 3: full compaction + rebalance while readers hammer.
@@ -257,20 +301,51 @@ int main(int argc, char** argv) {
             1e3);
     std::this_thread::sleep_for(phase_len / 4);
     std::vector<Sample> samples = pool.StopAndCollect();
-    PrintLatencies("around compact", AllMillis(samples), timer.Seconds());
+    const std::vector<double> millis = AllMillis(samples);
+    PrintLatencies("around compact", millis, timer.Seconds());
     std::vector<double> inside = MillisIn(samples, window_begin, window_end);
     during_compaction = inside.size();
     const double window_seconds =
         std::chrono::duration<double>(window_end - window_begin).count();
     PrintLatencies("  in window", inside, window_seconds);
     PIS_CHECK(pool.failed() == 0) << "queries failed during compaction";
+    phases.Set("around_compact", LatencyJson(millis, timer.Seconds()));
+    JsonValue window = LatencyJson(inside, window_seconds);
+    window.Set("window_ms", window_seconds * 1e3);
+    window.Set("compacted_shards", compacted.value());
+    window.Set("migrated_graphs", migrated.value());
+    phases.Set("compact_window", std::move(window));
   }
 
   EngineHost::HostStats final_stats = host.Stats();
   std::printf("final: %d live / %d slots, compaction epoch %d\n",
               final_stats.live, final_stats.db_slots,
               final_stats.compaction_epoch);
-  if (during_compaction == 0) {
+
+  const bool ok = during_compaction > 0;
+  report.Set("phases", std::move(phases));
+  {
+    JsonValue final_json = JsonValue::Object();
+    final_json.Set("live", final_stats.live);
+    final_json.Set("db_slots", final_stats.db_slots);
+    final_json.Set("compaction_epoch", final_stats.compaction_epoch);
+    final_json.Set("group_commit_batches", final_stats.group_commit_batches);
+    final_json.Set("group_commit_ops", final_stats.group_commit_ops);
+    final_json.Set("group_commit_batch_size",
+                   final_stats.group_commit_max_batch);
+    report.Set("final", std::move(final_json));
+  }
+  report.Set("ok", ok);
+  if (!json_out.empty()) {
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  if (!ok) {
     std::printf(
         "FAIL: no queries completed inside the compaction window (window too "
         "short? raise --db_size)\n");

@@ -8,12 +8,17 @@
 // and against a full rebuild: on-disk bytes, compaction cost, query
 // latency, and mean final candidate counts — compaction must reclaim the
 // space at a fraction of the rebuild's cost without regressing candidates.
+//
+// --json_out writes every number of the printed table as one JSON object
+// for CI and trend tooling.
 #include <unistd.h>
 
 #include <algorithm>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -64,6 +69,7 @@ int main(int argc, char** argv) {
   int shards = 4;
   double sigma = 2.0;
   double live_fraction = 0.5;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
@@ -73,6 +79,8 @@ int main(int argc, char** argv) {
   flags.AddDouble("live_fraction", &live_fraction,
                   "remove down to this live/slots ratio before measuring "
                   "compaction (phase 2)");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
   if (!st.ok()) {
@@ -277,5 +285,53 @@ int main(int argc, char** argv) {
                   ? 100.0 * (1.0 - static_cast<double>(bytes_compacted) /
                                        static_cast<double>(bytes_tombstoned))
                   : 0.0);
+
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "bench_update");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("shards", shards);
+    cfg.Set("updates", updates);
+    cfg.Set("live_fraction", live_fraction);
+    cfg.Set("sigma", sigma);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("queries_per_set", static_cast<int>(queries.size()));
+    report.Set("config", std::move(cfg));
+    report.Set("adds", adds);
+    report.Set("removes", removes);
+    report.Set("live", live);
+    report.Set("slots", slots);
+    report.Set("initial_build_seconds", initial_build);
+    report.Set("amortized_add_ms",
+               adds > 0 ? 1e3 * add_seconds / adds : 0.0);
+    report.Set("amortized_remove_ms",
+               removes > 0 ? 1e3 * remove_seconds / removes : 0.0);
+    report.Set("compact_seconds", compact_seconds);
+    report.Set("compacted_shards", compacted_shards.value());
+    report.Set("rebuild_seconds", rebuilt.value().build_seconds());
+    JsonValue latency = JsonValue::Object();
+    latency.Set("before_updates_ms", 1e3 * cost_before.mean_seconds);
+    latency.Set("after_updates_ms", 1e3 * cost_after.mean_seconds);
+    latency.Set("tombstoned_ms", 1e3 * cost_tombstoned.mean_seconds);
+    latency.Set("compacted_ms", 1e3 * cost_compacted.mean_seconds);
+    latency.Set("rebuilt_ms", 1e3 * cost_rebuilt.mean_seconds);
+    report.Set("query_latency", std::move(latency));
+    JsonValue candidates = JsonValue::Object();
+    candidates.Set("tombstoned", cost_tombstoned.mean_candidates);
+    candidates.Set("compacted", cost_compacted.mean_candidates);
+    candidates.Set("rebuilt", cost_rebuilt.mean_candidates);
+    report.Set("mean_candidates", std::move(candidates));
+    report.Set("index_bytes_tombstoned",
+               static_cast<uint64_t>(bytes_tombstoned));
+    report.Set("index_bytes_compacted",
+               static_cast<uint64_t>(bytes_compacted));
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

@@ -1,12 +1,27 @@
 #include "server/engine_host.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "graph/io.h"
+#include "util/fs_util.h"
 #include "util/json.h"
 #include "util/logging.h"
 
 namespace pis {
+
+namespace {
+
+/// Parent directory of `path` for SyncDir — "." when the path is a bare
+/// relative filename.
+std::string ParentDirOf(const std::string& path) {
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return parent.empty() ? std::string(".") : parent;
+}
+
+}  // namespace
 
 JsonValue EngineHost::HostStats::ToJsonValue() const {
   JsonValue obj = JsonValue::Object();
@@ -19,6 +34,13 @@ JsonValue EngineHost::HostStats::ToJsonValue() const {
   obj.Set("compact_dead_ratio", compact_dead_ratio);
   obj.Set("background_compactions",
           static_cast<uint64_t>(background_compactions));
+  obj.Set("wal_bytes", static_cast<uint64_t>(wal_bytes));
+  obj.Set("wal_records", static_cast<uint64_t>(wal_records));
+  obj.Set("checkpoints", static_cast<uint64_t>(checkpoints));
+  obj.Set("group_commit_batches", static_cast<uint64_t>(group_commit_batches));
+  obj.Set("group_commit_ops", static_cast<uint64_t>(group_commit_ops));
+  obj.Set("group_commit_batch_size",
+          static_cast<uint64_t>(group_commit_max_batch));
   JsonValue shard_list = JsonValue::Array();
   for (const ShardInfo& s : shards) {
     JsonValue entry = JsonValue::Object();
@@ -52,6 +74,118 @@ EngineHost::EngineHost(GraphDatabase db, ShardedFragmentIndex index,
 
 EngineHost::~EngineHost() { StopAutoCompaction(); }
 
+Status EngineHost::AttachWal(std::unique_ptr<WriteAheadLog> wal) {
+  if (wal == nullptr) {
+    return Status::InvalidArgument("cannot attach a null WAL");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (wal_ != nullptr) {
+    return Status::AlreadyExists("a WAL is already attached");
+  }
+  wal_ = std::move(wal);
+  wal_view_.store(wal_.get(), std::memory_order_release);
+  // Epochs in the log must keep growing across restarts, or a later
+  // checkpoint's TruncateThrough would drop records it does not cover.
+  if (wal_->max_recovered_epoch() > epoch_) {
+    epoch_ = wal_->max_recovered_epoch();
+    Publish();
+  }
+  return Status::OK();
+}
+
+bool EngineHost::wal_attached() const {
+  return wal_view_.load(std::memory_order_acquire) != nullptr;
+}
+
+Status EngineHost::EnableCheckpoints(CheckpointConfig config) {
+  if (config.index_dir.empty() || config.db_path.empty()) {
+    return Status::InvalidArgument(
+        "checkpointing needs an index directory and a database path");
+  }
+  if (!wal_attached()) {
+    return Status::InvalidArgument(
+        "checkpointing requires an attached WAL — without one there is "
+        "nothing to truncate and Save() already covers plain persistence");
+  }
+  {
+    std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+    if (compactor_.joinable()) {
+      return Status::AlreadyExists(
+          "configure checkpoints before starting the maintenance thread");
+    }
+  }
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  checkpoint_ = std::move(config);
+  checkpoints_enabled_ = true;
+  return Status::OK();
+}
+
+Status EngineHost::Checkpoint() {
+  // Serializes whole checkpoints against each other (manual vs periodic)
+  // but never against writers: everything below works off one pinned
+  // immutable snapshot until the final WAL truncate.
+  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+  if (!checkpoints_enabled_) {
+    return Status::InvalidArgument(
+        "checkpointing is not configured (call EnableCheckpoints)");
+  }
+  std::shared_ptr<const Snapshot> snap = snapshot();
+
+  // 1. Write both components under temp names, fully fsynced, so the swaps
+  // below move only durable bytes.
+  const std::string tmp_dir = checkpoint_.index_dir + ".ckpt";
+  std::error_code ec;
+  std::filesystem::remove_all(tmp_dir, ec);  // leftover of a crashed attempt
+  ShardedFragmentIndex to_save = *snap->index;
+  to_save.set_compact_dead_ratio(compact_dead_ratio_);
+  PIS_RETURN_NOT_OK(to_save.SaveDir(tmp_dir));
+  PIS_RETURN_NOT_OK(SyncTree(tmp_dir));
+  const std::string tmp_db = checkpoint_.db_path + ".ckpt";
+  PIS_RETURN_NOT_OK(WriteGraphDatabaseFile(*snap->db, tmp_db));
+  PIS_RETURN_NOT_OK(SyncFile(tmp_db));
+
+  // 2. Swap in the database (rename over a file is atomic)...
+  std::filesystem::rename(tmp_db, checkpoint_.db_path, ec);
+  if (ec) {
+    return Status::IOError("cannot swap checkpointed db into " +
+                           checkpoint_.db_path + ": " + ec.message());
+  }
+  PIS_RETURN_NOT_OK(SyncDir(ParentDirOf(checkpoint_.db_path)));
+
+  // 3. ...then the index, via the `.stale` dance (rename cannot clobber a
+  // non-empty directory). A crash inside this window leaves either the old
+  // dir, or `.stale` + `.ckpt` — loaders fall back to `.stale`, and WAL
+  // replay reconciles whichever generation they got.
+  const std::string stale = checkpoint_.index_dir + ".stale";
+  std::filesystem::remove_all(stale, ec);
+  if (std::filesystem::exists(checkpoint_.index_dir)) {
+    std::filesystem::rename(checkpoint_.index_dir, stale, ec);
+    if (ec) {
+      return Status::IOError("cannot set aside previous index " +
+                             checkpoint_.index_dir + ": " + ec.message());
+    }
+  }
+  std::filesystem::rename(tmp_dir, checkpoint_.index_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot swap checkpointed index into " +
+                           checkpoint_.index_dir + ": " + ec.message());
+  }
+  std::filesystem::remove_all(stale, ec);
+  PIS_RETURN_NOT_OK(SyncDir(ParentDirOf(checkpoint_.index_dir)));
+
+  // 4. The pair on disk now covers everything through snap->epoch; records
+  // at or below it are dead weight. Writer lock excludes a concurrent
+  // batch's Append during the log rewrite.
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (wal_ != nullptr) {
+      PIS_RETURN_NOT_OK(wal_->TruncateThrough(snap->epoch));
+    }
+  }
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 void EngineHost::Publish() {
   // The index copy shares every shard handle with master_; the next
   // mutation of a shard detaches it first (COW), so published snapshots
@@ -84,28 +218,146 @@ BatchSearchResult EngineHost::SearchBatch(std::span<const Graph> queries,
   return snap->engine.SearchBatch(queries, num_threads);
 }
 
-Result<int> EngineHost::AddGraph(const Graph& g, uint64_t* epoch_out) {
+void EngineHost::Submit(PendingWrite* op) {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_queue_.push_back(op);
+  // While a leader is committing, just wait: either it drains us into its
+  // batch (done flips true) or it finishes and we take over leadership.
+  // Writers arriving here during a commit are exactly how batches form.
+  while (!op->done && commit_leader_active_) {
+    commit_cv_.wait(lock);
+  }
+  if (op->done) return;
+  commit_leader_active_ = true;
+  std::vector<PendingWrite*> batch;
+  batch.swap(commit_queue_);
+  lock.unlock();
+  CommitBatch(batch);  // takes writer_mu_; commit_mu_ stays free
+  lock.lock();
+  // Results were written before re-taking commit_mu_, so waiters that
+  // observe done==true under the lock see their gid/epoch/status too.
+  for (PendingWrite* b : batch) b->done = true;
+  commit_leader_active_ = false;
+  commit_cv_.notify_all();
+}
+
+void EngineHost::CommitBatch(const std::vector<PendingWrite*>& batch) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  PIS_ASSIGN_OR_RETURN(int gid, master_.AddGraph(g));
-  // Copy-on-add keeps ids aligned without mutating the database published
-  // snapshots still reference. O(db) per add; batch adds through the
-  // protocol amortize by arriving as one connection-serialized stream.
-  auto appended = std::make_shared<GraphDatabase>(*master_db_);
-  const int db_gid = appended->Add(g);
-  PIS_CHECK(db_gid == gid) << "index and database ids diverged";
-  master_db_ = std::move(appended);
-  ++epoch_;
+  const uint64_t next_epoch = epoch_ + 1;
+  std::shared_ptr<GraphDatabase> appended;  // one copy for the whole batch
+  std::vector<WalRecord> wal_batch;
+  std::vector<PendingWrite*> applied;
+  for (PendingWrite* op : batch) {
+    if (op->kind == PendingWrite::Kind::kAdd) {
+      const int db_size =
+          appended != nullptr ? appended->size() : master_db_->size();
+      if (master_.db_size() != db_size) {
+        // A previous divergent write left the pair misaligned; refuse new
+        // adds instead of compounding (or crashing on) the damage.
+        op->status = Status::Internal(
+            "index covers " + std::to_string(master_.db_size()) +
+            " graphs but the database holds " + std::to_string(db_size) +
+            "; rejecting writes until the pair is rebuilt");
+        continue;
+      }
+      Result<int> gid = master_.AddGraph(*op->graph);
+      if (!gid.ok()) {
+        op->status = gid.status();
+        continue;
+      }
+      if (appended == nullptr) {
+        appended = std::make_shared<GraphDatabase>(*master_db_);
+      }
+      const int db_gid = appended->Add(*op->graph);
+      if (db_gid != gid.value()) {
+        // Divergence here means a broken invariant, but one write must not
+        // kill the serving process: tombstone the index slot and fail the
+        // op with Internal — the alignment pre-check above quarantines
+        // later adds.
+        Status rollback = master_.RemoveGraph(gid.value());
+        if (!rollback.ok()) {
+          PIS_LOG(Error) << "could not roll back divergent add of gid "
+                         << gid.value() << ": " << rollback.ToString();
+        }
+        op->status = Status::Internal(
+            "index assigned gid " + std::to_string(gid.value()) +
+            " but the database assigned " + std::to_string(db_gid) +
+            "; the add was rolled back");
+        continue;
+      }
+      op->gid = gid.value();
+      op->status = Status::OK();
+      if (wal_ != nullptr) {
+        WalRecord rec;
+        rec.op = WalRecord::Op::kAdd;
+        rec.epoch = next_epoch;
+        rec.gid = op->gid;
+        rec.graph_text = FormatGraph(*op->graph, op->gid);
+        wal_batch.push_back(std::move(rec));
+      }
+      applied.push_back(op);
+    } else {
+      Status removed = master_.RemoveGraph(op->gid);
+      op->status = removed;
+      if (!removed.ok()) continue;
+      if (wal_ != nullptr) {
+        WalRecord rec;
+        rec.op = WalRecord::Op::kRemove;
+        rec.epoch = next_epoch;
+        rec.gid = op->gid;
+        wal_batch.push_back(std::move(rec));
+      }
+      applied.push_back(op);
+    }
+  }
+  if (applied.empty()) return;  // every op failed: no state change, no epoch
+
+  if (wal_ != nullptr && !wal_batch.empty()) {
+    Status logged = wal_->Append(wal_batch);
+    if (!logged.ok()) {
+      // The batch already mutated in-memory state and cannot be unapplied;
+      // publish it for internal consistency but acknowledge NOTHING — every
+      // caller sees the WAL failure, so the durability contract ("ok means
+      // recoverable") holds. The ops' outcome after a restart is
+      // indeterminate, exactly like any unacknowledged write.
+      PIS_LOG(Error) << "WAL append failed; refusing to acknowledge "
+                     << applied.size()
+                     << " applied op(s): " << logged.ToString();
+      for (PendingWrite* op : applied) op->status = logged;
+    }
+  }
+
+  if (appended != nullptr) master_db_ = std::move(appended);
+  epoch_ = next_epoch;
   Publish();
-  if (epoch_out != nullptr) *epoch_out = epoch_;
-  return gid;
+  for (PendingWrite* op : applied) op->epoch = epoch_;
+
+  group_commit_batches_.fetch_add(1, std::memory_order_relaxed);
+  group_commit_ops_.fetch_add(batch.size(), std::memory_order_relaxed);
+  uint64_t prev = group_commit_max_batch_.load(std::memory_order_relaxed);
+  while (prev < batch.size() &&
+         !group_commit_max_batch_.compare_exchange_weak(
+             prev, batch.size(), std::memory_order_relaxed)) {
+  }
+}
+
+Result<int> EngineHost::AddGraph(const Graph& g, uint64_t* epoch_out) {
+  PendingWrite op;
+  op.kind = PendingWrite::Kind::kAdd;
+  op.graph = &g;
+  Submit(&op);
+  PIS_RETURN_NOT_OK(op.status);
+  if (epoch_out != nullptr) *epoch_out = op.epoch;
+  return op.gid;
 }
 
 Status EngineHost::RemoveGraph(int gid, uint64_t* epoch_out) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  PIS_RETURN_NOT_OK(master_.RemoveGraph(gid));
-  ++epoch_;
-  Publish();
-  if (epoch_out != nullptr) *epoch_out = epoch_;
+  PendingWrite op;
+  op.kind = PendingWrite::Kind::kRemove;
+  op.gid = gid;
+  Submit(&op);
+  PIS_RETURN_NOT_OK(op.status);
+  if (epoch_out != nullptr) *epoch_out = op.epoch;
   return Status::OK();
 }
 
@@ -140,10 +392,20 @@ Status EngineHost::StartAutoCompaction(std::chrono::milliseconds interval,
                                        double dead_ratio_override) {
   const double ratio =
       dead_ratio_override > 0 ? dead_ratio_override : compact_dead_ratio_;
-  if (ratio <= 0 || ratio > 1) {
+  if (ratio > 1) {
+    return Status::InvalidArgument("compaction dead ratio must be <= 1");
+  }
+  bool periodic_checkpoints = false;
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    periodic_checkpoints =
+        checkpoints_enabled_ && checkpoint_.interval.count() > 0;
+  }
+  if (ratio <= 0 && !periodic_checkpoints) {
     return Status::InvalidArgument(
-        "auto-compaction needs a dead ratio in (0, 1]; configure "
-        "PisOptions::compact_dead_ratio or pass an override");
+        "the maintenance thread needs work: a dead ratio in (0, 1] "
+        "(PisOptions::compact_dead_ratio or the override) and/or a periodic "
+        "checkpoint interval (EnableCheckpoints)");
   }
   if (interval.count() <= 0) {
     return Status::InvalidArgument("auto-compaction interval must be > 0");
@@ -156,8 +418,10 @@ Status EngineHost::StartAutoCompaction(std::chrono::milliseconds interval,
     std::lock_guard<std::mutex> lock(compactor_mu_);
     compactor_stop_ = false;
   }
-  compactor_ = std::thread(
-      [this, interval, ratio] { CompactorLoop(interval, ratio); });
+  const double compact_ratio = ratio > 0 ? ratio : 0;
+  compactor_ = std::thread([this, interval, compact_ratio] {
+    MaintenanceLoop(interval, compact_ratio);
+  });
   return Status::OK();
 }
 
@@ -178,10 +442,23 @@ bool EngineHost::auto_compaction_running() const {
   return compactor_.joinable();
 }
 
-void EngineHost::CompactorLoop(std::chrono::milliseconds interval,
-                               double dead_ratio) {
+void EngineHost::MaintenanceLoop(std::chrono::milliseconds interval,
+                                 double dead_ratio) {
+  using Clock = std::chrono::steady_clock;
+  std::chrono::milliseconds ckpt_interval{0};
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    if (checkpoints_enabled_) ckpt_interval = checkpoint_.interval;
+  }
+  const bool compaction = dead_ratio > 0;
+  const bool checkpointing = ckpt_interval.count() > 0;
+  // First compaction scan runs immediately (the PR 5 contract); the first
+  // checkpoint waits one full interval — there is nothing to persist yet.
+  Clock::time_point next_compact = Clock::now();
+  Clock::time_point next_checkpoint = Clock::now() + ckpt_interval;
   while (true) {
-    {
+    const Clock::time_point now = Clock::now();
+    if (compaction && now >= next_compact) {
       // One pass. Readers never notice: the rewrite happens on detached
       // shard copies and lands with the snapshot publish.
       std::lock_guard<std::mutex> lock(writer_mu_);
@@ -194,10 +471,23 @@ void EngineHost::CompactorLoop(std::chrono::milliseconds interval,
         Publish();
         ++background_compactions_;
       }
+      next_compact = Clock::now() + interval;
     }
+    if (checkpointing && now >= next_checkpoint) {
+      Status checkpointed = Checkpoint();
+      if (!checkpointed.ok()) {
+        // Keep serving — the WAL still covers everything; retry next tick.
+        PIS_LOG(Error) << "periodic checkpoint failed: "
+                       << checkpointed.ToString();
+      }
+      next_checkpoint = Clock::now() + ckpt_interval;
+    }
+    Clock::time_point deadline = Clock::time_point::max();
+    if (compaction) deadline = next_compact;
+    if (checkpointing) deadline = std::min(deadline, next_checkpoint);
     std::unique_lock<std::mutex> lock(compactor_mu_);
-    if (compactor_cv_.wait_for(lock, interval,
-                               [this] { return compactor_stop_; })) {
+    if (compactor_cv_.wait_until(lock, deadline,
+                                 [this] { return compactor_stop_; })) {
       return;
     }
   }
@@ -215,6 +505,17 @@ EngineHost::HostStats EngineHost::Stats() const {
   stats.compaction_epoch = index.compaction_epoch();
   stats.compact_dead_ratio = compact_dead_ratio_;
   stats.background_compactions = background_compactions_.load();
+  if (const WriteAheadLog* wal =
+          wal_view_.load(std::memory_order_acquire)) {
+    stats.wal_bytes = wal->bytes();
+    stats.wal_records = wal->records();
+  }
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  stats.group_commit_batches =
+      group_commit_batches_.load(std::memory_order_relaxed);
+  stats.group_commit_ops = group_commit_ops_.load(std::memory_order_relaxed);
+  stats.group_commit_max_batch =
+      group_commit_max_batch_.load(std::memory_order_relaxed);
   stats.shards.reserve(index.num_shards());
   for (int s = 0; s < index.num_shards(); ++s) {
     ShardInfo info;

@@ -11,19 +11,26 @@
 //     query observes exactly the state left by some prefix of the applied
 //     mutations (never a partial one), and a mutation that returned is
 //     visible to every snapshot taken afterwards;
+//   - durable writes: with a WriteAheadLog attached, every AddGraph /
+//     RemoveGraph batch is appended and fsynced BEFORE any caller gets its
+//     result, so an acknowledged write survives kill -9 — restart replays
+//     the log over the last checkpoint (see server/wal.h);
 //   - zero-downtime maintenance: CompactShard / Compact / Rebalance rewrite
 //     shards on detached copies (the copy-on-write layer of
 //     ShardedFragmentIndex) and land via shard-handle swap, so the
-//     PR 4 dead-ratio policy can run on the background compactor thread
-//     while queries keep answering.
+//     PR 4 dead-ratio policy — and now periodic checkpointing — run on the
+//     background maintenance thread while queries keep answering.
 //
-// Cost model: publishing shares everything a mutation didn't touch. A
-// mutation detaches (deep-copies) only the shard it mutates, and only
-// AddGraph copies the database (append-only; RemoveGraph tombstones and
-// compaction never move global ids). Readers pay one mutex-guarded
-// shared_ptr copy (std::atomic<std::shared_ptr> would make the pin
-// lock-free, but libstdc++'s implementation trips TSan — the explicit
-// mutex keeps the CI race-checking meaningful and costs nanoseconds).
+// Cost model: publishing shares everything a mutation didn't touch, and
+// AddGraph/RemoveGraph group-commit: concurrent callers enqueue onto a
+// commit queue, one leader drains the whole batch under the writer mutex
+// and pays ONE database copy, ONE WAL fsync, and ONE snapshot publish for
+// the N queued ops — collapsing the former N O(db) copies + N publishes.
+// RemoveGraph tombstones and compaction never move global ids. Readers pay
+// one mutex-guarded shared_ptr copy (std::atomic<std::shared_ptr> would
+// make the pin lock-free, but libstdc++'s implementation trips TSan — the
+// explicit mutex keeps the CI race-checking meaningful and costs
+// nanoseconds).
 #ifndef PIS_SERVER_ENGINE_HOST_H_
 #define PIS_SERVER_ENGINE_HOST_H_
 
@@ -42,6 +49,7 @@
 #include "core/sharded_pis.h"
 #include "graph/graph.h"
 #include "index/sharded_index.h"
+#include "server/wal.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -57,9 +65,10 @@ class EngineHost {
     std::shared_ptr<const GraphDatabase> db;
     std::shared_ptr<const ShardedFragmentIndex> index;
     ShardedPisEngine engine;  // views into *db / *index
-    /// Number of mutations applied before this snapshot; bumps by exactly
-    /// one per writer call (including background compactor passes that
-    /// compacted at least one shard).
+    /// Number of commits applied before this snapshot; bumps by exactly one
+    /// per published commit — a group-committed batch of N writer calls
+    /// shares one epoch (background compactor passes that compacted at
+    /// least one shard also count one).
     uint64_t epoch = 0;
 
     Snapshot(std::shared_ptr<const GraphDatabase> db_in,
@@ -87,6 +96,15 @@ class EngineHost {
     int compaction_epoch = 0;
     double compact_dead_ratio = 0;
     uint64_t background_compactions = 0;
+    /// Durability counters — all zero when no WAL is attached.
+    uint64_t wal_bytes = 0;
+    uint64_t wal_records = 0;
+    uint64_t checkpoints = 0;
+    /// Group-commit counters: published batches, writer ops they carried,
+    /// and the largest single batch observed (>1 proves writes coalesced).
+    uint64_t group_commit_batches = 0;
+    uint64_t group_commit_ops = 0;
+    uint64_t group_commit_max_batch = 0;
     std::vector<ShardInfo> shards;
 
     /// JSON shape ({"epoch":..,"shards":[{..},..],..}) — the payload of
@@ -96,16 +114,51 @@ class EngineHost {
     std::string ToJson() const { return ToJsonValue().Serialize(); }
   };
 
+  /// Where Checkpoint() persists a snapshot. The pair is written to temp
+  /// names, fsynced, and swapped in atomically (`<index_dir>.stale` briefly
+  /// holds the previous index during the swap — loaders fall back to it if
+  /// a crash lands mid-swap), after which the WAL is truncated through the
+  /// checkpointed epoch.
+  struct CheckpointConfig {
+    std::string index_dir;
+    std::string db_path;
+    /// Periodic checkpoint cadence on the maintenance thread; zero means
+    /// manual Checkpoint() calls only.
+    std::chrono::milliseconds interval{0};
+  };
+
   /// Takes ownership of an id-aligned database/index pair (the same
   /// alignment contract as ShardedPisEngine). The auto-compaction policy is
   /// `options.compact_dead_ratio` when set, else the ratio persisted in the
   /// index (manifest v4); either way it runs only on the background
-  /// compactor here — RemoveGraph never compacts inline on the host.
+  /// maintenance thread here — RemoveGraph never compacts inline.
   EngineHost(GraphDatabase db, ShardedFragmentIndex index,
              const PisOptions& options = {});
   ~EngineHost();
   EngineHost(const EngineHost&) = delete;
   EngineHost& operator=(const EngineHost&) = delete;
+
+  /// Makes writes durable: every subsequent AddGraph/RemoveGraph batch is
+  /// appended to `wal` and fsynced before the callers return. The caller
+  /// is expected to have already applied wal->Replay() to the state this
+  /// host was constructed from; the host seeds its epoch from
+  /// wal->max_recovered_epoch() so epochs stay monotone across restarts.
+  /// AlreadyExists when a WAL is already attached.
+  Status AttachWal(std::unique_ptr<WriteAheadLog> wal);
+  bool wal_attached() const;
+
+  /// Configures checkpointing (requires an attached WAL — a checkpoint is
+  /// what lets the log be truncated). With a nonzero interval the
+  /// maintenance thread (StartAutoCompaction) checkpoints periodically;
+  /// Checkpoint() is always available for manual/exit-path saves.
+  Status EnableCheckpoints(CheckpointConfig config);
+
+  /// Persists the current snapshot to the configured paths and truncates
+  /// the WAL through its epoch. Runs off a pinned immutable snapshot, so
+  /// writers and readers proceed concurrently; only the final WAL truncate
+  /// briefly takes the writer mutex.
+  Status Checkpoint();
+  uint64_t checkpoints() const { return checkpoints_.load(); }
 
   /// The current published snapshot (a pointer copy; never null). The
   /// returned snapshot stays valid and frozen for as long as the caller
@@ -119,23 +172,31 @@ class EngineHost {
   BatchSearchResult SearchBatch(std::span<const Graph> queries,
                                 int num_threads = 0) const;
 
-  /// Serialized writers. Each successful call publishes exactly one new
-  /// snapshot before returning; concurrent readers are never blocked.
-  /// `epoch_out` (nullable) receives the epoch THIS mutation published —
-  /// reading snapshot()->epoch afterwards could observe a later concurrent
-  /// mutation's epoch, so callers that report their commit point (the
-  /// server's add/remove/compact replies) must use the out-param.
+  /// Group-committed writers. Concurrent callers coalesce into one batch:
+  /// a leader applies every queued op, appends + fsyncs one WAL batch (when
+  /// attached), and publishes ONE snapshot covering them all — each caller
+  /// still gets its own gid/status, and a successful return still means
+  /// "durable and visible to every later snapshot". `epoch_out` (nullable)
+  /// receives the epoch of the publish that carried THIS mutation — reading
+  /// snapshot()->epoch afterwards could observe a later commit.
   Result<int> AddGraph(const Graph& g, uint64_t* epoch_out = nullptr);
   Status RemoveGraph(int gid, uint64_t* epoch_out = nullptr);
+
+  /// Maintenance writers (not WAL-logged: they reorganize storage without
+  /// changing the live membership replay reconstructs). Each successful
+  /// call publishes exactly one new snapshot before returning.
   Status CompactShard(int s, uint64_t* epoch_out = nullptr);
   Result<int> Compact(double min_dead_ratio = 0.0,
                       uint64_t* epoch_out = nullptr);
   Result<int> Rebalance(uint64_t* epoch_out = nullptr);
 
-  /// Background compactor: every `interval`, compact shards whose dead
-  /// ratio is at/above the policy ratio (see constructor). InvalidArgument
-  /// when the policy ratio is 0 and `dead_ratio_override` is too, or when
-  /// already running. The first scan runs immediately on start.
+  /// Background maintenance thread: every `interval`, compact shards whose
+  /// dead ratio is at/above the policy ratio (see constructor), and — when
+  /// EnableCheckpoints configured a nonzero cadence — checkpoint on that
+  /// cadence. InvalidArgument when there is nothing to do (policy ratio and
+  /// `dead_ratio_override` both zero AND no periodic checkpointing), or
+  /// when already running. The first compaction scan runs immediately on
+  /// start; the first checkpoint waits one full checkpoint interval.
   Status StartAutoCompaction(std::chrono::milliseconds interval,
                              double dead_ratio_override = 0.0);
   void StopAutoCompaction();
@@ -147,44 +208,92 @@ class EngineHost {
 
   /// Persists the index under `dir` (manifest v4 records the policy ratio)
   /// and the database to `db_path` (native text format) from one snapshot,
-  /// so the pair on disk is always mutually consistent.
+  /// so the pair on disk is always mutually consistent. Plain save — no
+  /// fsync, no WAL truncation; prefer Checkpoint() when a WAL is attached.
   Status Save(const std::string& dir, const std::string& db_path) const;
 
   const PisOptions& options() const { return options_; }
   double compact_dead_ratio() const { return compact_dead_ratio_; }
 
  private:
+  /// One queued writer call, stack-allocated in AddGraph/RemoveGraph and
+  /// filled in by whichever thread ends up leading its batch.
+  struct PendingWrite {
+    enum class Kind { kAdd, kRemove };
+    Kind kind;
+    const Graph* graph = nullptr;  // kAdd input
+    int gid = -1;                  // kRemove input; kAdd output
+    uint64_t epoch = 0;            // output: publish epoch of the batch
+    Status status = Status::OK();  // output
+    bool done = false;             // guarded by commit_mu_
+  };
+
+  /// Enqueues `op` and blocks until a batch leader (possibly this thread)
+  /// has committed it; on return op->status/gid/epoch are final.
+  void Submit(PendingWrite* op);
+  /// Applies a drained batch under writer_mu_: every op in order, one db
+  /// copy, one WAL append+fsync, one publish. Does NOT touch done flags —
+  /// the leader marks those under commit_mu_ afterwards.
+  void CommitBatch(const std::vector<PendingWrite*>& batch);
+
   /// Publishes master state as the next snapshot. Callers hold writer_mu_.
   void Publish();
-  void CompactorLoop(std::chrono::milliseconds interval, double dead_ratio);
+  void MaintenanceLoop(std::chrono::milliseconds interval, double dead_ratio);
 
   PisOptions options_;
   /// The background policy ratio (options override, else persisted value).
   double compact_dead_ratio_ = 0;
 
   /// Writer state: mutators copy-on-write from here and publish. master_db_
-  /// is never mutated in place once shared with a snapshot — AddGraph
-  /// replaces it with an appended copy.
+  /// is never mutated in place once shared with a snapshot — a committing
+  /// batch replaces it with one appended copy.
   mutable std::mutex writer_mu_;
   std::shared_ptr<const GraphDatabase> master_db_;
   ShardedFragmentIndex master_;
   uint64_t epoch_ = 0;
+  /// Durability sink; guarded by writer_mu_ for Append/Truncate (its
+  /// byte/record counters are atomics readable without the lock).
+  std::unique_ptr<WriteAheadLog> wal_;
+  /// Set once by AttachWal so Stats() can read the WAL counters without
+  /// touching writer_mu_ (which a committing batch can hold for a while).
+  std::atomic<const WriteAheadLog*> wal_view_{nullptr};
+
+  /// Group-commit queue. commit_mu_ orders enqueue/leader-election/wakeup
+  /// only — the actual commit work runs under writer_mu_ with commit_mu_
+  /// released, so new writers keep enqueueing while a batch commits (that
+  /// is where batching comes from).
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::vector<PendingWrite*> commit_queue_;
+  bool commit_leader_active_ = false;
 
   /// Guards only the pointer swap/copy of current_ — held for nanoseconds,
   /// never across query execution or mutation work.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> current_;
 
-  /// Background compactor plumbing. lifecycle_mu_ guards the thread object
-  /// itself (Start/Stop/running racing each other); compactor_mu_ guards
-  /// only the stop flag the loop's condition variable waits on — the loop
-  /// must be able to take it while Stop holds lifecycle_mu_ across join().
+  /// Checkpoint destination; written before the maintenance thread starts
+  /// and only read afterwards. checkpoint_mu_ serializes whole Checkpoint()
+  /// calls (manual vs periodic) without blocking writers.
+  CheckpointConfig checkpoint_;
+  bool checkpoints_enabled_ = false;
+  std::mutex checkpoint_mu_;
+
+  /// Background maintenance plumbing. lifecycle_mu_ guards the thread
+  /// object itself (Start/Stop/running racing each other); compactor_mu_
+  /// guards only the stop flag the loop's condition variable waits on — the
+  /// loop must be able to take it while Stop holds lifecycle_mu_ across
+  /// join().
   mutable std::mutex compactor_lifecycle_mu_;
   std::thread compactor_;
   std::mutex compactor_mu_;
   std::condition_variable compactor_cv_;
   bool compactor_stop_ = false;
   std::atomic<uint64_t> background_compactions_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> group_commit_batches_{0};
+  std::atomic<uint64_t> group_commit_ops_{0};
+  std::atomic<uint64_t> group_commit_max_batch_{0};
 };
 
 }  // namespace pis

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "graph/io.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 
 namespace pis {
@@ -71,12 +72,20 @@ void PisServer::Shutdown() {
 
 void PisServer::WorkerLoop() {
   while (!stopping_.load()) {
-    Result<TcpSocket> conn = listener_.Accept();
+    bool fatal = false;
+    Result<TcpSocket> conn = listener_.Accept(&fatal);
     if (!conn.ok()) {
       if (stopping_.load()) return;  // listener shut down: normal exit
-      // Operational failure while serving (e.g. fd exhaustion): back off
-      // and keep the worker alive rather than silently shrinking the pool
-      // to zero under pressure.
+      if (fatal) {
+        // The listener itself is broken — every retry would fail the same
+        // way, so a backoff loop here would just spin forever. Leave with
+        // the reason on record instead of burning a core.
+        PIS_LOG(Error) << "worker exiting, listener is unusable: "
+                       << conn.status().ToString();
+        return;
+      }
+      // Transient pressure (e.g. fd exhaustion): back off and keep the
+      // worker alive rather than silently shrinking the pool to zero.
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
       continue;
     }

@@ -1,0 +1,125 @@
+// Write-ahead log for the serving layer's durable write path.
+//
+// EngineHost's writes are applied in memory and published as snapshots;
+// without a log, everything since the last explicit Save dies with the
+// process — an acknowledged add could vanish, which is a data-loss bug for
+// a server. The WAL closes that window: every committed batch of mutations
+// is appended here and fsync(2)ed BEFORE the callers are acknowledged, so
+// "the server said ok" implies "a restart replays it".
+//
+// On-disk format (`wal.log` inside the log directory, little-endian):
+//
+//   header : u32 magic 'PWAL'  u32 version (currently 1)
+//   record : u32 payload_size  u64 fnv1a64(payload)  payload bytes
+//   payload: u8 op (1=add 2=remove)  u64 epoch  i32 gid  str graph_text
+//
+// `graph_text` is the graph's native text encoding (graph/io.h, exact
+// double round-trip) for adds and empty for removes; `epoch` is the host
+// epoch the batch published, which is what checkpoint truncation keys on.
+//
+// Recovery semantics, chosen so every crash point is survivable:
+//   - A torn tail (the file ends before a record's declared payload
+//     completes — the footprint of a crash mid-append) is silently
+//     truncated: everything before it was durable and is recovered.
+//   - A corrupt record (all bytes present but the checksum disagrees, or a
+//     nonsensical size) is InvalidArgument — never a crash, and never a
+//     silent skip that would resurrect a stale suffix.
+//   - Replay is idempotent over the snapshot it lands on: an add whose gid
+//     the snapshot already holds is skipped (the footprint of a crash
+//     between checkpoint-save and log-truncate), as is a remove of an
+//     already-dead gid. The db and index are reconciled independently, so
+//     a crash between the checkpoint's two file swaps also recovers.
+#ifndef PIS_SERVER_WAL_H_
+#define PIS_SERVER_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/sharded_index.h"
+#include "util/status.h"
+
+namespace pis {
+
+/// One logged mutation.
+struct WalRecord {
+  enum class Op : uint8_t { kAdd = 1, kRemove = 2 };
+
+  Op op = Op::kAdd;
+  /// Host epoch the containing batch published (monotone across restarts —
+  /// the host seeds its epoch from max_recovered_epoch()).
+  uint64_t epoch = 0;
+  /// Global graph id the op assigned (add) or tombstoned (remove).
+  int32_t gid = -1;
+  /// Native text encoding of the added graph; empty for removes.
+  std::string graph_text;
+};
+
+/// \brief Append-only, checksummed, fsync-on-commit mutation log.
+///
+/// Not internally synchronized: EngineHost serializes Append/TruncateThrough
+/// under its writer mutex. bytes()/records() are atomics so stats threads
+/// may read them concurrently.
+class WriteAheadLog {
+ public:
+  /// Opens (creating the directory and an empty log as needed) and
+  /// validates `dir`/wal.log. A torn tail is physically truncated away; a
+  /// corrupt record or bad header is InvalidArgument. The valid records are
+  /// retained for recovered()/Replay().
+  static Result<WriteAheadLog> Open(const std::string& dir);
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  /// The records recovered from disk at Open, in append order.
+  const std::vector<WalRecord>& recovered() const { return recovered_; }
+  /// Largest epoch among recovered records (0 when the log was empty).
+  uint64_t max_recovered_epoch() const { return max_recovered_epoch_; }
+
+  /// Applies recovered() over a loaded snapshot pair, idempotently (see
+  /// file comment): already-applied adds/removes are skipped; a record that
+  /// cannot be reconciled (a gid gap, a parse failure) is InvalidArgument.
+  /// Leaves `db` and `index` id-aligned on success.
+  Status Replay(GraphDatabase* db, ShardedFragmentIndex* index) const;
+
+  /// Appends `batch` and fsyncs once — the group-commit durability point.
+  /// On any error nothing may be considered durable (the caller must not
+  /// ack the batch).
+  Status Append(std::span<const WalRecord> batch);
+
+  /// Drops every record with epoch <= `through_epoch` (they are covered by
+  /// a snapshot saved at that epoch) by atomically rewriting the log.
+  /// Callers must exclude concurrent Append.
+  Status TruncateThrough(uint64_t through_epoch);
+
+  /// Current log file bytes / record count (safe to read concurrently).
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  uint64_t records() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog() = default;
+
+  Status OpenForAppend();
+  void CloseFd();
+
+  std::string path_;
+  int fd_ = -1;
+  std::vector<WalRecord> recovered_;
+  uint64_t max_recovered_epoch_ = 0;
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> records_{0};
+};
+
+}  // namespace pis
+
+#endif  // PIS_SERVER_WAL_H_

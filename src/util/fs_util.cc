@@ -1,8 +1,33 @@
 #include "util/fs_util.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 
 namespace pis {
+
+namespace {
+
+Status SyncFd(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + " for fsync: " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 uintmax_t DirectoryBytes(const std::string& dir) {
   uintmax_t total = 0;
@@ -18,6 +43,24 @@ uintmax_t PathBytes(const std::string& path) {
   if (std::filesystem::is_directory(path, ec)) return DirectoryBytes(path);
   uintmax_t size = std::filesystem::file_size(path, ec);
   return ec ? 0 : size;
+}
+
+Status SyncFile(const std::string& path) { return SyncFd(path, O_RDONLY); }
+
+Status SyncDir(const std::string& dir) {
+  return SyncFd(dir, O_RDONLY | O_DIRECTORY);
+}
+
+Status SyncTree(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    PIS_RETURN_NOT_OK(SyncFile(entry.path().string()));
+  }
+  if (ec) {
+    return Status::IOError("cannot iterate " + dir + ": " + ec.message());
+  }
+  return SyncDir(dir);
 }
 
 }  // namespace pis

@@ -1,10 +1,14 @@
-// Filesystem size helpers shared by the CLI and the benches (e.g. for
-// reporting the on-disk bytes a compaction reclaimed).
+// Filesystem helpers shared by the CLI, the benches, and the durable write
+// path: size reporting (e.g. the on-disk bytes a compaction reclaimed) and
+// the fsync plumbing the write-ahead log and checkpointing need to make
+// "acknowledged" mean "survives a crash".
 #ifndef PIS_UTIL_FS_UTIL_H_
 #define PIS_UTIL_FS_UTIL_H_
 
 #include <cstdint>
 #include <string>
+
+#include "util/status.h"
 
 namespace pis {
 
@@ -15,6 +19,20 @@ uintmax_t DirectoryBytes(const std::string& dir);
 
 /// DirectoryBytes for a directory, the file size otherwise; 0 on error.
 uintmax_t PathBytes(const std::string& path);
+
+/// fsync(2)s a regular file by path (open / fsync / close). Buffered data
+/// an ofstream already flushed can still sit in the page cache; this forces
+/// it to stable storage.
+Status SyncFile(const std::string& path);
+
+/// fsync(2)s a directory so a rename/create inside it is itself durable
+/// (the file's bytes being on disk does not make its directory entry so).
+Status SyncDir(const std::string& dir);
+
+/// SyncFile over every regular file directly inside `dir`, then SyncDir on
+/// the directory — what a freshly written snapshot directory needs before
+/// the WAL that covered it may be truncated.
+Status SyncTree(const std::string& dir);
 
 }  // namespace pis
 

@@ -195,9 +195,13 @@ Result<TcpListener> TcpListener::Listen(int port, bool loopback_only,
   return listener;
 }
 
-Result<TcpSocket> TcpListener::Accept() {
+Result<TcpSocket> TcpListener::Accept(bool* fatal) {
+  if (fatal != nullptr) *fatal = false;
   while (true) {
-    if (fd_ < 0) return Status::IOError("listener shut down");
+    if (fd_ < 0) {
+      if (fatal != nullptr) *fatal = true;
+      return Status::IOError("listener shut down");
+    }
     int client = ::accept(fd_, nullptr, nullptr);
     if (client >= 0) {
       int one = 1;
@@ -208,9 +212,17 @@ Result<TcpSocket> TcpListener::Accept() {
     // interrupted syscall) must not look like a dead listener — a worker
     // that treated them as fatal would silently leave the accept pool.
     if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
-    // shutdown(2) from another thread surfaces as EINVAL (or EBADF once
-    // closed); resource pressure (EMFILE/ENFILE) lands here too and is the
-    // caller's retry-or-die decision.
+    // Resource pressure starves accept but the listener itself is fine —
+    // backing off and retrying can succeed once descriptors/memory free up.
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      return Status::IOError(std::string("accept failed: ") +
+                             std::strerror(errno));
+    }
+    // Everything else means the listening socket is unusable: shutdown(2)
+    // from another thread (EINVAL), a closed fd (EBADF), a non-listener.
+    // Retrying can never succeed, so report it as fatal.
+    if (fatal != nullptr) *fatal = true;
     return Status::IOError(std::string("accept failed: ") +
                            std::strerror(errno));
   }

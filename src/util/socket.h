@@ -74,8 +74,11 @@ class TcpListener {
 
   /// Blocks for the next connection. Safe to call concurrently from many
   /// worker threads. After Shutdown() (from any thread), pending and future
-  /// calls return IOError("listener shut down").
-  Result<TcpSocket> Accept();
+  /// calls return IOError("listener shut down"). On failure, `fatal`
+  /// (nullable) reports whether the listener itself is gone: false for
+  /// transient resource pressure (fd/buffer exhaustion — back off and
+  /// retry), true when no future Accept on this listener can succeed.
+  Result<TcpSocket> Accept(bool* fatal = nullptr);
 
   /// Unblocks every Accept() and makes future ones fail. Idempotent and
   /// callable from any thread.

@@ -226,6 +226,14 @@ TEST(EngineHostTest, StatsJsonIsMachineReadable) {
   EXPECT_EQ(parsed.value().GetNumberOr("live", -1), stats.live);
   EXPECT_EQ(parsed.value().GetNumberOr("removed", -1), 1);
   EXPECT_EQ(parsed.value().GetNumberOr("epoch", -1), 1);
+  // Durability / group-commit counters are always present (zero without a
+  // WAL — no field appearing and disappearing on dashboards).
+  EXPECT_EQ(parsed.value().GetNumberOr("wal_bytes", -1), 0);
+  EXPECT_EQ(parsed.value().GetNumberOr("wal_records", -1), 0);
+  EXPECT_EQ(parsed.value().GetNumberOr("checkpoints", -1), 0);
+  EXPECT_EQ(parsed.value().GetNumberOr("group_commit_batches", -1), 1);
+  EXPECT_EQ(parsed.value().GetNumberOr("group_commit_ops", -1), 1);
+  EXPECT_EQ(parsed.value().GetNumberOr("group_commit_batch_size", -1), 1);
   const JsonValue* shards = parsed.value().Find("shards");
   ASSERT_NE(shards, nullptr);
   ASSERT_EQ(static_cast<int>(shards->size()), stats.num_shards);

@@ -2,7 +2,7 @@
 //
 //   pis_server --db db.txt --index sharded_dir [--port P] [--workers N]
 //              [--sigma S] [--compact_dead_ratio R] [--compact_interval_ms M]
-//              [--save_on_exit]
+//              [--wal_dir DIR] [--checkpoint_interval_ms C] [--save_on_exit]
 //   pis_server --db db.txt --shards 4 [--max_fragment_edges K]
 //              [--min_support F] [--gamma G] [--distance mutation|linear] ...
 //
@@ -11,23 +11,41 @@
 // it, the index is mined and built in memory at startup (the pis_cli build
 // pipeline) — convenient for demos and the CI smoke test.
 //
+// With --wal_dir, writes are durable: every acknowledged add/remove is in
+// the write-ahead log (fsynced) before the reply goes out, and startup
+// replays the log over the loaded snapshot — so kill -9 loses nothing that
+// was acked. --checkpoint_interval_ms > 0 additionally persists a fresh
+// snapshot (and truncates the log) on that cadence from the maintenance
+// thread; either way a checkpoint runs on clean shutdown. If a previous
+// run crashed mid-checkpoint-swap, the `<index>.stale` fallback directory
+// is restored automatically before replay. Requires --index.
+//
 // The server speaks the newline-delimited JSON protocol documented in
 // src/server/pis_server.h on the bound port (loopback only; --port 0 picks
 // an ephemeral port). The line "pis_server listening on port <P>" goes to
 // stdout once serving, so scripts can wait for readiness and learn the
-// port. A {"op":"shutdown"} request stops the server; with --save_on_exit
-// the mutated index (and db file) are saved back before exit.
+// port. A {"op":"shutdown"} request — or SIGTERM/SIGINT — stops the server
+// gracefully; with --save_on_exit (or --wal_dir) the mutated index and db
+// are persisted before exit.
 //
 // When --compact_dead_ratio > 0 (or the loaded manifest carries a policy),
-// the background compactor scans every --compact_interval_ms and rewrites
-// shards past the threshold via copy-on-write swaps — queries keep
+// the background maintenance thread scans every --compact_interval_ms and
+// rewrites shards past the threshold via copy-on-write swaps — queries keep
 // answering throughout.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "pis.h"
 #include "server/pis_server.h"
+#include "server/wal.h"
 #include "util/flags.h"
 
 using namespace pis;
@@ -56,11 +74,34 @@ Result<ShardedFragmentIndex> BuildIndex(const GraphDatabase& db, int shards,
   return ShardedFragmentIndex::Build(db, features, options, shards);
 }
 
+/// A crash between a checkpoint's two directory renames can leave the index
+/// as `<dir>.stale` (the previous generation, still fully covered by the
+/// un-truncated WAL). Restore it so LoadDir + replay see a complete state.
+Status RestoreStaleIndexIfNeeded(const std::string& index_path) {
+  const std::string stale = index_path + ".stale";
+  if (std::filesystem::is_directory(index_path) ||
+      !std::filesystem::is_directory(stale)) {
+    return Status::OK();
+  }
+  std::fprintf(stderr,
+               "recovering index from %s (previous run crashed mid-"
+               "checkpoint; WAL replay will catch it up)\n",
+               stale.c_str());
+  std::error_code ec;
+  std::filesystem::rename(stale, index_path, ec);
+  if (ec) {
+    return Status::IOError("cannot restore " + stale + " to " + index_path +
+                           ": " + ec.message());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string db_path;
   std::string index_path;
+  std::string wal_dir;
   int port = 4871;
   int workers = 4;
   double sigma = 2.0;
@@ -72,12 +113,16 @@ int main(int argc, char** argv) {
   int threads = 0;
   double compact_dead_ratio = 0.0;
   int compact_interval_ms = 2000;
+  int checkpoint_interval_ms = 0;
   bool save_on_exit = false;
 
   FlagSet flags;
   flags.AddString("db", &db_path, "database path (native text format)");
   flags.AddString("index", &index_path,
                   "sharded index directory (omit to build at startup)");
+  flags.AddString("wal_dir", &wal_dir,
+                  "write-ahead log directory: fsync every acked write and "
+                  "replay it on startup (requires --index)");
   flags.AddInt("port", &port, "TCP port (0 = ephemeral)");
   flags.AddInt("workers", &workers, "concurrent connections served");
   flags.AddDouble("sigma", &sigma, "default max superimposed distance");
@@ -95,9 +140,12 @@ int main(int argc, char** argv) {
                   "persisted policy, if any)");
   flags.AddInt("compact_interval_ms", &compact_interval_ms,
                "background compaction scan interval");
+  flags.AddInt("checkpoint_interval_ms", &checkpoint_interval_ms,
+               "periodic snapshot-save + WAL-truncate cadence (0 = only on "
+               "shutdown; requires --wal_dir)");
   flags.AddBool("save_on_exit", &save_on_exit,
                 "save the mutated index (and db file) back on shutdown "
-                "(requires --index)");
+                "(requires --index; implied by --wal_dir)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -107,12 +155,35 @@ int main(int argc, char** argv) {
   if (save_on_exit && index_path.empty()) {
     return Fail(Status::InvalidArgument("--save_on_exit requires --index"));
   }
+  if (!wal_dir.empty() && index_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--wal_dir requires --index (checkpoints need a directory to land "
+        "in; an index built at startup has none)"));
+  }
+  if (checkpoint_interval_ms > 0 && wal_dir.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--checkpoint_interval_ms requires --wal_dir"));
+  }
+
+  // Route SIGINT/SIGTERM through a dedicated sigwait thread instead of an
+  // async handler: the graceful path (server.Shutdown() + checkpoint) is
+  // nowhere near async-signal-safe. Block the signals before any thread
+  // exists so every thread inherits the mask; SIGUSR1 is how the clean-
+  // shutdown path unblocks the waiter.
+  sigset_t handled;
+  sigemptyset(&handled);
+  sigaddset(&handled, SIGINT);
+  sigaddset(&handled, SIGTERM);
+  sigaddset(&handled, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &handled, nullptr);
 
   auto db = ReadGraphDatabaseFile(db_path);
   if (!db.ok()) return Fail(db.status());
 
   Result<ShardedFragmentIndex> index = Status::Internal("index not loaded");
   if (!index_path.empty()) {
+    Status restored = RestoreStaleIndexIfNeeded(index_path);
+    if (!restored.ok()) return Fail(restored);
     if (!std::filesystem::is_directory(index_path)) {
       return Fail(Status::InvalidArgument(
           "--index must name a sharded index directory (pis_cli build "
@@ -124,6 +195,19 @@ int main(int argc, char** argv) {
                        gamma, distance, threads);
   }
   if (!index.ok()) return Fail(index.status());
+
+  std::unique_ptr<WriteAheadLog> wal;
+  if (!wal_dir.empty()) {
+    Result<WriteAheadLog> opened = WriteAheadLog::Open(wal_dir);
+    if (!opened.ok()) return Fail(opened.status());
+    wal = std::make_unique<WriteAheadLog>(opened.MoveValue());
+    if (!wal->recovered().empty()) {
+      Status replayed = wal->Replay(&db.value(), &index.value());
+      if (!replayed.ok()) return Fail(replayed);
+      std::fprintf(stderr, "replayed %zu WAL record(s) over the snapshot\n",
+                   wal->recovered().size());
+    }
+  }
   if (index.value().db_size() != db.value().size()) {
     return Fail(Status::InvalidArgument(
         "index covers " + std::to_string(index.value().db_size()) +
@@ -134,13 +218,31 @@ int main(int argc, char** argv) {
   options.sigma = sigma;
   options.compact_dead_ratio = compact_dead_ratio;
   EngineHost host(std::move(db.value()), index.MoveValue(), options);
-  if (host.compact_dead_ratio() > 0) {
+  if (wal != nullptr) {
+    Status attached = host.AttachWal(std::move(wal));
+    if (!attached.ok()) return Fail(attached);
+    EngineHost::CheckpointConfig ckpt;
+    ckpt.index_dir = index_path;
+    ckpt.db_path = db_path;
+    ckpt.interval = std::chrono::milliseconds(checkpoint_interval_ms);
+    Status enabled = host.EnableCheckpoints(ckpt);
+    if (!enabled.ok()) return Fail(enabled);
+  }
+  const bool periodic_checkpoints =
+      wal != nullptr && checkpoint_interval_ms > 0;
+  if (host.compact_dead_ratio() > 0 || periodic_checkpoints) {
     Status started = host.StartAutoCompaction(
         std::chrono::milliseconds(compact_interval_ms));
     if (!started.ok()) return Fail(started);
-    std::fprintf(stderr,
-                 "background compaction: dead ratio %.2f every %d ms\n",
-                 host.compact_dead_ratio(), compact_interval_ms);
+    if (host.compact_dead_ratio() > 0) {
+      std::fprintf(stderr,
+                   "background compaction: dead ratio %.2f every %d ms\n",
+                   host.compact_dead_ratio(), compact_interval_ms);
+    }
+    if (periodic_checkpoints) {
+      std::fprintf(stderr, "periodic checkpoints every %d ms\n",
+                   checkpoint_interval_ms);
+    }
   }
 
   PisServerOptions server_options;
@@ -149,18 +251,45 @@ int main(int argc, char** argv) {
   PisServer server(&host, server_options);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
+
+  // `signaled` is set BEFORE Shutdown() so the main thread can distinguish
+  // "a signal stopped us" (the waiter is already exiting — don't poke it)
+  // from a protocol-driven shutdown (wake the waiter with SIGUSR1).
+  std::atomic<int> signaled{0};
+  std::thread signal_waiter([&handled, &signaled, &server] {
+    int sig = 0;
+    if (sigwait(&handled, &sig) != 0) return;
+    if (sig == SIGUSR1) return;  // clean protocol shutdown already happened
+    signaled.store(sig);
+    server.Shutdown();
+  });
+
   EngineHost::HostStats stats = host.Stats();
   std::printf("pis_server listening on port %d\n", server.port());
-  std::printf("serving %d live graphs over %d shards (sigma %.2f, %d workers)\n",
-              stats.live, stats.num_shards, sigma, workers);
+  std::printf("serving %d live graphs over %d shards (sigma %.2f, %d workers)%s\n",
+              stats.live, stats.num_shards, sigma, workers,
+              host.wal_attached() ? ", durable writes on" : "");
   std::fflush(stdout);
 
   server.Wait();
+  if (signaled.load() == 0) {
+    // Shutdown came through the protocol; release the signal waiter.
+    kill(getpid(), SIGUSR1);
+  }
+  signal_waiter.join();
+  if (int sig = signaled.load()) {
+    std::printf("received %s, shutting down gracefully\n", strsignal(sig));
+  }
   host.StopAutoCompaction();
   std::printf("served %llu requests over %llu connections\n",
               static_cast<unsigned long long>(server.requests_served()),
               static_cast<unsigned long long>(server.connections_served()));
-  if (save_on_exit) {
+  if (host.wal_attached()) {
+    Status saved = host.Checkpoint();
+    if (!saved.ok()) return Fail(saved);
+    std::printf("checkpointed index to %s and db to %s\n", index_path.c_str(),
+                db_path.c_str());
+  } else if (save_on_exit) {
     Status saved = host.Save(index_path, db_path);
     if (!saved.ok()) return Fail(saved);
     std::printf("saved index to %s and db to %s\n", index_path.c_str(),
