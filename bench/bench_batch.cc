@@ -3,8 +3,14 @@
 // Search loop baseline. Supports the north-star goal of serving heavy query
 // traffic: the batch API should scale near-linearly on an embarrassingly
 // parallel workload.
+//
+// --json_out writes every number of the printed table as one JSON object
+// (shared bench::WriteJsonFile schema: a "config" block plus per-thread
+// sweep entries), so plotting scripts consume the same run CI logs.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -18,11 +24,14 @@ int main(int argc, char** argv) {
   int query_edges = 12;
   int batch_size = 64;
   double sigma = 2.0;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
   flags.AddInt("batch_size", &batch_size, "queries per batch");
   flags.AddDouble("sigma", &sigma, "max superimposed distance");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
   if (!st.ok()) {
@@ -84,6 +93,7 @@ int main(int argc, char** argv) {
     sweep.push_back(threads);
   }
   sweep.push_back(HardwareThreads());
+  JsonValue sweep_json = JsonValue::Array();
   for (int threads : sweep) {
     BatchSearchResult result = engine.SearchBatch(batch, threads);
     if (result.failed != 0) {
@@ -99,6 +109,35 @@ int main(int argc, char** argv) {
     std::printf("%-22s %10.3f %12.1f %8.2fx\n", label, result.wall_seconds,
                 batch_size / result.wall_seconds,
                 sequential_seconds / result.wall_seconds);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("threads", threads);
+    entry.Set("seconds", result.wall_seconds);
+    entry.Set("queries_per_second", batch_size / result.wall_seconds);
+    entry.Set("speedup", sequential_seconds / result.wall_seconds);
+    sweep_json.Push(std::move(entry));
+  }
+
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "bench_batch");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("batch_size", batch_size);
+    cfg.Set("sigma", sigma);
+    cfg.Set("hardware_threads", HardwareThreads());
+    report.Set("config", std::move(cfg));
+    report.Set("sequential_seconds", sequential_seconds);
+    report.Set("sequential_queries_per_second",
+               batch_size / sequential_seconds);
+    report.Set("answers", static_cast<uint64_t>(baseline_answers));
+    report.Set("sweep", std::move(sweep_json));
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
   }
   return 0;
 }

@@ -4,8 +4,14 @@
 // cross-checked against the baseline at every shard count — the sharded
 // engine is exact by construction, and this bench enforces it on the
 // benchmark workload too.
+//
+// --json_out writes every number of the printed table as one JSON object
+// (shared bench::WriteJsonFile schema: a "config" block, the monolithic
+// baseline, and per-shard-count sweep entries).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -19,12 +25,15 @@ int main(int argc, char** argv) {
   int batch_size = 32;
   double sigma = 2.0;
   int max_shards = 8;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
   flags.AddInt("batch_size", &batch_size, "queries per batch");
   flags.AddDouble("sigma", &sigma, "max superimposed distance");
   flags.AddInt("max_shards", &max_shards, "largest shard count in the sweep");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
   if (!st.ok()) {
@@ -89,6 +98,7 @@ int main(int argc, char** argv) {
   for (int s = 1; s <= max_shards; s *= 2) sweep.push_back(s);
   // The doubling sweep skips a non-power-of-two endpoint; always include it.
   if (sweep.empty() || sweep.back() != max_shards) sweep.push_back(max_shards);
+  JsonValue sweep_json = JsonValue::Array();
   for (int shards : sweep) {
     auto sharded =
         ShardedFragmentIndex::Build(db, features.value(), index_options, shards);
@@ -119,6 +129,41 @@ int main(int argc, char** argv) {
                 baseline_build / sharded.value().build_seconds(),
                 result.wall_seconds, batch_size / result.wall_seconds,
                 result.total_stats.answers);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shards", shards);
+    entry.Set("build_seconds", sharded.value().build_seconds());
+    entry.Set("build_speedup",
+              baseline_build / sharded.value().build_seconds());
+    entry.Set("batch_seconds", result.wall_seconds);
+    entry.Set("queries_per_second", batch_size / result.wall_seconds);
+    entry.Set("answers", static_cast<uint64_t>(result.total_stats.answers));
+    sweep_json.Push(std::move(entry));
+  }
+
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "bench_shard");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("batch_size", batch_size);
+    cfg.Set("sigma", sigma);
+    cfg.Set("max_shards", max_shards);
+    report.Set("config", std::move(cfg));
+    JsonValue base = JsonValue::Object();
+    base.Set("build_seconds", baseline_build);
+    base.Set("batch_seconds", baseline_query);
+    base.Set("queries_per_second", batch_size / baseline_query);
+    base.Set("answers",
+             static_cast<uint64_t>(baseline_batch.total_stats.answers));
+    report.Set("monolithic", std::move(base));
+    report.Set("sweep", std::move(sweep_json));
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run -Werror over the enforced file
+# set.
+#
+# Scope: the tree predates the .clang-format config, so enforcement is
+# incremental — the files below (the concurrency/static-analysis surface,
+# reformatted when the config landed) are the contract today. Grow the
+# list whenever a file is brought into conformance; never shrink it.
+#
+# usage: check_format.sh [--fix]
+#   --fix  rewrite the enforced files in place instead of checking.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ENFORCED=(
+  src/util/mutex.h
+  src/util/thread_annotations.h
+  tests/static_analysis/bad_discarded_status.cc
+  tests/static_analysis/bad_guarded_by.cc
+  tests/static_analysis/bad_lock_exclusion.cc
+  tests/static_analysis/bad_naked_mutex.cc
+  tests/static_analysis/good_annotated.cc
+)
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found in PATH" >&2
+  exit 2
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+  clang-format -i --style=file "${ENFORCED[@]}"
+  echo "check_format: reformatted ${#ENFORCED[@]} files"
+  exit 0
+fi
+
+if clang-format --dry-run -Werror --style=file "${ENFORCED[@]}"; then
+  echo "check_format: OK (${#ENFORCED[@]} files)"
+else
+  echo "check_format: FAILED — run scripts/check_format.sh --fix" >&2
+  exit 1
+fi

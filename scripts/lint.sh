@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Project lint: mechanical rules that neither the compiler nor clang-tidy
+# enforces, kept deliberately grep-simple so they run in milliseconds on
+# every CI push and locally with no toolchain beyond POSIX + bash.
+#
+# Rules:
+#   1. No naked standard-library lock primitives (std::mutex,
+#      std::condition_variable, std::lock_guard, std::unique_lock,
+#      std::scoped_lock, std::shared_mutex, std::recursive_mutex) outside
+#      src/util/mutex.h. The thread-safety analysis only understands the
+#      annotated pis::Mutex capability type; a raw mutex is a lock the
+#      compiler cannot check.
+#   2. No system(...) calls. A serving process that shells out is a command
+#      injection surface; use the typed fs/socket utilities instead.
+#   3. Every header under src/server/ must include
+#      "util/thread_annotations.h" (directly or via "util/mutex.h"). The
+#      serving layer is the concurrency core — its headers declare the lock
+#      contracts, and the macros must be in scope for that to stay true.
+#   4. NOLINT suppressions must name the check being silenced
+#      ("// NOLINT(check-name)"), so every suppression is auditable. A bare
+#      "// NOLINT" disables everything on the line forever.
+#
+# usage: lint.sh [file...]
+#   With no arguments, lints the project tree (src/ tools/ bench/ examples/
+#   tests/ scripts/). With arguments, lints exactly those files — which is
+#   how the static_analysis suite feeds it the seeded-violation fixtures.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+fail=0
+complain() {  # complain <file:line:text> <message>
+  echo "lint: $2" >&2
+  echo "  $1" >&2
+  fail=1
+}
+
+if [ "$#" -gt 0 ]; then
+  explicit=1
+  files=("$@")
+else
+  explicit=0
+  files=()
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(find src tools bench examples tests scripts \
+             \( -name '*.h' -o -name '*.cc' -o -name '*.cpp' \) | sort)
+fi
+
+for f in "${files[@]}"; do
+  [ -f "$f" ] || { echo "lint: no such file: $f" >&2; fail=1; continue; }
+  rel=${f#./}
+
+  # Rule 1: naked lock primitives. The wrapper itself is always exempt; the
+  # lint fixture that exists to violate this rule is exempt only from the
+  # default tree scan — passing it explicitly (as the static_analysis
+  # negative test does) must still fail.
+  if [ "$explicit" -eq 1 ]; then
+    rule1_exempt="src/util/mutex.h"
+  else
+    rule1_exempt="src/util/mutex.h tests/static_analysis/bad_naked_mutex.cc"
+  fi
+  case " $rule1_exempt " in
+    *" $rel "*) ;;
+    *)
+      hits=$(grep -nE \
+        'std::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_mutex|recursive_mutex)' \
+        "$f")
+      if [ -n "$hits" ]; then
+        complain "$rel: $hits" \
+          "naked std::mutex-family primitive outside util/mutex.h — use pis::Mutex / pis::MutexLock / pis::CondVar"
+      fi
+      ;;
+  esac
+
+  # Rule 2: system(...). Match a call, not identifiers like ecosystem(.
+  hits=$(grep -nE '(^|[^_[:alnum:]])system[[:space:]]*\(' "$f")
+  if [ -n "$hits" ]; then
+    complain "$rel: $hits" "system(...) call — shelling out is banned in this codebase"
+  fi
+
+  # Rule 3: server headers must see the annotation macros.
+  case "$rel" in
+    src/server/*.h)
+      if ! grep -qE '#include "util/(thread_annotations|mutex)\.h"' "$f"; then
+        complain "$rel" \
+          "src/server header without util/thread_annotations.h (or util/mutex.h) — lock contracts must be declarable"
+      fi
+      ;;
+  esac
+
+  # Rule 4: NOLINT must name its check.
+  hits=$(grep -nE '//[[:space:]]*NOLINT(NEXTLINE)?([^(A-Z]|$)' "$f")
+  if [ -n "$hits" ]; then
+    complain "$rel: $hits" \
+      "bare NOLINT — name the suppressed check: // NOLINT(check-name)"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK (${#files[@]} files)"

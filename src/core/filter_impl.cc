@@ -36,7 +36,7 @@ bool LookUpEnumCache(QueryEnumCache* cache, const Graph& query,
   *key = canon.value().Key() + '\n' + FormatGraph(query, 0);
   std::shared_ptr<const std::vector<QueryFragment>> cached;
   {
-    std::lock_guard<std::mutex> lock(cache->mu);
+    MutexLock lock(&cache->mu);
     auto it = cache->by_key.find(*key);
     if (it != cache->by_key.end()) cached = it->second;
   }
@@ -81,7 +81,7 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
     if (enum_cache != nullptr && !cache_key.empty()) {
       auto shared = std::make_shared<const std::vector<QueryFragment>>(
           result.fragments);
-      std::lock_guard<std::mutex> lock(enum_cache->mu);
+      MutexLock lock(&enum_cache->mu);
       // First writer wins on a race; both enumerated the same thing.
       enum_cache->by_key.emplace(std::move(cache_key), std::move(shared));
     }

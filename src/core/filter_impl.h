@@ -12,7 +12,6 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,7 +21,9 @@
 #include "core/pis.h"
 #include "core/query_fragments.h"
 #include "index/fragment_index.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace pis::internal {
 
@@ -40,10 +41,10 @@ namespace pis::internal {
 /// entries are immutable shared_ptrs copied out before use, so workers
 /// never hold the lock across fragment-vector copies.
 struct QueryEnumCache {
-  std::mutex mu;
+  Mutex mu;
   std::unordered_map<std::string,
                      std::shared_ptr<const std::vector<QueryFragment>>>
-      by_key;
+      by_key PIS_GUARDED_BY(mu);
 };
 
 /// Answers one fragment's range query: fills `min_dist` with the per-graph

@@ -59,6 +59,9 @@ EngineHost::EngineHost(GraphDatabase db, ShardedFragmentIndex index,
     : options_(options),
       master_db_(std::make_shared<const GraphDatabase>(std::move(db))),
       master_(std::move(index)) {
+  // No other thread can see this host yet; the lock still scopes the whole
+  // body so the guarded-member accesses below are provably disciplined.
+  MutexLock lock(&writer_mu_);
   PIS_CHECK(master_.db_size() == master_db_->size())
       << "sharded index was built over a different database";
   compact_dead_ratio_ = options_.compact_dead_ratio > 0
@@ -68,7 +71,6 @@ EngineHost::EngineHost(GraphDatabase db, ShardedFragmentIndex index,
   // compaction inside RemoveGraph would re-serialize it into the write
   // path. (Save() restores the ratio so the manifest keeps the policy.)
   master_.set_compact_dead_ratio(0);
-  std::lock_guard<std::mutex> lock(writer_mu_);
   Publish();
 }
 
@@ -78,7 +80,7 @@ Status EngineHost::AttachWal(std::unique_ptr<WriteAheadLog> wal) {
   if (wal == nullptr) {
     return Status::InvalidArgument("cannot attach a null WAL");
   }
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   if (wal_ != nullptr) {
     return Status::AlreadyExists("a WAL is already attached");
   }
@@ -108,13 +110,13 @@ Status EngineHost::EnableCheckpoints(CheckpointConfig config) {
         "nothing to truncate and Save() already covers plain persistence");
   }
   {
-    std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+    MutexLock lifecycle(&compactor_lifecycle_mu_);
     if (compactor_.joinable()) {
       return Status::AlreadyExists(
           "configure checkpoints before starting the maintenance thread");
     }
   }
-  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  MutexLock lock(&checkpoint_mu_);
   checkpoint_ = std::move(config);
   checkpoints_enabled_ = true;
   return Status::OK();
@@ -124,7 +126,7 @@ Status EngineHost::Checkpoint() {
   // Serializes whole checkpoints against each other (manual vs periodic)
   // but never against writers: everything below works off one pinned
   // immutable snapshot until the final WAL truncate.
-  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+  MutexLock ckpt_lock(&checkpoint_mu_);
   if (!checkpoints_enabled_) {
     return Status::InvalidArgument(
         "checkpointing is not configured (call EnableCheckpoints)");
@@ -177,7 +179,7 @@ Status EngineHost::Checkpoint() {
   // at or below it are dead weight. Writer lock excludes a concurrent
   // batch's Append during the log rewrite.
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(&writer_mu_);
     if (wal_ != nullptr) {
       PIS_RETURN_NOT_OK(wal_->TruncateThrough(snap->epoch));
     }
@@ -193,12 +195,12 @@ void EngineHost::Publish() {
   auto frozen = std::make_shared<const ShardedFragmentIndex>(master_);
   auto next = std::make_shared<const Snapshot>(master_db_, std::move(frozen),
                                                options_, epoch_);
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   current_ = std::move(next);
 }
 
 std::shared_ptr<const EngineHost::Snapshot> EngineHost::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   return current_;
 }
 
@@ -219,30 +221,34 @@ BatchSearchResult EngineHost::SearchBatch(std::span<const Graph> queries,
 }
 
 void EngineHost::Submit(PendingWrite* op) {
-  std::unique_lock<std::mutex> lock(commit_mu_);
-  commit_queue_.push_back(op);
-  // While a leader is committing, just wait: either it drains us into its
-  // batch (done flips true) or it finishes and we take over leadership.
-  // Writers arriving here during a commit are exactly how batches form.
-  while (!op->done && commit_leader_active_) {
-    commit_cv_.wait(lock);
-  }
-  if (op->done) return;
-  commit_leader_active_ = true;
   std::vector<PendingWrite*> batch;
-  batch.swap(commit_queue_);
-  lock.unlock();
+  {
+    MutexLock lock(&commit_mu_);
+    commit_queue_.push_back(op);
+    // While a leader is committing, just wait: either it drains us into
+    // its batch (done flips true) or it finishes and we take over
+    // leadership. Writers arriving here during a commit are exactly how
+    // batches form.
+    while (!op->done && commit_leader_active_) {
+      commit_cv_.Wait(&commit_mu_);
+    }
+    if (op->done) return;
+    commit_leader_active_ = true;
+    batch.swap(commit_queue_);
+  }
   CommitBatch(batch);  // takes writer_mu_; commit_mu_ stays free
-  lock.lock();
-  // Results were written before re-taking commit_mu_, so waiters that
-  // observe done==true under the lock see their gid/epoch/status too.
-  for (PendingWrite* b : batch) b->done = true;
-  commit_leader_active_ = false;
-  commit_cv_.notify_all();
+  {
+    MutexLock lock(&commit_mu_);
+    // Results were written before re-taking commit_mu_, so waiters that
+    // observe done==true under the lock see their gid/epoch/status too.
+    for (PendingWrite* b : batch) b->done = true;
+    commit_leader_active_ = false;
+  }
+  commit_cv_.NotifyAll();
 }
 
 void EngineHost::CommitBatch(const std::vector<PendingWrite*>& batch) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const uint64_t next_epoch = epoch_ + 1;
   std::shared_ptr<GraphDatabase> appended;  // one copy for the whole batch
   std::vector<WalRecord> wal_batch;
@@ -362,7 +368,7 @@ Status EngineHost::RemoveGraph(int gid, uint64_t* epoch_out) {
 }
 
 Status EngineHost::CompactShard(int s, uint64_t* epoch_out) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   PIS_RETURN_NOT_OK(master_.CompactShard(s));
   ++epoch_;
   Publish();
@@ -371,7 +377,7 @@ Status EngineHost::CompactShard(int s, uint64_t* epoch_out) {
 }
 
 Result<int> EngineHost::Compact(double min_dead_ratio, uint64_t* epoch_out) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   PIS_ASSIGN_OR_RETURN(int compacted, master_.Compact(min_dead_ratio));
   ++epoch_;
   Publish();
@@ -380,7 +386,7 @@ Result<int> EngineHost::Compact(double min_dead_ratio, uint64_t* epoch_out) {
 }
 
 Result<int> EngineHost::Rebalance(uint64_t* epoch_out) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   PIS_ASSIGN_OR_RETURN(int migrated, master_.Rebalance(*master_db_));
   ++epoch_;
   Publish();
@@ -397,7 +403,7 @@ Status EngineHost::StartAutoCompaction(std::chrono::milliseconds interval,
   }
   bool periodic_checkpoints = false;
   {
-    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    MutexLock lock(&checkpoint_mu_);
     periodic_checkpoints =
         checkpoints_enabled_ && checkpoint_.interval.count() > 0;
   }
@@ -410,12 +416,12 @@ Status EngineHost::StartAutoCompaction(std::chrono::milliseconds interval,
   if (interval.count() <= 0) {
     return Status::InvalidArgument("auto-compaction interval must be > 0");
   }
-  std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+  MutexLock lifecycle(&compactor_lifecycle_mu_);
   if (compactor_.joinable()) {
     return Status::AlreadyExists("auto-compaction is already running");
   }
   {
-    std::lock_guard<std::mutex> lock(compactor_mu_);
+    MutexLock lock(&compactor_mu_);
     compactor_stop_ = false;
   }
   const double compact_ratio = ratio > 0 ? ratio : 0;
@@ -426,19 +432,19 @@ Status EngineHost::StartAutoCompaction(std::chrono::milliseconds interval,
 }
 
 void EngineHost::StopAutoCompaction() {
-  std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+  MutexLock lifecycle(&compactor_lifecycle_mu_);
   if (!compactor_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(compactor_mu_);
+    MutexLock lock(&compactor_mu_);
     compactor_stop_ = true;
   }
-  compactor_cv_.notify_all();
+  compactor_cv_.NotifyAll();
   compactor_.join();
   compactor_ = std::thread();
 }
 
 bool EngineHost::auto_compaction_running() const {
-  std::lock_guard<std::mutex> lifecycle(compactor_lifecycle_mu_);
+  MutexLock lifecycle(&compactor_lifecycle_mu_);
   return compactor_.joinable();
 }
 
@@ -447,7 +453,7 @@ void EngineHost::MaintenanceLoop(std::chrono::milliseconds interval,
   using Clock = std::chrono::steady_clock;
   std::chrono::milliseconds ckpt_interval{0};
   {
-    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    MutexLock lock(&checkpoint_mu_);
     if (checkpoints_enabled_) ckpt_interval = checkpoint_.interval;
   }
   const bool compaction = dead_ratio > 0;
@@ -461,7 +467,7 @@ void EngineHost::MaintenanceLoop(std::chrono::milliseconds interval,
     if (compaction && now >= next_compact) {
       // One pass. Readers never notice: the rewrite happens on detached
       // shard copies and lands with the snapshot publish.
-      std::lock_guard<std::mutex> lock(writer_mu_);
+      MutexLock lock(&writer_mu_);
       Result<int> compacted = master_.Compact(dead_ratio);
       // Compact on a healthy index cannot fail; a zero result just means no
       // shard crossed the threshold — skip the publish so the epoch only
@@ -485,11 +491,14 @@ void EngineHost::MaintenanceLoop(std::chrono::milliseconds interval,
     Clock::time_point deadline = Clock::time_point::max();
     if (compaction) deadline = next_compact;
     if (checkpointing) deadline = std::min(deadline, next_checkpoint);
-    std::unique_lock<std::mutex> lock(compactor_mu_);
-    if (compactor_cv_.wait_until(lock, deadline,
-                                 [this] { return compactor_stop_; })) {
-      return;
+    // Condition loop lives here (not behind a predicate lambda) so the
+    // guarded read of compactor_stop_ stays visible to the thread-safety
+    // analysis.
+    MutexLock lock(&compactor_mu_);
+    while (!compactor_stop_) {
+      if (compactor_cv_.WaitUntil(&compactor_mu_, deadline)) break;
     }
+    if (compactor_stop_) return;
   }
 }
 
@@ -533,7 +542,7 @@ Status EngineHost::Save(const std::string& dir,
   // Serialize against writers so the saved pair is one published state, and
   // restore the policy ratio into the manifest (the host zeroes it on the
   // live index to keep RemoveGraph from compacting inline).
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   ShardedFragmentIndex to_save = master_;
   to_save.set_compact_dead_ratio(compact_dead_ratio_);
   PIS_RETURN_NOT_OK(to_save.SaveDir(dir));

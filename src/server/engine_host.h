@@ -31,15 +31,22 @@
 // make the pin lock-free, but libstdc++'s implementation trips TSan — the
 // explicit mutex keeps the CI race-checking meaningful and costs
 // nanoseconds).
+//
+// Locking: every mutex here is a capability-annotated pis::Mutex and every
+// guarded field carries PIS_GUARDED_BY, so clang's -Wthread-safety proves
+// the discipline at compile time. The acquisition hierarchy (a thread may
+// only take locks left-to-right) is documented in docs/locking.md:
+//
+//   checkpoint_mu_ -> writer_mu_ -> snapshot_mu_
+//   commit_mu_ (never held across writer_mu_ — released before CommitBatch)
+//   compactor_lifecycle_mu_ -> compactor_mu_
 #ifndef PIS_SERVER_ENGINE_HOST_H_
 #define PIS_SERVER_ENGINE_HOST_H_
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -51,7 +58,9 @@
 #include "index/sharded_index.h"
 #include "server/wal.h"
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace pis {
 
@@ -144,26 +153,29 @@ class EngineHost {
   /// host was constructed from; the host seeds its epoch from
   /// wal->max_recovered_epoch() so epochs stay monotone across restarts.
   /// AlreadyExists when a WAL is already attached.
-  Status AttachWal(std::unique_ptr<WriteAheadLog> wal);
+  Status AttachWal(std::unique_ptr<WriteAheadLog> wal)
+      PIS_EXCLUDES(writer_mu_);
   bool wal_attached() const;
 
   /// Configures checkpointing (requires an attached WAL — a checkpoint is
   /// what lets the log be truncated). With a nonzero interval the
   /// maintenance thread (StartAutoCompaction) checkpoints periodically;
   /// Checkpoint() is always available for manual/exit-path saves.
-  Status EnableCheckpoints(CheckpointConfig config);
+  Status EnableCheckpoints(CheckpointConfig config)
+      PIS_EXCLUDES(checkpoint_mu_, compactor_lifecycle_mu_);
 
   /// Persists the current snapshot to the configured paths and truncates
   /// the WAL through its epoch. Runs off a pinned immutable snapshot, so
   /// writers and readers proceed concurrently; only the final WAL truncate
   /// briefly takes the writer mutex.
-  Status Checkpoint();
+  Status Checkpoint() PIS_EXCLUDES(checkpoint_mu_, writer_mu_);
   uint64_t checkpoints() const { return checkpoints_.load(); }
 
   /// The current published snapshot (a pointer copy; never null). The
   /// returned snapshot stays valid and frozen for as long as the caller
   /// holds it, regardless of concurrent mutations.
-  std::shared_ptr<const Snapshot> snapshot() const;
+  std::shared_ptr<const Snapshot> snapshot() const
+      PIS_EXCLUDES(snapshot_mu_);
 
   /// Reader API: each call pins one snapshot for its whole duration, so a
   /// batch sees a single consistent state.
@@ -179,16 +191,21 @@ class EngineHost {
   /// "durable and visible to every later snapshot". `epoch_out` (nullable)
   /// receives the epoch of the publish that carried THIS mutation — reading
   /// snapshot()->epoch afterwards could observe a later commit.
-  Result<int> AddGraph(const Graph& g, uint64_t* epoch_out = nullptr);
-  Status RemoveGraph(int gid, uint64_t* epoch_out = nullptr);
+  Result<int> AddGraph(const Graph& g, uint64_t* epoch_out = nullptr)
+      PIS_EXCLUDES(commit_mu_, writer_mu_);
+  Status RemoveGraph(int gid, uint64_t* epoch_out = nullptr)
+      PIS_EXCLUDES(commit_mu_, writer_mu_);
 
   /// Maintenance writers (not WAL-logged: they reorganize storage without
   /// changing the live membership replay reconstructs). Each successful
   /// call publishes exactly one new snapshot before returning.
-  Status CompactShard(int s, uint64_t* epoch_out = nullptr);
+  Status CompactShard(int s, uint64_t* epoch_out = nullptr)
+      PIS_EXCLUDES(writer_mu_);
   Result<int> Compact(double min_dead_ratio = 0.0,
-                      uint64_t* epoch_out = nullptr);
-  Result<int> Rebalance(uint64_t* epoch_out = nullptr);
+                      uint64_t* epoch_out = nullptr)
+      PIS_EXCLUDES(writer_mu_);
+  Result<int> Rebalance(uint64_t* epoch_out = nullptr)
+      PIS_EXCLUDES(writer_mu_);
 
   /// Background maintenance thread: every `interval`, compact shards whose
   /// dead ratio is at/above the policy ratio (see constructor), and — when
@@ -198,26 +215,34 @@ class EngineHost {
   /// when already running. The first compaction scan runs immediately on
   /// start; the first checkpoint waits one full checkpoint interval.
   Status StartAutoCompaction(std::chrono::milliseconds interval,
-                             double dead_ratio_override = 0.0);
-  void StopAutoCompaction();
-  bool auto_compaction_running() const;
+                             double dead_ratio_override = 0.0)
+      PIS_EXCLUDES(compactor_lifecycle_mu_, compactor_mu_, checkpoint_mu_);
+  void StopAutoCompaction()
+      PIS_EXCLUDES(compactor_lifecycle_mu_, compactor_mu_);
+  bool auto_compaction_running() const
+      PIS_EXCLUDES(compactor_lifecycle_mu_);
   /// Background passes that compacted at least one shard.
   uint64_t background_compactions() const { return background_compactions_; }
 
-  HostStats Stats() const;
+  HostStats Stats() const PIS_EXCLUDES(snapshot_mu_);
 
   /// Persists the index under `dir` (manifest v4 records the policy ratio)
   /// and the database to `db_path` (native text format) from one snapshot,
   /// so the pair on disk is always mutually consistent. Plain save — no
   /// fsync, no WAL truncation; prefer Checkpoint() when a WAL is attached.
-  Status Save(const std::string& dir, const std::string& db_path) const;
+  Status Save(const std::string& dir, const std::string& db_path) const
+      PIS_EXCLUDES(writer_mu_);
 
   const PisOptions& options() const { return options_; }
   double compact_dead_ratio() const { return compact_dead_ratio_; }
 
  private:
   /// One queued writer call, stack-allocated in AddGraph/RemoveGraph and
-  /// filled in by whichever thread ends up leading its batch.
+  /// filled in by whichever thread ends up leading its batch. `done` is
+  /// guarded by the host's commit_mu_ (not annotatable from a nested
+  /// struct); the result fields are written by the leader before it flips
+  /// `done` under that mutex, so the owner's read after observing done ==
+  /// true is ordered by the mutex.
   struct PendingWrite {
     enum class Kind { kAdd, kRemove };
     Kind kind;
@@ -230,65 +255,71 @@ class EngineHost {
 
   /// Enqueues `op` and blocks until a batch leader (possibly this thread)
   /// has committed it; on return op->status/gid/epoch are final.
-  void Submit(PendingWrite* op);
-  /// Applies a drained batch under writer_mu_: every op in order, one db
-  /// copy, one WAL append+fsync, one publish. Does NOT touch done flags —
-  /// the leader marks those under commit_mu_ afterwards.
-  void CommitBatch(const std::vector<PendingWrite*>& batch);
+  void Submit(PendingWrite* op) PIS_EXCLUDES(commit_mu_, writer_mu_);
+  /// Applies a drained batch: every op in order, one db copy, one WAL
+  /// append+fsync, one publish — all under writer_mu_, with commit_mu_
+  /// released (that concurrency is where batching comes from). Does NOT
+  /// touch done flags — the leader marks those under commit_mu_ afterwards.
+  void CommitBatch(const std::vector<PendingWrite*>& batch)
+      PIS_EXCLUDES(writer_mu_, commit_mu_);
 
-  /// Publishes master state as the next snapshot. Callers hold writer_mu_.
-  void Publish();
-  void MaintenanceLoop(std::chrono::milliseconds interval, double dead_ratio);
+  /// Publishes master state as the next snapshot.
+  void Publish() PIS_REQUIRES(writer_mu_) PIS_EXCLUDES(snapshot_mu_);
+  void MaintenanceLoop(std::chrono::milliseconds interval, double dead_ratio)
+      PIS_EXCLUDES(writer_mu_, compactor_mu_, checkpoint_mu_);
 
   PisOptions options_;
   /// The background policy ratio (options override, else persisted value).
+  /// Written once in the constructor, read-only afterwards — that is what
+  /// lets Stats()/Save()/Checkpoint() read it without a capability.
   double compact_dead_ratio_ = 0;
 
   /// Writer state: mutators copy-on-write from here and publish. master_db_
   /// is never mutated in place once shared with a snapshot — a committing
   /// batch replaces it with one appended copy.
-  mutable std::mutex writer_mu_;
-  std::shared_ptr<const GraphDatabase> master_db_;
-  ShardedFragmentIndex master_;
-  uint64_t epoch_ = 0;
-  /// Durability sink; guarded by writer_mu_ for Append/Truncate (its
-  /// byte/record counters are atomics readable without the lock).
-  std::unique_ptr<WriteAheadLog> wal_;
-  /// Set once by AttachWal so Stats() can read the WAL counters without
-  /// touching writer_mu_ (which a committing batch can hold for a while).
+  mutable Mutex writer_mu_;
+  std::shared_ptr<const GraphDatabase> master_db_ PIS_GUARDED_BY(writer_mu_);
+  ShardedFragmentIndex master_ PIS_GUARDED_BY(writer_mu_);
+  uint64_t epoch_ PIS_GUARDED_BY(writer_mu_) = 0;
+  /// Durability sink; Append/TruncateThrough run under writer_mu_ (the WAL
+  /// itself is not internally synchronized — see server/wal.h).
+  std::unique_ptr<WriteAheadLog> wal_ PIS_GUARDED_BY(writer_mu_);
+  /// Set once by AttachWal so Stats() can read the WAL's atomic counters
+  /// without touching writer_mu_ (which a committing batch can hold for a
+  /// while). Only bytes()/records() may be called through this pointer.
   std::atomic<const WriteAheadLog*> wal_view_{nullptr};
 
   /// Group-commit queue. commit_mu_ orders enqueue/leader-election/wakeup
   /// only — the actual commit work runs under writer_mu_ with commit_mu_
   /// released, so new writers keep enqueueing while a batch commits (that
   /// is where batching comes from).
-  std::mutex commit_mu_;
-  std::condition_variable commit_cv_;
-  std::vector<PendingWrite*> commit_queue_;
-  bool commit_leader_active_ = false;
+  Mutex commit_mu_;
+  CondVar commit_cv_;
+  std::vector<PendingWrite*> commit_queue_ PIS_GUARDED_BY(commit_mu_);
+  bool commit_leader_active_ PIS_GUARDED_BY(commit_mu_) = false;
 
   /// Guards only the pointer swap/copy of current_ — held for nanoseconds,
   /// never across query execution or mutation work.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const Snapshot> current_;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> current_ PIS_GUARDED_BY(snapshot_mu_);
 
-  /// Checkpoint destination; written before the maintenance thread starts
-  /// and only read afterwards. checkpoint_mu_ serializes whole Checkpoint()
-  /// calls (manual vs periodic) without blocking writers.
-  CheckpointConfig checkpoint_;
-  bool checkpoints_enabled_ = false;
-  std::mutex checkpoint_mu_;
+  /// Checkpoint destination. checkpoint_mu_ serializes whole Checkpoint()
+  /// calls (manual vs periodic) without blocking writers, and guards the
+  /// config fields against a concurrent EnableCheckpoints.
+  Mutex checkpoint_mu_;
+  CheckpointConfig checkpoint_ PIS_GUARDED_BY(checkpoint_mu_);
+  bool checkpoints_enabled_ PIS_GUARDED_BY(checkpoint_mu_) = false;
 
-  /// Background maintenance plumbing. lifecycle_mu_ guards the thread
-  /// object itself (Start/Stop/running racing each other); compactor_mu_
-  /// guards only the stop flag the loop's condition variable waits on — the
-  /// loop must be able to take it while Stop holds lifecycle_mu_ across
-  /// join().
-  mutable std::mutex compactor_lifecycle_mu_;
-  std::thread compactor_;
-  std::mutex compactor_mu_;
-  std::condition_variable compactor_cv_;
-  bool compactor_stop_ = false;
+  /// Background maintenance plumbing. compactor_lifecycle_mu_ guards the
+  /// thread object itself (Start/Stop/running racing each other);
+  /// compactor_mu_ guards only the stop flag the loop's condition variable
+  /// waits on — the loop must be able to take it while Stop holds
+  /// compactor_lifecycle_mu_ across join().
+  mutable Mutex compactor_lifecycle_mu_;
+  std::thread compactor_ PIS_GUARDED_BY(compactor_lifecycle_mu_);
+  Mutex compactor_mu_;
+  CondVar compactor_cv_;
+  bool compactor_stop_ PIS_GUARDED_BY(compactor_mu_) = false;
   std::atomic<uint64_t> background_compactions_{0};
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> group_commit_batches_{0};

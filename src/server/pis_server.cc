@@ -39,6 +39,7 @@ PisServer::~PisServer() {
 }
 
 Status PisServer::Start() {
+  MutexLock lock(&serve_mu_);
   if (serve_thread_.joinable()) {
     return Status::AlreadyExists("server already started");
   }
@@ -47,22 +48,31 @@ Status PisServer::Start() {
       TcpListener::Listen(options_.port, options_.loopback_only,
                           /*backlog=*/options_.num_workers * 4));
   // ParallelFor is the worker pool: N long-lived accept-and-serve loops.
+  // serving_ flips true before the pool exists and false only when the
+  // whole pool has exited, so running() brackets the serving lifetime
+  // without ever touching the (serve_mu_-guarded) thread object.
   const int workers = options_.num_workers;
+  serving_.store(true, std::memory_order_release);
   serve_thread_ = std::thread([this, workers] {
     ParallelFor(static_cast<size_t>(workers), workers,
                 [this](size_t) { WorkerLoop(); });
+    serving_.store(false, std::memory_order_release);
   });
   return Status::OK();
 }
 
 void PisServer::Wait() {
-  if (serve_thread_.joinable()) serve_thread_.join();
+  MutexLock lock(&serve_mu_);
+  if (serve_thread_.joinable()) {
+    serve_thread_.join();
+    serve_thread_ = std::thread();
+  }
 }
 
 void PisServer::Shutdown() {
   stopping_.store(true);
   listener_.Shutdown();
-  std::lock_guard<std::mutex> lock(live_mu_);
+  MutexLock lock(&live_mu_);
   for (int fd : live_fds_) {
     // Severing the stream unblocks a worker parked in RecvLine; the worker
     // owns (and closes) the descriptor itself.
@@ -96,14 +106,14 @@ void PisServer::WorkerLoop() {
 
 void PisServer::ServeConnection(TcpSocket conn) {
   {
-    std::lock_guard<std::mutex> lock(live_mu_);
+    MutexLock lock(&live_mu_);
     live_fds_.insert(conn.fd());
   }
   // A Shutdown() racing with the insert above may have severed the live set
   // before this fd joined it; stopping_ is always set first, so re-checking
   // here closes the window (otherwise RecvLine could park forever).
   if (stopping_.load()) {
-    std::lock_guard<std::mutex> lock(live_mu_);
+    MutexLock lock(&live_mu_);
     live_fds_.erase(conn.fd());
     return;
   }
@@ -129,7 +139,7 @@ void PisServer::ServeConnection(TcpSocket conn) {
     }
     if (!sent.ok()) break;
   }
-  std::lock_guard<std::mutex> lock(live_mu_);
+  MutexLock lock(&live_mu_);
   live_fds_.erase(fd);
 }
 

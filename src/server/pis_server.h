@@ -27,15 +27,16 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 
 #include "server/engine_host.h"
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/socket.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace pis {
 
@@ -60,23 +61,24 @@ class PisServer {
   PisServer& operator=(const PisServer&) = delete;
 
   /// Binds the listener and spawns the worker pool. Call once.
-  Status Start();
+  Status Start() PIS_EXCLUDES(serve_mu_);
   /// The bound port (valid after Start).
   int port() const { return listener_.port(); }
 
   /// Blocks until the server stopped (a shutdown request or Shutdown()).
-  void Wait();
+  void Wait() PIS_EXCLUDES(serve_mu_);
   /// Stops accepting, severs live connections, and wakes Wait(). Idempotent
   /// and callable from any thread (including a protocol handler's).
-  void Shutdown();
+  void Shutdown() PIS_EXCLUDES(live_mu_);
 
-  bool running() const { return serve_thread_.joinable(); }
+  /// True from a successful Start() until the worker pool has exited.
+  bool running() const { return serving_.load(std::memory_order_acquire); }
   uint64_t connections_served() const { return connections_served_; }
   uint64_t requests_served() const { return requests_served_; }
 
  private:
-  void WorkerLoop();
-  void ServeConnection(TcpSocket conn);
+  void WorkerLoop() PIS_EXCLUDES(live_mu_);
+  void ServeConnection(TcpSocket conn) PIS_EXCLUDES(live_mu_);
   /// Returns the reply; sets `*shutdown` when the request asked the server
   /// to stop (the reply is still sent first).
   JsonValue HandleLine(const std::string& line, bool* shutdown);
@@ -85,14 +87,22 @@ class PisServer {
   EngineHost* host_;
   PisServerOptions options_;
   TcpListener listener_;
-  std::thread serve_thread_;
+  /// serve_mu_ guards the pool thread object: Start() writes it while a
+  /// concurrent Wait() (e.g. the destructor racing a protocol-triggered
+  /// shutdown's waiter) joins it — unguarded, that pair is a data race on
+  /// the std::thread itself (found by the thread-safety annotation pass).
+  /// running() deliberately reads the serving_ flag instead of the thread
+  /// so it never blocks behind a join in progress.
+  mutable Mutex serve_mu_;
+  std::thread serve_thread_ PIS_GUARDED_BY(serve_mu_);
+  std::atomic<bool> serving_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_served_{0};
   std::atomic<uint64_t> requests_served_{0};
   /// Raw fds of live connections, severed on Shutdown so workers blocked in
   /// RecvLine unblock.
-  std::mutex live_mu_;
-  std::unordered_set<int> live_fds_;
+  Mutex live_mu_;
+  std::unordered_set<int> live_fds_ PIS_GUARDED_BY(live_mu_);
 };
 
 }  // namespace pis

@@ -315,11 +315,18 @@ Status WriteAheadLog::Append(std::span<const WalRecord> batch) {
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string err = std::strerror(errno);
-      // Best effort: drop any partial frame so the on-disk log stays clean
-      // even though this batch is being reported lost.
+      // Drop any partial frame so the on-disk log stays clean even though
+      // this batch is being reported lost. If even the trim fails, POISON
+      // the log (close the fd so every later Append refuses): appending
+      // more records after a torn frame would leave acknowledged writes
+      // behind garbage that recovery rejects wholesale — an acked-but-
+      // unreplayable write, the exact contract this log exists to keep.
       if (::ftruncate(fd_, static_cast<off_t>(old_bytes)) != 0) {
         PIS_LOG(Error) << "WAL " << path_
-                       << ": cannot trim failed append: " << std::strerror(errno);
+                       << ": cannot trim failed append (" << std::strerror(errno)
+                       << "); closing the log — no further writes will be "
+                          "acknowledged";
+        CloseFd();
       }
       return Status::IOError("WAL append to " + path_ + " failed: " + err);
     }

@@ -41,6 +41,7 @@
 #include "graph/graph.h"
 #include "index/sharded_index.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace pis {
 
@@ -60,9 +61,16 @@ struct WalRecord {
 
 /// \brief Append-only, checksummed, fsync-on-commit mutation log.
 ///
-/// Not internally synchronized: EngineHost serializes Append/TruncateThrough
-/// under its writer mutex. bytes()/records() are atomics so stats threads
-/// may read them concurrently.
+/// Concurrency contract (audited for the thread-annotation pass): the log
+/// is not internally synchronized — EngineHost owns it as a field guarded
+/// by its writer mutex (`wal_ PIS_GUARDED_BY(writer_mu_)`), which is what
+/// makes the discipline compiler-checked even though this class carries no
+/// lock of its own. Exactly two members are readable off the writer lock:
+/// bytes() and records(), both std::atomic, published to stats threads
+/// through EngineHost's wal_view_ pointer. Everything else (fd_, path_,
+/// recovered_, max_recovered_epoch_) is either const-after-Open or touched
+/// only under the external lock; the object must not be moved once any
+/// other thread can see it.
 class WriteAheadLog {
  public:
   /// Opens (creating the directory and an empty log as needed) and

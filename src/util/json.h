@@ -24,15 +24,19 @@ class JsonValue {
   enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
 
   JsonValue() = default;  // null
-  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
-  JsonValue(double d) : type_(Type::kNumber), number_(d) {}      // NOLINT
-  JsonValue(int i) : type_(Type::kNumber), number_(i) {}         // NOLINT
-  JsonValue(int64_t i)                                           // NOLINT
+  JsonValue(bool b)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kBool), bool_(b) {}
+  JsonValue(double d)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), number_(d) {}
+  JsonValue(int i)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), number_(i) {}
+  JsonValue(int64_t i)  // NOLINT(google-explicit-constructor)
       : type_(Type::kNumber), number_(static_cast<double>(i)) {}
-  JsonValue(uint64_t i)                                          // NOLINT
+  JsonValue(uint64_t i)  // NOLINT(google-explicit-constructor)
       : type_(Type::kNumber), number_(static_cast<double>(i)) {}
-  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
-  JsonValue(std::string s)                                        // NOLINT
+  JsonValue(const char* s)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s)  // NOLINT(google-explicit-constructor)
       : type_(Type::kString), string_(std::move(s)) {}
 
   static JsonValue Object() {

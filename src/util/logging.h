@@ -54,4 +54,14 @@ class LogMessage {
   if (false) ::pis::internal::LogMessage(::pis::LogLevel::kFatal, __FILE__, __LINE__)
 #endif
 
+// Aborts (with the rendered status) when a [[nodiscard]] Status-returning
+// expression fails. For call sites where failure is a program invariant —
+// test/bench setup, CLI plumbing — not a substitute for propagating errors
+// on library paths (use PIS_RETURN_NOT_OK there).
+#define PIS_CHECK_OK(expr)                                        \
+  do {                                                            \
+    const auto& _pis_check_ok_st = (expr);                        \
+    PIS_CHECK(_pis_check_ok_st.ok()) << _pis_check_ok_st.ToString(); \
+  } while (false)
+
 #endif  // PIS_UTIL_LOGGING_H_

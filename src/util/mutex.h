@@ -1,0 +1,105 @@
+// Capability-annotated synchronization primitives: the only lock types the
+// project uses (scripts/lint.sh rejects naked std::mutex outside this
+// header). They are zero-cost shims over <mutex>/<condition_variable> whose
+// value is the annotations: a field marked PIS_GUARDED_BY(mu_) can only be
+// touched while `mu_` is provably held, checked by clang's -Wthread-safety
+// at compile time (see util/thread_annotations.h and docs/locking.md).
+//
+// The API is deliberately minimal — Lock/Unlock, a scoped MutexLock, and a
+// CondVar whose Wait requires the mutex by annotation. There is no
+// template predicate Wait: the thread-safety analysis cannot see into a
+// lambda, so condition loops live at the call site where the guarded reads
+// are visible to the checker.
+#ifndef PIS_UTIL_MUTEX_H_
+#define PIS_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace pis {
+
+/// \brief A std::mutex with thread-safety-analysis capability annotations.
+class PIS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PIS_ACQUIRE() { mu_.lock(); }
+  void Unlock() PIS_RELEASE() { mu_.unlock(); }
+  bool TryLock() PIS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex (the project's lock_guard).
+class PIS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PIS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() PIS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to Mutex.
+///
+/// Wait/WaitUntil require the caller to hold the mutex (enforced by
+/// annotation) and atomically release/reacquire it around the block, like
+/// std::condition_variable. Spurious wakeups are possible: callers loop on
+/// their guarded condition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `mu` must be held.
+  void Wait(Mutex* mu) PIS_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the Mutex stays (logically and
+    // physically) held by the caller on return.
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Blocks until notified or `deadline` passes; returns true on timeout.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex* mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      PIS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status == std::cv_status::timeout;
+  }
+
+  /// Blocks until notified or `rel_time` elapses; returns true on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex* mu, const std::chrono::duration<Rep, Period>& rel_time)
+      PIS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, rel_time);
+    native.release();
+    return status == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_UTIL_MUTEX_H_

@@ -27,7 +27,14 @@ enum class StatusCode {
 ///
 /// A `Status` is cheap to copy in the OK case (no allocation). Non-OK
 /// statuses carry a code and a human-readable message.
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a compile
+/// error under -Werror (a dropped IOError from the WAL or a swallowed
+/// InvalidArgument from a loader is exactly how a server silently loses
+/// data). Call sites that genuinely cannot act on a failure make that
+/// explicit with a `(void)` cast and a comment, or PIS_CHECK_OK
+/// (util/logging.h) when failure is a program invariant.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -80,9 +87,10 @@ class Status {
 /// \brief A value or an error, never both.
 ///
 /// Minimal `StatusOr` analogue. Accessing `value()` on an error aborts in
-/// debug builds; check `ok()` first.
+/// debug builds; check `ok()` first. [[nodiscard]] for the same reason as
+/// Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {

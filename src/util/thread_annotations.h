@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis annotation macros (no-ops on other
+// compilers). Annotating a mutex-guarded field with PIS_GUARDED_BY(mu) —
+// and lock-taking/requiring functions with the ACQUIRE/RELEASE/REQUIRES
+// family — turns the locking discipline into a compile-time contract:
+// `clang++ -Wthread-safety` rejects any access that does not provably hold
+// the right capability, on every build, for every interleaving. See
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and util/mutex.h
+// for the annotated lock types these attach to.
+//
+// The macro spellings follow the upstream reference header so the intent
+// reads the same as in Abseil/LLVM code; everything is PIS_-prefixed to
+// keep the global namespace clean.
+#ifndef PIS_UTIL_THREAD_ANNOTATIONS_H_
+#define PIS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PIS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PIS_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (a lock type). The string names the
+/// capability kind in diagnostics ("mutex").
+#define PIS_CAPABILITY(x) PIS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks a RAII class whose constructor acquires and destructor releases a
+/// capability.
+#define PIS_SCOPED_CAPABILITY PIS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that the data member it is attached to is protected by the
+/// given capability: reads require the capability held shared or
+/// exclusively, writes require it exclusively.
+#define PIS_GUARDED_BY(x) PIS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Like PIS_GUARDED_BY for pointer members: the *pointed-to* data is
+/// protected (the pointer itself may be read freely).
+#define PIS_PT_GUARDED_BY(x) PIS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function requires the listed capabilities to be held by
+/// the caller (and does not release them).
+#define PIS_REQUIRES(...) \
+  PIS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Shared-capability variant of PIS_REQUIRES.
+#define PIS_REQUIRES_SHARED(...) \
+  PIS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the listed capabilities (caller must
+/// not hold them; they are held on return).
+#define PIS_ACQUIRE(...) \
+  PIS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the listed capabilities (caller must
+/// hold them; they are free on return).
+#define PIS_RELEASE(...) \
+  PIS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function attempts to acquire a capability and returns
+/// `ok` (true/false) on success.
+#define PIS_TRY_ACQUIRE(...) \
+  PIS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that a function may be called only when the listed capabilities
+/// are NOT held — the annotation that catches self-deadlock (re-entry into
+/// a function that takes a lock the caller already holds) and documents
+/// the lock hierarchy (see docs/locking.md).
+#define PIS_EXCLUDES(...) PIS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume so from here on.
+#define PIS_ASSERT_CAPABILITY(x) \
+  PIS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Returns the capability guarding the returned reference/pointer.
+#define PIS_RETURN_CAPABILITY(x) PIS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function. Every use must
+/// carry a written reason at the use site (scripts/lint.sh enforces this
+/// for NOLINT; review enforces it here).
+#define PIS_NO_THREAD_SAFETY_ANALYSIS \
+  PIS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PIS_UTIL_THREAD_ANNOTATIONS_H_

@@ -24,6 +24,7 @@
 #include "server/engine_host.h"
 #include "server/wal.h"
 #include "util/json.h"
+#include "util/mutex.h"
 
 namespace pis {
 namespace {
@@ -269,7 +270,7 @@ TEST(DurabilityTest, GroupCommitCoalescesConcurrentWriters) {
   int round = 0;
   int total_ops = 0;
   std::vector<std::pair<int, const Graph*>> acked;  // gid -> submitted graph
-  std::mutex acked_mu;
+  Mutex acked_mu;
   // Batching is timing-dependent; with 8 writers racing a leader that holds
   // writer_mu_ across an fsync, a >1 batch is near-certain, but retry a few
   // rounds before declaring failure.
@@ -286,7 +287,7 @@ TEST(DurabilityTest, GroupCommitCoalescesConcurrentWriters) {
           const Graph& g = f.pool.at(t * kOpsPerThread + i);
           auto gid = host->AddGraph(g);
           ASSERT_TRUE(gid.ok()) << gid.status().ToString();
-          std::lock_guard<std::mutex> lock(acked_mu);
+          MutexLock lock(&acked_mu);
           acked.emplace_back(gid.value(), &g);
         }
       });

@@ -1,0 +1,23 @@
+// Negative-compilation fixture: silently discarding a Status.
+//
+// util/status.h marks Status (and Result<T>) [[nodiscard]]; this TU drops
+// one on the floor, so compiling it with -Werror=unused-result must FAIL
+// with a nodiscard/unused-result diagnostic. The static_analysis suite
+// asserts exactly that (see check_negative.sh). If this file ever starts
+// compiling, the error-handling contract has regressed — an ignored
+// IOError from the WAL is how a server silently loses data.
+//
+// Works on both gcc and clang: class-level [[nodiscard]] applies to every
+// function returning the type by value.
+#include "util/status.h"
+
+namespace {
+
+pis::Status MightFail() { return pis::Status::IOError("disk unplugged"); }
+
+}  // namespace
+
+int main() {
+  MightFail();  // BAD: the returned Status is discarded.
+  return 0;
+}

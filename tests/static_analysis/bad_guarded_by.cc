@@ -1,0 +1,34 @@
+// Negative-compilation fixture: touching a PIS_GUARDED_BY field lock-free.
+//
+// Increment() writes `value_` without holding `mu_`, the exact shape of
+// every data race the annotation pass exists to prevent. Compiling this TU
+// with clang's -Wthread-safety -Werror must FAIL with "requires holding
+// mutex" (asserted by check_negative.sh). Registered only under clang —
+// gcc has no thread-safety analysis and the macros expand to nothing
+// there, which is precisely why CI carries a clang job.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // BAD: writes value_ without mu_.
+
+  int Load() {
+    pis::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  pis::Mutex mu_;
+  int value_ PIS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Load();
+}

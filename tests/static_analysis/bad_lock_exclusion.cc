@@ -1,0 +1,40 @@
+// Negative-compilation fixture: calling a PIS_EXCLUDES function with the
+// excluded mutex held — the self-deadlock shape.
+//
+// Reload() declares it must NOT be entered with `mu_` held (it acquires
+// the lock itself); Tick() calls it from under a MutexLock on that same
+// mutex. With an unannotated lock this deadlocks at runtime,
+// nondeterministically, in production. With the annotations it is a
+// compile error: clang's
+// -Wthread-safety -Werror must FAIL this TU with "cannot call function
+// ... while mutex ... is held" (asserted by check_negative.sh).
+// Clang-only, like bad_guarded_by.cc.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Reload() PIS_EXCLUDES(mu_) {
+    pis::MutexLock lock(&mu_);
+    ++generation_;
+  }
+
+  void Tick() {
+    pis::MutexLock lock(&mu_);
+    Reload();  // BAD: re-enters mu_ -> self-deadlock at runtime.
+  }
+
+ private:
+  pis::Mutex mu_;
+  int generation_ PIS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.Tick();
+  return 0;
+}

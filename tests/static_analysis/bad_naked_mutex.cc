@@ -1,0 +1,21 @@
+// Lint fixture: declares raw standard-library lock primitives outside
+// util/mutex.h. scripts/lint.sh must REJECT this file (the static_analysis
+// suite runs `lint.sh <this file>` and asserts failure + the "naked"
+// diagnostic via check_negative.sh).
+//
+// Raw std::mutex is banned project-wide because the thread-safety analysis
+// only understands the annotated pis::Mutex capability type — a naked
+// mutex is a lock the compiler cannot check, i.e. a hole in the proof.
+#include <mutex>
+
+namespace {
+
+std::mutex naked_mu;  // BAD: raw mutex outside util/mutex.h.
+int counter = 0;
+
+}  // namespace
+
+int main() {
+  std::lock_guard<std::mutex> lock(naked_mu);  // BAD: raw lock adapter.
+  return ++counter;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Negative-test driver: asserts that a command FAILS and that its output
+# matches an expected diagnostic regex.
+#
+# A negative-compilation test that only checks the exit code is worthless —
+# a missing header or a typo in the fixture also fails the compile, and the
+# test would keep "passing" long after the analysis it guards stopped
+# firing. Requiring the specific diagnostic text proves the right rule
+# rejected the right line.
+#
+# usage: check_negative.sh <expected-output-regex> <command> [args...]
+set -u
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <expected-output-regex> <command> [args...]" >&2
+  exit 2
+fi
+
+expected="$1"
+shift
+
+out=$("$@" 2>&1)
+command_status=$?
+
+if [ "${command_status}" -eq 0 ]; then
+  echo "NEGATIVE TEST FAILED: command succeeded but was expected to fail:" >&2
+  echo "  $*" >&2
+  printf '%s\n' "${out}" >&2
+  exit 1
+fi
+
+if ! printf '%s\n' "${out}" | grep -Eq "${expected}"; then
+  echo "NEGATIVE TEST FAILED: command failed (good) but its diagnostic did" >&2
+  echo "not match the expected pattern /${expected}/. Output was:" >&2
+  printf '%s\n' "${out}" >&2
+  exit 1
+fi
+
+exit 0

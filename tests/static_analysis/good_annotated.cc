@@ -1,0 +1,53 @@
+// Positive control for the static_analysis suite: idiomatic use of the
+// annotated lock layer that must compile CLEANLY on every compiler, with
+// clang additionally running -Wthread-safety -Werror over it.
+//
+// Without this control, the negative tests could "pass" because the
+// fixtures fail for the wrong reason (a broken include path, a macro
+// typo) rather than because the analysis fired. This TU exercises every
+// construct the codebase relies on: a GUARDED_BY field, a REQUIRES
+// private helper, EXCLUDES entry points, a CondVar wait loop with the
+// condition re-checked under the lock, and scoped MutexLock release.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class BoundedCounter {
+ public:
+  void Add(int n) PIS_EXCLUDES(mu_) {
+    pis::MutexLock lock(&mu_);
+    AddLocked(n);
+    cv_.NotifyAll();
+  }
+
+  int WaitUntilAtLeast(int target) PIS_EXCLUDES(mu_) {
+    pis::MutexLock lock(&mu_);
+    while (value_ < target) cv_.Wait(&mu_);
+    return value_;
+  }
+
+  bool TryRead(int* out) PIS_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    *out = value_;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  void AddLocked(int n) PIS_REQUIRES(mu_) { value_ += n; }
+
+  pis::Mutex mu_;
+  pis::CondVar cv_;
+  int value_ PIS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BoundedCounter c;
+  c.Add(3);
+  int snapshot = 0;
+  (void)c.TryRead(&snapshot);
+  return c.WaitUntilAtLeast(1) >= 1 ? 0 : 1;
+}
