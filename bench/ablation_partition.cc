@@ -16,10 +16,13 @@ int main(int argc, char** argv) {
   config.db_size = 500;
   int query_edges = 16;
   double sigma = 2.0;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
   flags.AddDouble("sigma", &sigma, "distance threshold");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) {
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
               query_edges, sigma, config.db_size);
   std::printf("%-12s %12s %14s %14s %12s\n", "algorithm", "avg |P|",
               "avg weight", "avg candidates", "filter ms");
+  JsonValue algo_list = JsonValue::Array();
   for (const Algo& algo : algos) {
     PisOptions options;
     options.sigma = sigma;
@@ -83,10 +87,34 @@ int main(int argc, char** argv) {
     double n = static_cast<double>(queries.value().size());
     std::printf("%-12s %12.2f %14.3f %14.1f %12.2f\n", algo.name, total_p / n,
                 total_w / n, total_c / n, total_t / n * 1e3);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("algorithm", algo.name);
+    entry.Set("avg_partition_size", total_p / n);
+    entry.Set("avg_partition_weight", total_w / n);
+    entry.Set("avg_candidates", total_c / n);
+    entry.Set("avg_filter_ms", total_t / n * 1e3);
+    algo_list.Push(std::move(entry));
   }
   std::printf(
       "\nExpected shape: greedy ≈ enhanced(2) ≈ exact candidates (paper §5);\n"
       "single-best prunes less; exact costs the most filter time on large\n"
       "overlap graphs.\n");
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "ablation_partition");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("sigma", sigma);
+    cfg.Set("queries", static_cast<uint64_t>(queries.value().size()));
+    report.Set("config", std::move(cfg));
+    report.Set("algorithms", std::move(algo_list));
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

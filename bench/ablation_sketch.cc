@@ -1,0 +1,156 @@
+// Ablation: superimposed-sketch prefilter. Runs the same query set through
+// the PIS filter with the sketch disabled and enabled and reports what the
+// prefilter buys: the fraction of live graphs it discards before any range
+// query intersection, the false-drop rate (graphs that pass the sketch but
+// fall to the pass-1 intersection anyway — the superimposed-code false
+// positives), and the filter-time delta. The candidate lists of the two
+// configurations must be identical — the sketch prunes only
+// provably-impossible graphs — and the bench exits nonzero if they differ.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+using namespace pis;
+using namespace pis::bench;
+
+int main(int argc, char** argv) {
+  WorkloadConfig config;
+  int query_edges = 16;
+  double sigma = 2.0;
+  std::string json_out;
+  FlagSet flags;
+  config.Register(&flags);
+  flags.AddInt("query_edges", &query_edges, "query size (edges)");
+  flags.AddDouble("sigma", &sigma, "distance threshold");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  GraphDatabase db = MakeDatabase(config);
+  auto features = MineFeatures(db, config);
+  if (!features.ok()) {
+    std::fprintf(stderr, "%s\n", features.status().ToString().c_str());
+    return 1;
+  }
+  auto index = BuildIndex(db, features.value(), config);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = SampleQueries(db, query_edges, config);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  PisOptions off_options;
+  off_options.sigma = sigma;
+  off_options.max_query_fragments = config.max_query_fragments;
+  PisOptions on_options = off_options;
+  on_options.sketch_enabled = true;
+  PisEngine off_engine(&db, &index.value(), off_options);
+  PisEngine on_engine(&db, &index.value(), on_options);
+
+  double off_seconds = 0;
+  double on_seconds = 0;
+  size_t off_candidates = 0;
+  size_t on_candidates = 0;
+  size_t sketch_checks = 0;
+  size_t sketch_pruned = 0;
+  size_t after_intersection = 0;
+  size_t mismatches = 0;
+  for (const Graph& query : queries.value()) {
+    auto off = off_engine.Filter(query);
+    if (!off.ok()) {
+      std::fprintf(stderr, "%s\n", off.status().ToString().c_str());
+      return 1;
+    }
+    auto on = on_engine.Filter(query);
+    if (!on.ok()) {
+      std::fprintf(stderr, "%s\n", on.status().ToString().c_str());
+      return 1;
+    }
+    if (off.value().candidates != on.value().candidates) ++mismatches;
+    off_seconds += off.value().stats.filter_seconds;
+    on_seconds += on.value().stats.filter_seconds;
+    off_candidates += off.value().stats.candidates_final;
+    on_candidates += on.value().stats.candidates_final;
+    sketch_checks += on.value().stats.sketch_checks;
+    sketch_pruned += on.value().stats.sketch_pruned;
+    after_intersection += on.value().stats.candidates_after_intersection;
+  }
+
+  const double n = static_cast<double>(queries.value().size());
+  // Sketch survivors that the pass-1 intersection kills anyway: the
+  // superimposed code said "might contain every query class" but at least
+  // one class's range query came back without the graph.
+  const size_t survivors = sketch_checks - sketch_pruned;
+  const size_t false_drops =
+      survivors > after_intersection ? survivors - after_intersection : 0;
+  const double prune_fraction =
+      sketch_checks > 0
+          ? static_cast<double>(sketch_pruned) / static_cast<double>(sketch_checks)
+          : 0.0;
+  const double false_drop_rate =
+      sketch_checks > 0
+          ? static_cast<double>(false_drops) / static_cast<double>(sketch_checks)
+          : 0.0;
+
+  std::printf("=== Ablation: sketch prefilter (Q%d, sigma=%g, %d graphs) ===\n",
+              query_edges, sigma, config.db_size);
+  std::printf("%-14s %14s %12s\n", "config", "avg candidates", "filter ms");
+  std::printf("%-14s %14.1f %12.2f\n", "sketch off", off_candidates / n,
+              off_seconds / n * 1e3);
+  std::printf("%-14s %14.1f %12.2f\n", "sketch on", on_candidates / n,
+              on_seconds / n * 1e3);
+  std::printf("sketch checks: %zu, pruned: %zu (%.1f%% of live graphs)\n",
+              sketch_checks, sketch_pruned, prune_fraction * 100);
+  std::printf("false drops: %zu of %zu checks (%.2f%% pass the sketch but "
+              "fail the intersection)\n",
+              false_drops, sketch_checks, false_drop_rate * 100);
+  std::printf("candidate lists identical: %s\n",
+              mismatches == 0 ? "yes" : "NO (BROKEN)");
+
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "ablation_sketch");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("sigma", sigma);
+    cfg.Set("queries", static_cast<uint64_t>(queries.value().size()));
+    cfg.Set("sketch_bits", index.value().sketch().bits_per_graph());
+    cfg.Set("sketch_hashes", index.value().sketch().num_hashes());
+    report.Set("config", std::move(cfg));
+    JsonValue off_json = JsonValue::Object();
+    off_json.Set("avg_candidates", off_candidates / n);
+    off_json.Set("avg_filter_ms", off_seconds / n * 1e3);
+    report.Set("sketch_off", std::move(off_json));
+    JsonValue on_json = JsonValue::Object();
+    on_json.Set("avg_candidates", on_candidates / n);
+    on_json.Set("avg_filter_ms", on_seconds / n * 1e3);
+    on_json.Set("sketch_checks", static_cast<uint64_t>(sketch_checks));
+    on_json.Set("sketch_pruned", static_cast<uint64_t>(sketch_pruned));
+    on_json.Set("prune_fraction", prune_fraction);
+    on_json.Set("false_drops", static_cast<uint64_t>(false_drops));
+    on_json.Set("false_drop_rate", false_drop_rate);
+    report.Set("sketch_on", std::move(on_json));
+    report.Set("identical_candidates", mismatches == 0);
+    report.Set("ok", mismatches == 0);
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}

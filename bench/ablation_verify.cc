@@ -17,10 +17,13 @@ int main(int argc, char** argv) {
   config.db_size = 300;
   int query_edges = 16;
   double sigma = 2.0;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
   flags.AddDouble("sigma", &sigma, "distance threshold");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) {
@@ -81,5 +84,30 @@ int main(int argc, char** argv) {
               disagreements == 0 ? "exact" : "BROKEN", disagreements);
   std::printf("speedup bounded vs enumerate: %.1fx\n",
               brute_seconds / std::max(1e-9, bounded_seconds));
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "ablation_verify");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("sigma", sigma);
+    cfg.Set("pairs", static_cast<uint64_t>(pairs));
+    report.Set("config", std::move(cfg));
+    report.Set("bounded_ms", bounded_seconds * 1e3);
+    report.Set("bounded_nodes", static_cast<uint64_t>(bounded_nodes));
+    report.Set("unbounded_ms", unbounded_seconds * 1e3);
+    report.Set("unbounded_nodes", static_cast<uint64_t>(unbounded_nodes));
+    report.Set("enumerate_ms", brute_seconds * 1e3);
+    report.Set("speedup_bounded_vs_enumerate",
+               brute_seconds / std::max(1e-9, bounded_seconds));
+    report.Set("disagreements", static_cast<uint64_t>(disagreements));
+    report.Set("ok", disagreements == 0);
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return disagreements == 0 ? 0 : 1;
 }

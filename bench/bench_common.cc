@@ -250,6 +250,35 @@ std::vector<std::vector<double>> ReductionRatios(const FilterExperiment& ex) {
   return ratios;
 }
 
+JsonValue BucketTableJson(const WorkloadConfig& config,
+                          const std::vector<size_t>& yt,
+                          const std::vector<std::string>& series_names,
+                          const std::vector<std::vector<double>>& values) {
+  Buckets buckets;
+  BucketAverager averager(static_cast<int>(buckets.names.size()),
+                          static_cast<int>(series_names.size()));
+  for (size_t qi = 0; qi < yt.size(); ++qi) {
+    int bucket = buckets.BucketOf(yt[qi], config.db_size);
+    for (size_t si = 0; si < series_names.size(); ++si) {
+      averager.Add(bucket, static_cast<int>(si), values[si][qi]);
+    }
+  }
+  JsonValue rows = JsonValue::Array();
+  for (size_t b = 0; b < buckets.names.size(); ++b) {
+    JsonValue row = JsonValue::Object();
+    row.Set("bucket", buckets.names[b]);
+    row.Set("queries", averager.Count(static_cast<int>(b), 0));
+    for (size_t s = 0; s < series_names.size(); ++s) {
+      row.Set(series_names[s],
+              averager.Mean(static_cast<int>(b), static_cast<int>(s)));
+    }
+    rows.Push(std::move(row));
+  }
+  JsonValue table = JsonValue::Object();
+  table.Set("buckets", std::move(rows));
+  return table;
+}
+
 Status WriteJsonFile(const std::string& path, const JsonValue& value) {
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
@@ -263,14 +292,18 @@ Status WriteJsonFile(const std::string& path, const JsonValue& value) {
   return Status::OK();
 }
 
-int ReductionFigureMain(int argc, char** argv, const std::string& figure_title,
+int ReductionFigureMain(int argc, char** argv, const std::string& bench_name,
+                        const std::string& figure_title,
                         int default_query_edges,
                         const std::vector<double>& sigmas) {
   WorkloadConfig config;
   int query_edges = default_query_edges;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) {
@@ -311,9 +344,30 @@ int ReductionFigureMain(int argc, char** argv, const std::string& figure_title,
   }
   std::vector<std::string> names;
   for (const SeriesSpec& spec : series) names.push_back(spec.name);
+  const std::vector<std::vector<double>> ratios =
+      ReductionRatios(experiment.value());
   ReportBucketed(figure_title + ", Q" + std::to_string(query_edges), config,
-                 experiment.value().yt, names,
-                 ReductionRatios(experiment.value()));
+                 experiment.value().yt, names, ratios);
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", bench_name);
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("queries", static_cast<uint64_t>(queries.value().size()));
+    JsonValue sigma_list = JsonValue::Array();
+    for (double sigma : sigmas) sigma_list.Push(sigma);
+    cfg.Set("sigmas", std::move(sigma_list));
+    report.Set("config", std::move(cfg));
+    report.Set("reduction",
+               BucketTableJson(config, experiment.value().yt, names, ratios));
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }
 

@@ -127,6 +127,15 @@ void ReportBucketed(const std::string& title, const WorkloadConfig& config,
 /// Computes per-query reduction ratios Yt / max(Yp, 1) for each series.
 std::vector<std::vector<double>> ReductionRatios(const FilterExperiment& ex);
 
+/// The bucket table as JSON — the same numbers PrintBucketTable renders: a
+/// "buckets" array of {bucket, queries, <series>: mean} rows. Empty buckets
+/// carry null means (NaN serializes as null). Shared by every figure
+/// bench's --json_out so plotting and regression scripts read one shape.
+JsonValue BucketTableJson(const WorkloadConfig& config,
+                          const std::vector<size_t>& yt,
+                          const std::vector<std::string>& series_names,
+                          const std::vector<std::vector<double>>& values);
+
 /// Writes `value` plus a trailing newline to `path`, creating parent
 /// directories as needed — the machine-readable side channel of a bench run
 /// (the human-readable tables stay on stdout). Serialization is
@@ -135,8 +144,10 @@ Status WriteJsonFile(const std::string& path, const JsonValue& value);
 
 /// Complete driver for a reduction-ratio figure (Figures 9 and 10): parse
 /// flags, build workload, run the σ series, print the bucket table.
+/// `bench_name` labels the --json_out report (e.g. "fig09_reduction_q16").
 /// Returns a process exit code.
-int ReductionFigureMain(int argc, char** argv, const std::string& figure_title,
+int ReductionFigureMain(int argc, char** argv, const std::string& bench_name,
+                        const std::string& figure_title,
                         int default_query_edges,
                         const std::vector<double>& sigmas);
 

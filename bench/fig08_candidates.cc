@@ -12,9 +12,12 @@ using namespace pis::bench;
 int main(int argc, char** argv) {
   WorkloadConfig config;
   int query_edges = 16;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;  // --help
   if (!st.ok()) {
@@ -73,5 +76,30 @@ int main(int argc, char** argv) {
   }
   std::printf("  est. verification cost per candidate:  %8.3f ms\n",
               ex.verify_seconds_per_candidate * 1e3);
+
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "fig08_candidates");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("queries", static_cast<uint64_t>(queries.value().size()));
+    report.Set("config", std::move(cfg));
+    report.Set("candidates", BucketTableJson(config, ex.yt, names, values));
+    JsonValue timing = JsonValue::Object();
+    for (size_t si = 0; si < series.size(); ++si) {
+      timing.Set(series[si].name + " filter_ms_per_query",
+                 ex.filter_seconds[si] * 1e3);
+    }
+    timing.Set("verify_ms_per_candidate",
+               ex.verify_seconds_per_candidate * 1e3);
+    report.Set("timing", std::move(timing));
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

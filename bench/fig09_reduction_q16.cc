@@ -4,6 +4,6 @@
 
 int main(int argc, char** argv) {
   return pis::bench::ReductionFigureMain(
-      argc, argv, "Figure 9: reduction ratio Yt/Yp", /*default_query_edges=*/16,
-      {1.0, 2.0, 4.0});
+      argc, argv, "fig09_reduction_q16", "Figure 9: reduction ratio Yt/Yp",
+      /*default_query_edges=*/16, {1.0, 2.0, 4.0});
 }

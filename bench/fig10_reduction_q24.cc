@@ -4,6 +4,6 @@
 
 int main(int argc, char** argv) {
   return pis::bench::ReductionFigureMain(
-      argc, argv, "Figure 10: reduction ratio Yt/Yp", /*default_query_edges=*/24,
-      {1.0, 3.0, 5.0});
+      argc, argv, "fig10_reduction_q24", "Figure 10: reduction ratio Yt/Yp",
+      /*default_query_edges=*/24, {1.0, 3.0, 5.0});
 }

@@ -14,10 +14,13 @@ int main(int argc, char** argv) {
   WorkloadConfig config;
   int query_edges = 16;
   double sigma = 2.0;
+  std::string json_out;
   FlagSet flags;
   config.Register(&flags);
   flags.AddInt("query_edges", &query_edges, "query size (edges)");
   flags.AddDouble("sigma", &sigma, "distance threshold");
+  flags.AddString("json_out", &json_out,
+                  "write machine-readable results to this JSON file");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) {
@@ -59,8 +62,27 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> names;
   for (const SeriesSpec& spec : series) names.push_back(spec.name);
+  const std::vector<std::vector<double>> ratios =
+      ReductionRatios(experiment.value());
   ReportBucketed(StrFormat("Figure 11: cutoff sensitivity, sigma=%g", sigma),
-                 config, experiment.value().yt, names,
-                 ReductionRatios(experiment.value()));
+                 config, experiment.value().yt, names, ratios);
+  if (!json_out.empty()) {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", "fig11_cutoff");
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("db_size", config.db_size);
+    cfg.Set("query_edges", query_edges);
+    cfg.Set("sigma", sigma);
+    cfg.Set("queries", static_cast<uint64_t>(queries.value().size()));
+    report.Set("config", std::move(cfg));
+    report.Set("reduction",
+               BucketTableJson(config, experiment.value().yt, names, ratios));
+    Status written = WriteJsonFile(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_server JSON report against the checked-in baseline.
+
+Usage:
+    scripts/bench_regression_check.py BASELINE.json FRESH.json [--max-ratio R]
+
+Both files are bench_server --json_out reports. The check fails (exit 1)
+when:
+  * either report has "ok" != true,
+  * a phase present in the baseline is missing from the fresh run,
+  * a phase completed zero queries in the fresh run, or
+  * a phase's fresh p99 exceeds baseline p99 * R.
+
+The ratio guard is deliberately loose (default 3.0): the baseline was
+recorded on a different machine than the CI runner, so only
+order-of-magnitude regressions — a lock held across a shard swap, a filter
+gone accidentally quadratic — should trip it, not runner jitter. Tighten
+--max-ratio when comparing runs from the same machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in bench_server JSON")
+    parser.add_argument("fresh", help="freshly produced bench_server JSON")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=3.0,
+        help="fail when fresh p99 > baseline p99 * this (default: 3.0)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    for name, report in (("baseline", baseline), ("fresh", fresh)):
+        if report.get("ok") is not True:
+            failures.append(f"{name} report has ok={report.get('ok')!r}")
+
+    base_phases = baseline.get("phases", {})
+    fresh_phases = fresh.get("phases", {})
+    print(f"{'phase':<16} {'base p99':>10} {'fresh p99':>10} {'ratio':>7}  "
+          f"limit {args.max_ratio:.2f}x")
+    for phase, base in sorted(base_phases.items()):
+        current = fresh_phases.get(phase)
+        if current is None:
+            failures.append(f"phase '{phase}' missing from the fresh run")
+            continue
+        if current.get("queries", 0) <= 0:
+            failures.append(f"phase '{phase}' completed zero queries")
+            continue
+        base_p99 = base.get("p99_ms")
+        fresh_p99 = current.get("p99_ms")
+        if not base_p99 or fresh_p99 is None:
+            failures.append(f"phase '{phase}' is missing p99_ms")
+            continue
+        ratio = fresh_p99 / base_p99
+        verdict = "ok" if ratio <= args.max_ratio else "REGRESSION"
+        print(f"{phase:<16} {base_p99:>10.3f} {fresh_p99:>10.3f} "
+              f"{ratio:>6.2f}x  {verdict}")
+        if ratio > args.max_ratio:
+            failures.append(
+                f"phase '{phase}' p99 regressed {ratio:.2f}x "
+                f"({base_p99:.3f} ms -> {fresh_p99:.3f} ms)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("all phases within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

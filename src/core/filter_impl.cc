@@ -1,5 +1,6 @@
 #include "core/filter_impl.h"
 
+#include <algorithm>
 #include <exception>
 #include <string>
 #include <utility>
@@ -62,7 +63,8 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
                                   const std::unordered_set<int>* tombstones,
                                   const PisOptions& options, const Graph& query,
                                   const FragmentQueryFn& query_fn,
-                                  QueryEnumCache* enum_cache) {
+                                  QueryEnumCache* enum_cache,
+                                  const SketchProbeFactory& sketch_factory) {
   if (query.Empty()) {
     return Status::InvalidArgument("query graph is empty");
   }
@@ -108,6 +110,37 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
     }
   }
   const int live_size = static_cast<int>(alive_count);
+
+  // Superimposed-sketch prefilter: discard graphs whose bit codes are
+  // missing an enumerated class. Placed after live_size is fixed (the
+  // selectivity denominator must count every live graph) and before pass 1.
+  // A sketch-failed graph lacks at least one enumerated class's fragments,
+  // so that class's range-query result cannot contain it and the pass-1
+  // intersection would kill it regardless — pruning here changes no result
+  // field and no shared counter, it only skips dead per-graph work.
+  if (options.sketch_enabled && sketch_factory != nullptr &&
+      !result.fragments.empty()) {
+    std::vector<int> class_ids;
+    class_ids.reserve(result.fragments.size());
+    for (const QueryFragment& qf : result.fragments) {
+      class_ids.push_back(qf.prepared.class_id);
+    }
+    std::sort(class_ids.begin(), class_ids.end());
+    class_ids.erase(std::unique(class_ids.begin(), class_ids.end()),
+                    class_ids.end());
+    if (SketchProbe probe = sketch_factory(class_ids)) {
+      for (int gid = 0; gid < db_size; ++gid) {
+        if (!alive[gid]) continue;
+        ++result.stats.sketch_checks;
+        if (!probe(gid)) {
+          alive[gid] = 0;
+          --alive_count;
+          ++result.stats.sketch_pruned;
+        }
+      }
+    }
+  }
+
   std::vector<double> selectivities(result.fragments.size(), 0.0);
   std::vector<int> kept;  // positions into result.fragments
   std::unordered_map<int, std::unordered_map<int, double>> kept_dists;

@@ -62,6 +62,18 @@ Status MinDistancePerGraph(const FragmentIndex& index,
                            const PreparedFragment& fragment, double sigma,
                            std::unordered_map<int, double>* out);
 
+/// Superimposed-sketch probe: true unless graph `gid` provably lacks a
+/// fragment in some enumerated class (see index/graph_sketch.h). A false
+/// return licenses pruning before any range query runs — soundness is the
+/// probe's contract.
+using SketchProbe = std::function<bool(int gid)>;
+/// Builds the probe for one query from its enumerated classes' superimposed
+/// mask. Engines bind their index's sketch here (per-shard rows for the
+/// sharded engine); returning a null probe skips the prefilter for this
+/// query (e.g. a shard without a sketch).
+using SketchProbeFactory =
+    std::function<SketchProbe(const std::vector<int>& class_ids)>;
+
 /// Algorithm 2 over `db_size` graph-id slots. `enum_index` supplies the
 /// class catalog for query-fragment enumeration (for a sharded index any
 /// shard works: classes are registered from the feature set alone, so every
@@ -82,11 +94,21 @@ Status MinDistancePerGraph(const FragmentIndex& index,
 /// fragment list (stats.enum_cache_hits = 1) instead of re-enumerating and
 /// re-preparing every connected edge subset. Results are identical either
 /// way; unkeyable queries (disconnected) simply bypass the cache.
+///
+/// `sketch_factory` (nullable; consulted only under options.sketch_enabled)
+/// supplies the superimposed-sketch probe. Sketch-failed graphs are pruned
+/// AFTER the live count (selectivity denominator) is fixed and BEFORE pass
+/// 1 — every range query still runs, and each pruned graph would have died
+/// in the pass-1 intersection anyway (it lacks a fragment in some
+/// enumerated class, so that class's result set cannot contain it), so
+/// every result field and shared counter is identical to a sketch-off run;
+/// only stats.sketch_checks/sketch_pruned record the prefilter's work.
 Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
                                   const std::unordered_set<int>* tombstones,
                                   const PisOptions& options, const Graph& query,
                                   const FragmentQueryFn& query_fn,
-                                  QueryEnumCache* enum_cache = nullptr);
+                                  QueryEnumCache* enum_cache = nullptr,
+                                  const SketchProbeFactory& sketch_factory = {});
 
 /// The SearchBatch driver: fans `run_query` over 0..num_queries-1 with
 /// ParallelFor, isolates per-query exceptions as Internal errors, and

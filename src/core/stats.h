@@ -26,6 +26,13 @@ struct QueryStats {
   size_t candidates_final = 0;
   /// Number of answers after verification.
   size_t answers = 0;
+  /// Graphs probed against the superimposed sketch (0 when the prefilter
+  /// is off or no fragments were enumerated).
+  size_t sketch_checks = 0;
+  /// Probed graphs discarded before any range-query result was consulted.
+  /// Every one of them was provably impossible, so these counters are the
+  /// only ones a sketch-on run changes.
+  size_t sketch_pruned = 0;
   /// 1 when the query's fragment enumeration was served from a SearchBatch
   /// enumeration cache instead of recomputed (0 outside batches). Like the
   /// timing fields this is schedule-dependent — two duplicate queries

@@ -1,0 +1,108 @@
+#include "index/graph_sketch.h"
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace pis {
+
+namespace {
+
+// splitmix64: cheap, well-mixed, and stable across platforms — the bit
+// positions are part of the on-disk format from index v4 on.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+GraphSketch::GraphSketch(int bits_per_graph, int num_hashes)
+    : bits_(bits_per_graph), hashes_(num_hashes), words_(bits_per_graph / 64) {
+  PIS_CHECK(ValidParams(bits_per_graph, num_hashes));
+}
+
+bool GraphSketch::ValidParams(int bits_per_graph, int num_hashes) {
+  return bits_per_graph >= 64 && bits_per_graph % 64 == 0 &&
+         bits_per_graph <= (1 << 20) && num_hashes >= 1 && num_hashes <= 64;
+}
+
+uint64_t GraphSketch::BitFor(int class_id, int k) const {
+  // Double hashing over the class id: k independent-enough positions
+  // without k full hash evaluations.
+  const uint64_t h1 = SplitMix64(static_cast<uint64_t>(class_id) + 1);
+  const uint64_t h2 = SplitMix64(h1 ^ 0x9e3779b97f4a7c15ULL) | 1;
+  return (h1 + static_cast<uint64_t>(k) * h2) % static_cast<uint64_t>(bits_);
+}
+
+void GraphSketch::AddGraphs(int count) {
+  data_.resize(data_.size() + static_cast<size_t>(count) * words_, 0);
+}
+
+void GraphSketch::AddClass(int gid, int class_id) {
+  uint64_t* block = &data_[static_cast<size_t>(gid) * words_];
+  for (int k = 0; k < hashes_; ++k) {
+    const uint64_t bit = BitFor(class_id, k);
+    block[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+std::vector<uint64_t> GraphSketch::MakeMask(
+    const std::vector<int>& class_ids) const {
+  std::vector<uint64_t> mask(words_, 0);
+  for (int class_id : class_ids) {
+    for (int k = 0; k < hashes_; ++k) {
+      const uint64_t bit = BitFor(class_id, k);
+      mask[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+  }
+  return mask;
+}
+
+void GraphSketch::Compact(const std::vector<int>& remap) {
+  int survivors = 0;
+  for (int new_id : remap) {
+    if (new_id >= 0) ++survivors;
+  }
+  std::vector<uint64_t> compacted(static_cast<size_t>(survivors) * words_, 0);
+  for (size_t old_id = 0; old_id < remap.size(); ++old_id) {
+    const int new_id = remap[old_id];
+    if (new_id < 0) continue;
+    for (int w = 0; w < words_; ++w) {
+      compacted[static_cast<size_t>(new_id) * words_ + w] =
+          data_[old_id * words_ + w];
+    }
+  }
+  data_ = std::move(compacted);
+}
+
+void GraphSketch::Serialize(BinaryWriter* writer) const {
+  writer->I32(bits_);
+  writer->I32(hashes_);
+  writer->U64(data_.size());
+  for (uint64_t word : data_) writer->U64(word);
+}
+
+Result<GraphSketch> GraphSketch::Deserialize(BinaryReader* reader) {
+  const int32_t bits = reader->I32();
+  const int32_t hashes = reader->I32();
+  PIS_RETURN_NOT_OK(reader->Check("sketch header"));
+  if (!ValidParams(bits, hashes)) {
+    return Status::ParseError("implausible sketch parameters (" +
+                              std::to_string(bits) + " bits, " +
+                              std::to_string(hashes) + " hashes)");
+  }
+  GraphSketch sketch(bits, hashes);
+  const uint64_t num_words = reader->ReadCount(8);
+  PIS_RETURN_NOT_OK(reader->Check("sketch word count"));
+  if (num_words % static_cast<uint64_t>(sketch.words_) != 0) {
+    return Status::ParseError("sketch payload is not whole graph blocks");
+  }
+  sketch.data_.resize(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) sketch.data_[i] = reader->U64();
+  PIS_RETURN_NOT_OK(reader->Check("sketch payload"));
+  return sketch;
+}
+
+}  // namespace pis

@@ -1,0 +1,87 @@
+// Superimposed-code prefilter (paper §3's framing; ROADMAP item 2): each
+// graph carries a fixed-size block of bits, and every equivalence class the
+// graph has at least one fragment in sets k hashed bits inside that block —
+// a blocked-bloom layout, so one probe touches one cache line's worth of
+// contiguous words. A query superimposes (ORs) the codes of the classes it
+// enumerates; a graph whose block is missing any mask bit provably lacks a
+// fragment in some enumerated class and can be discarded before any range
+// query runs. False drops — non-candidates that pass — only cost the work
+// the filter would have done anyway, so the prefilter never changes results.
+#ifndef PIS_INDEX_GRAPH_SKETCH_H_
+#define PIS_INDEX_GRAPH_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pis {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// \brief Per-graph superimposed bit codes over equivalence-class membership.
+class GraphSketch {
+ public:
+  static constexpr int kDefaultBits = 256;
+  static constexpr int kDefaultHashes = 4;
+
+  /// Parameters must satisfy ValidParams(); FragmentIndex::Build rejects
+  /// anything else before construction.
+  GraphSketch(int bits_per_graph, int num_hashes);
+
+  /// bits_per_graph must be a positive multiple of 64 (whole words, so
+  /// probes are word ops) and not absurd; 1..64 hash functions.
+  static bool ValidParams(int bits_per_graph, int num_hashes);
+
+  int bits_per_graph() const { return bits_; }
+  int num_hashes() const { return hashes_; }
+  int words_per_graph() const { return words_; }
+  int num_graphs() const {
+    return static_cast<int>(data_.size() / static_cast<size_t>(words_));
+  }
+
+  /// Appends `count` all-zero rows (graphs with no indexed fragments yet).
+  void AddGraphs(int count);
+
+  /// Sets the k code bits of `class_id` in graph `gid`'s block. Idempotent:
+  /// repeated insertions (one per fragment sequence) OR the same bits.
+  void AddClass(int gid, int class_id);
+
+  /// Superimposes the codes of `class_ids` into one query mask
+  /// (words_per_graph() words). Duplicate ids are harmless.
+  std::vector<uint64_t> MakeMask(const std::vector<int>& class_ids) const;
+
+  /// True unless graph `gid`'s block is missing a mask bit — i.e. false
+  /// means the graph provably lacks a fragment in some masked class.
+  bool MightContainAll(int gid, const std::vector<uint64_t>& mask) const {
+    const uint64_t* block = &data_[static_cast<size_t>(gid) * words_];
+    for (int w = 0; w < words_; ++w) {
+      if ((block[w] & mask[w]) != mask[w]) return false;
+    }
+    return true;
+  }
+
+  /// Mirrors FragmentIndex::Compact: keeps row old_gid as row
+  /// remap[old_gid], drops rows mapped to -1. remap must be the same
+  /// order-preserving densification the backends were rewritten with.
+  void Compact(const std::vector<int>& remap);
+
+  void Serialize(BinaryWriter* writer) const;
+  /// ParseError on truncation or implausible parameters; callers decide
+  /// whether that is corruption or structural disagreement.
+  static Result<GraphSketch> Deserialize(BinaryReader* reader);
+
+ private:
+  uint64_t BitFor(int class_id, int k) const;
+
+  int bits_;
+  int hashes_;
+  int words_;
+  /// num_graphs() consecutive blocks of words_ words each.
+  std::vector<uint64_t> data_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_INDEX_GRAPH_SKETCH_H_

@@ -41,6 +41,8 @@ JsonValue EngineHost::HostStats::ToJsonValue() const {
   obj.Set("group_commit_ops", static_cast<uint64_t>(group_commit_ops));
   obj.Set("group_commit_batch_size",
           static_cast<uint64_t>(group_commit_max_batch));
+  obj.Set("sketch_checks", static_cast<uint64_t>(sketch_checks));
+  obj.Set("sketch_pruned", static_cast<uint64_t>(sketch_pruned));
   JsonValue shard_list = JsonValue::Array();
   for (const ShardInfo& s : shards) {
     JsonValue entry = JsonValue::Object();
@@ -206,18 +208,37 @@ std::shared_ptr<const EngineHost::Snapshot> EngineHost::snapshot() const {
 
 Result<SearchResult> EngineHost::Search(const Graph& query) const {
   std::shared_ptr<const Snapshot> snap = snapshot();
-  return snap->engine.Search(query);
+  Result<SearchResult> result = snap->engine.Search(query);
+  if (result.ok()) {
+    sketch_checks_.fetch_add(result.value().stats.sketch_checks,
+                             std::memory_order_relaxed);
+    sketch_pruned_.fetch_add(result.value().stats.sketch_pruned,
+                             std::memory_order_relaxed);
+  }
+  return result;
 }
 
 Result<FilterResult> EngineHost::Filter(const Graph& query) const {
   std::shared_ptr<const Snapshot> snap = snapshot();
-  return snap->engine.Filter(query);
+  Result<FilterResult> result = snap->engine.Filter(query);
+  if (result.ok()) {
+    sketch_checks_.fetch_add(result.value().stats.sketch_checks,
+                             std::memory_order_relaxed);
+    sketch_pruned_.fetch_add(result.value().stats.sketch_pruned,
+                             std::memory_order_relaxed);
+  }
+  return result;
 }
 
 BatchSearchResult EngineHost::SearchBatch(std::span<const Graph> queries,
                                           int num_threads) const {
   std::shared_ptr<const Snapshot> snap = snapshot();
-  return snap->engine.SearchBatch(queries, num_threads);
+  BatchSearchResult batch = snap->engine.SearchBatch(queries, num_threads);
+  sketch_checks_.fetch_add(batch.total_stats.sketch_checks,
+                           std::memory_order_relaxed);
+  sketch_pruned_.fetch_add(batch.total_stats.sketch_pruned,
+                           std::memory_order_relaxed);
+  return batch;
 }
 
 void EngineHost::Submit(PendingWrite* op) {
@@ -525,6 +546,8 @@ EngineHost::HostStats EngineHost::Stats() const {
   stats.group_commit_ops = group_commit_ops_.load(std::memory_order_relaxed);
   stats.group_commit_max_batch =
       group_commit_max_batch_.load(std::memory_order_relaxed);
+  stats.sketch_checks = sketch_checks_.load(std::memory_order_relaxed);
+  stats.sketch_pruned = sketch_pruned_.load(std::memory_order_relaxed);
   stats.shards.reserve(index.num_shards());
   for (int s = 0; s < index.num_shards(); ++s) {
     ShardInfo info;

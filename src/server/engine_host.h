@@ -114,6 +114,10 @@ class EngineHost {
     uint64_t group_commit_batches = 0;
     uint64_t group_commit_ops = 0;
     uint64_t group_commit_max_batch = 0;
+    /// Superimposed-sketch prefilter counters accumulated over every query
+    /// served by this host (zero while PisOptions::sketch_enabled is off).
+    uint64_t sketch_checks = 0;
+    uint64_t sketch_pruned = 0;
     std::vector<ShardInfo> shards;
 
     /// JSON shape ({"epoch":..,"shards":[{..},..],..}) — the payload of
@@ -325,6 +329,10 @@ class EngineHost {
   std::atomic<uint64_t> group_commit_batches_{0};
   std::atomic<uint64_t> group_commit_ops_{0};
   std::atomic<uint64_t> group_commit_max_batch_{0};
+  /// Per-query sketch counters folded in by the reader API (mutable: reads
+  /// are const but still account their prefilter work).
+  mutable std::atomic<uint64_t> sketch_checks_{0};
+  mutable std::atomic<uint64_t> sketch_pruned_{0};
 };
 
 }  // namespace pis

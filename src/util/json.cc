@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -198,14 +199,32 @@ class Parser {
     return code;
   }
 
+  // RFC 8259 number grammar, enforced before strtod sees the token:
+  //   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  // strtod is looser (".5", "1.", "0x1p3", "inf"), so the grammar check here
+  // is what keeps malformed client frames from parsing differently than any
+  // other JSON implementation would.
   Result<JsonValue> ParseNumber() {
     const char* start = p_;
-    if (Consume('-')) {
+    Consume('-');
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return p_ == start ? Err("expected a value")
+                         : Err("bad number: digit expected");
     }
-    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+    if (*p_ == '0') {
       Advance();
+      if (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Err("bad number: leading zero");
+      }
+    } else {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
     }
     if (Consume('.')) {
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Err("bad number: digit expected after '.'");
+      }
       while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
         Advance();
       }
@@ -213,11 +232,13 @@ class Parser {
     if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
       Advance();
       if (p_ != end_ && (*p_ == '+' || *p_ == '-')) Advance();
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Err("bad number: digit expected in exponent");
+      }
       while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
         Advance();
       }
     }
-    if (p_ == start) return Err("expected a value");
     std::string token(start, p_);
     char* parsed_end = nullptr;
     double value = std::strtod(token.c_str(), &parsed_end);
@@ -246,13 +267,15 @@ void SerializeTo(const JsonValue& v, std::string* out) {
       // counters round-trip textually.
       if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 9.2e18) {
         out->append(std::to_string(static_cast<int64_t>(d)));
+      } else if (!std::isfinite(d)) {
+        // JSON has no NaN/Infinity; null is the only faithful rendering.
+        out->append("null");
       } else {
-        // 12 significant digits: enough for latencies/ratios to round-trip
-        // at the precision anyone consumes, without the %.17g noise
-        // ("6.7517449999999997").
+        // Shortest form that parses back to exactly this double, so
+        // sigma/distance values survive the wire bit-for-bit.
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.12g", d);
-        out->append(buf);
+        std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), d);
+        out->append(buf, r.ptr);
       }
       break;
     }

@@ -3,7 +3,9 @@
 // v2 (explicit routing table); the compaction PR bumped both to v3 (index:
 // compaction epoch + live count trailer; manifest: epoch, -1-aware routing,
 // explicit local ids, per-shard live counts); the serving PR bumped the
-// manifest to v4 (trailing auto-compaction policy). Old fixtures must still load
+// manifest to v4 (trailing auto-compaction policy); the sketch-prefilter
+// PR bumped the index to v4 (trailing superimposed-sketch section, rebuilt
+// from class postings when absent). Old fixtures must still load
 // — including v2 files carrying tombstones, which must then compact
 // correctly — files from the future must fail with a clear Status instead
 // of garbage, and a manifest that disagrees with the files on disk (or is
@@ -40,15 +42,32 @@ void PatchU32(std::string* bytes, size_t offset, uint32_t value) {
 
 // Every index version is a strict prefix of the next, with only the
 // version word rewound — Save() keeps the newer sections trailing exactly
-// so these fixtures stay constructible. A v2 file is a v3 file minus the
-// 8-byte epoch+live trailer; a v1 file additionally drops the 8-byte empty
+// so these fixtures stay constructible. A v3 file is a v4 file minus the
+// trailing sketch section; a v2 file additionally drops the 8-byte
+// epoch+live trailer; a v1 file additionally drops the 8-byte empty
 // tombstone section. If this breaks after a format change, keep the new
 // section trailing or bump the version with its own compat fixture.
-std::string MakeV2IndexBytes(const FragmentIndex& index) {
-  EXPECT_EQ(index.compaction_epoch(), 0u);
+
+// Size of the v4 sketch section a current Save() appends: bits (4) +
+// hashes (4) + word count (8) + db_size * words_per_graph code words.
+size_t SketchSectionBytes(const FragmentIndex& index) {
+  return 16 + static_cast<size_t>(index.db_size()) *
+                  static_cast<size_t>(index.sketch().words_per_graph()) * 8;
+}
+
+std::string MakeV3IndexBytes(const FragmentIndex& index) {
   std::stringstream out;
   EXPECT_TRUE(index.Save(out).ok());
   std::string bytes = out.str();
+  EXPECT_GT(bytes.size(), SketchSectionBytes(index));
+  bytes.resize(bytes.size() - SketchSectionBytes(index));
+  PatchU32(&bytes, 4, 3);
+  return bytes;
+}
+
+std::string MakeV2IndexBytes(const FragmentIndex& index) {
+  EXPECT_EQ(index.compaction_epoch(), 0u);
+  std::string bytes = MakeV3IndexBytes(index);
   EXPECT_GE(bytes.size(), 16u);
   bytes.resize(bytes.size() - 8);
   PatchU32(&bytes, 4, 2);
@@ -156,15 +175,87 @@ TEST(FormatCompatTest, FragmentIndexV3RoundTripsEpochAndTombstones) {
 TEST(FormatCompatTest, FragmentIndexV3BadLiveCountRejected) {
   EngineFixture fx(8, 41);
   ASSERT_TRUE(fx.index.ok());
-  std::stringstream out;
-  ASSERT_TRUE(fx.index.value().Save(out).ok());
-  std::string bytes = out.str();
+  std::string bytes = MakeV3IndexBytes(fx.index.value());
   PatchU32(&bytes, bytes.size() - 4, 3);  // claim 3 live of 8, all live
   std::stringstream in(bytes);
   auto loaded = FragmentIndex::Load(in);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
   EXPECT_NE(loaded.status().message().find("live count"), std::string::npos);
+}
+
+// A pre-v4 file carries no sketch section; Load must rebuild the sketch
+// from class postings, bit-for-bit identical to the incrementally
+// maintained one — proven by the resaved sketch section matching the
+// original Save() byte-for-byte, and by sketch-enabled queries answering
+// identically to the original index.
+TEST(FormatCompatTest, PreV4LoadRebuildsSketchBitIdentically) {
+  EngineFixture fx(12, 53);
+  ASSERT_TRUE(fx.index.ok());
+  std::stringstream v4;
+  ASSERT_TRUE(fx.index.value().Save(v4).ok());
+  std::stringstream in(MakeV3IndexBytes(fx.index.value()));
+  auto loaded = FragmentIndex::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().sketch().bits_per_graph(),
+            fx.index.value().sketch().bits_per_graph());
+  EXPECT_EQ(loaded.value().sketch().num_graphs(),
+            fx.index.value().sketch().num_graphs());
+
+  std::stringstream resaved;
+  ASSERT_TRUE(loaded.value().Save(resaved).ok());
+  const std::string original = v4.str();
+  const std::string rebuilt = resaved.str();
+  const size_t section = SketchSectionBytes(fx.index.value());
+  ASSERT_GE(rebuilt.size(), section);
+  EXPECT_EQ(rebuilt.substr(rebuilt.size() - section),
+            original.substr(original.size() - section));
+
+  PisOptions options;
+  options.sigma = 2.0;
+  options.sketch_enabled = true;
+  PisEngine before(&fx.db, &fx.index.value(), options);
+  PisEngine after(&fx.db, &loaded.value(), options);
+  for (const Graph& q : SampleQueries(fx.db, 3, 6, 29)) {
+    auto a = before.Search(q);
+    auto b = after.Search(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().answers, b.value().answers);
+    EXPECT_EQ(a.value().candidates, b.value().candidates);
+  }
+}
+
+// v4 round trip: Save -> Load -> Save must be byte-identical — sketch code
+// words are persisted verbatim, never rehashed on load.
+TEST(FormatCompatTest, FragmentIndexV4SaveLoadSaveIsByteIdentical) {
+  EngineFixture fx(10, 59);
+  ASSERT_TRUE(fx.index.ok());
+  ASSERT_TRUE(fx.index.value().RemoveGraph(3).ok());
+  std::stringstream first;
+  ASSERT_TRUE(fx.index.value().Save(first).ok());
+  std::stringstream in(first.str());
+  auto loaded = FragmentIndex::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::stringstream second;
+  ASSERT_TRUE(loaded.value().Save(second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+// A file that declares v4 but is cut off inside the sketch section parsed
+// far enough to know what it promised: InvalidArgument naming the sketch,
+// never a crash or a silently sketchless index.
+TEST(FormatCompatTest, TruncatedV4SketchSectionIsInvalidArgument) {
+  EngineFixture fx(8, 67);
+  ASSERT_TRUE(fx.index.ok());
+  std::stringstream out;
+  ASSERT_TRUE(fx.index.value().Save(out).ok());
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 8);  // lose the last code word
+  std::stringstream in(bytes);
+  auto loaded = FragmentIndex::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("sketch"), std::string::npos);
 }
 
 TEST(FormatCompatTest, FragmentIndexFutureVersionRejected) {

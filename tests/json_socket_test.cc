@@ -4,8 +4,13 @@
 // sockets must frame lines exactly and unblock cleanly on shutdown.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "util/json.h"
 #include "util/socket.h"
@@ -75,6 +80,79 @@ TEST(JsonTest, ParseErrors) {
       EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << bad;
     }
   }
+}
+
+// RFC 8259 number grammar: no leading '.', no trailing '.', no empty
+// exponent, no leading zeros, no bare sign, no '+' prefix. strtod accepts
+// most of these; the parser must not.
+TEST(JsonTest, NonRfc8259NumbersRejected) {
+  for (const char* bad : {".5", "1.", "1.e5", "01", "-01", "00", "-", "+1",
+                          "1e", "1e+", "1e-", "0x1f", "1.2.3", "--1", "Inf",
+                          "infinity", "NaN", "- 1"}) {
+    auto parsed = JsonValue::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << bad;
+    }
+  }
+}
+
+TEST(JsonTest, Rfc8259NumbersAccepted) {
+  const struct {
+    const char* text;
+    double value;
+  } cases[] = {{"0", 0.0},        {"-0", -0.0},     {"0.5", 0.5},
+               {"-0.5", -0.5},    {"10", 10.0},     {"1e5", 1e5},
+               {"1E5", 1e5},      {"1e+5", 1e5},    {"1e-5", 1e-5},
+               {"0e0", 0.0},      {"1.25e2", 125.0}};
+  for (const auto& c : cases) {
+    auto parsed = JsonValue::Parse(c.text);
+    ASSERT_TRUE(parsed.ok()) << c.text << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().AsNumber(), c.value) << c.text;
+  }
+}
+
+// Serialization uses shortest-round-trip formatting (std::to_chars), so
+// any finite double — however many significant digits it needs — must
+// survive Serialize -> Parse exactly. %.12g, the previous formatter, fails
+// this for most irrational-looking values (e.g. 0.1 + 0.2).
+TEST(JsonTest, DoublesRoundTripExactly) {
+  std::mt19937_64 rng(20260808);
+  std::vector<double> values = {0.1,
+                                0.1 + 0.2,
+                                1.0 / 3.0,
+                                6.02214076e23,
+                                -2.2250738585072014e-308,  // min normal
+                                5e-324,                    // min subnormal
+                                1.7976931348623157e308,    // max finite
+                                123456.789012345678,
+                                -0.000001234567890123456};
+  // Random bit patterns cover the space far beyond hand-picked cases.
+  std::uniform_int_distribution<uint64_t> bits;
+  while (values.size() < 500) {
+    uint64_t raw = bits(rng);
+    double d;
+    std::memcpy(&d, &raw, sizeof d);
+    if (std::isfinite(d)) values.push_back(d);
+  }
+  for (double d : values) {
+    const std::string text = JsonValue(d).Serialize();
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    const double back = parsed.value().AsNumber();
+    EXPECT_EQ(std::memcmp(&back, &d, sizeof d), 0)
+        << "wanted " << d << ", got " << back << " via " << text;
+  }
+}
+
+// JSON has no Infinity/NaN literals; serializing one must degrade to null
+// (parseable) rather than emit text no parser accepts.
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Serialize(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).Serialize(),
+            "null");
+  EXPECT_EQ(JsonValue(std::nan("")).Serialize(), "null");
 }
 
 TEST(JsonTest, NestingDepthIsBounded) {

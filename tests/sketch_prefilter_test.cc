@@ -1,0 +1,256 @@
+// The superimposed-sketch prefilter (ROADMAP item 2): GraphSketch unit
+// coverage — no false negatives by construction, compaction remaps rows,
+// serialization round-trips bit-exactly — plus the differential property
+// suite: over randomized add / remove / compact / rebalance / save-load
+// schedules, a sketch-enabled engine must return answers, candidates, and
+// every shared filter counter identical to the sketch-off run. The sketch
+// may only discard graphs the pass-1 intersection would discard anyway;
+// this suite is what makes that claim checkable rather than reviewed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "engine_test_util.h"
+#include "index/graph_sketch.h"
+#include "util/random.h"
+#include "util/serde.h"
+
+namespace pis {
+namespace {
+
+using ::pis::testing::LifecycleHarness;
+
+TEST(GraphSketchTest, ValidParamsEdges) {
+  EXPECT_TRUE(GraphSketch::ValidParams(64, 1));
+  EXPECT_TRUE(GraphSketch::ValidParams(256, 4));
+  EXPECT_TRUE(GraphSketch::ValidParams(1 << 20, 64));
+  EXPECT_FALSE(GraphSketch::ValidParams(0, 4));       // no bits
+  EXPECT_FALSE(GraphSketch::ValidParams(-64, 4));     // negative
+  EXPECT_FALSE(GraphSketch::ValidParams(100, 4));     // not a word multiple
+  EXPECT_FALSE(GraphSketch::ValidParams(63, 4));      // under one word
+  EXPECT_FALSE(GraphSketch::ValidParams((1 << 20) + 64, 4));  // absurd
+  EXPECT_FALSE(GraphSketch::ValidParams(256, 0));     // no hashes
+  EXPECT_FALSE(GraphSketch::ValidParams(256, 65));    // > 64 hashes
+  EXPECT_TRUE(
+      GraphSketch::ValidParams(GraphSketch::kDefaultBits,
+                               GraphSketch::kDefaultHashes));
+}
+
+// The defining property: a class that was added to a graph can never be
+// reported absent, for any (bits, hashes) configuration.
+TEST(GraphSketchTest, AddedClassesNeverReadAsAbsent) {
+  for (const auto& [bits, hashes] : {std::pair{64, 1}, std::pair{128, 3},
+                                     std::pair{256, 4}, std::pair{512, 8}}) {
+    GraphSketch sketch(bits, hashes);
+    sketch.AddGraphs(5);
+    Rng rng(static_cast<uint64_t>(bits * 100 + hashes));
+    std::vector<std::vector<int>> classes_of(5);
+    for (int gid = 0; gid < 5; ++gid) {
+      const int count = 1 + rng.UniformInt(0, 30);
+      for (int i = 0; i < count; ++i) {
+        const int class_id = rng.UniformInt(0, 4000);
+        sketch.AddClass(gid, class_id);
+        classes_of[gid].push_back(class_id);
+      }
+    }
+    for (int gid = 0; gid < 5; ++gid) {
+      // Single-class masks and the full superimposed mask must both pass.
+      for (int class_id : classes_of[gid]) {
+        EXPECT_TRUE(sketch.MightContainAll(gid, sketch.MakeMask({class_id})))
+            << bits << "b/" << hashes << "h gid=" << gid
+            << " class=" << class_id;
+      }
+      EXPECT_TRUE(
+          sketch.MightContainAll(gid, sketch.MakeMask(classes_of[gid])));
+    }
+  }
+}
+
+TEST(GraphSketchTest, MissingClassIsUsuallyPruned) {
+  GraphSketch sketch(256, 4);
+  sketch.AddGraphs(1);
+  sketch.AddClass(0, 7);
+  // An empty second graph fails every nonempty mask deterministically.
+  sketch.AddGraphs(1);
+  int pruned = 0;
+  for (int class_id = 100; class_id < 200; ++class_id) {
+    if (!sketch.MightContainAll(0, sketch.MakeMask({7, class_id}))) ++pruned;
+    EXPECT_FALSE(sketch.MightContainAll(1, sketch.MakeMask({class_id})));
+  }
+  // A 256-bit block with one class set prunes a random absent class with
+  // probability ~(1 - (1-16/256)^4)... in fact nearly always; demand a
+  // conservative majority so the test is immune to hash accidents.
+  EXPECT_GT(pruned, 80);
+}
+
+TEST(GraphSketchTest, EmptyMaskMatchesEverything) {
+  GraphSketch sketch(128, 2);
+  sketch.AddGraphs(2);
+  const std::vector<uint64_t> mask = sketch.MakeMask({});
+  EXPECT_TRUE(sketch.MightContainAll(0, mask));
+  EXPECT_TRUE(sketch.MightContainAll(1, mask));
+}
+
+TEST(GraphSketchTest, AddClassIsIdempotentAndDuplicateMaskIdsHarmless) {
+  GraphSketch once(256, 4);
+  once.AddGraphs(1);
+  once.AddClass(0, 42);
+  GraphSketch thrice(256, 4);
+  thrice.AddGraphs(1);
+  for (int i = 0; i < 3; ++i) thrice.AddClass(0, 42);
+  std::stringstream a, b;
+  {
+    BinaryWriter wa(a), wb(b);
+    once.Serialize(&wa);
+    thrice.Serialize(&wb);
+  }
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(once.MakeMask({42}), once.MakeMask({42, 42, 42}));
+}
+
+TEST(GraphSketchTest, CompactKeepsSurvivorRowsAndDropsTheRest) {
+  GraphSketch sketch(128, 3);
+  sketch.AddGraphs(4);
+  for (int gid = 0; gid < 4; ++gid) sketch.AddClass(gid, 10 + gid);
+  // Drop rows 0 and 2; densify 1 -> 0 and 3 -> 1 (order-preserving, as
+  // FragmentIndex::Compact produces).
+  sketch.Compact({-1, 0, -1, 1});
+  ASSERT_EQ(sketch.num_graphs(), 2);
+  EXPECT_TRUE(sketch.MightContainAll(0, sketch.MakeMask({11})));
+  EXPECT_TRUE(sketch.MightContainAll(1, sketch.MakeMask({13})));
+  EXPECT_FALSE(sketch.MightContainAll(0, sketch.MakeMask({10})));
+  EXPECT_FALSE(sketch.MightContainAll(1, sketch.MakeMask({12})));
+}
+
+TEST(GraphSketchTest, SerializeDeserializeRoundTripsBitExactly) {
+  GraphSketch sketch(192, 5);
+  sketch.AddGraphs(7);
+  Rng rng(99);
+  for (int gid = 0; gid < 7; ++gid) {
+    for (int i = rng.UniformInt(0, 6); i > 0; --i) {
+      sketch.AddClass(gid, rng.UniformInt(0, 500));
+    }
+  }
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    sketch.Serialize(&writer);
+    ASSERT_TRUE(writer.ok());
+  }
+  const std::string first = buffer.str();
+  BinaryReader reader(buffer);
+  auto loaded = GraphSketch::Deserialize(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().bits_per_graph(), 192);
+  EXPECT_EQ(loaded.value().num_hashes(), 5);
+  EXPECT_EQ(loaded.value().num_graphs(), 7);
+  std::stringstream again;
+  {
+    BinaryWriter writer(again);
+    loaded.value().Serialize(&writer);
+  }
+  EXPECT_EQ(again.str(), first);
+}
+
+TEST(GraphSketchTest, DeserializeRejectsBadParamsAndTruncation) {
+  // Implausible parameters must fail before any allocation.
+  {
+    std::stringstream buffer;
+    BinaryWriter writer(buffer);
+    writer.I32(100);  // not a multiple of 64
+    writer.I32(4);
+    writer.U64(0);
+    BinaryReader reader(buffer);
+    auto r = GraphSketch::Deserialize(&reader);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+  // A payload that is not whole graph blocks is structural corruption.
+  {
+    std::stringstream buffer;
+    BinaryWriter writer(buffer);
+    writer.I32(128);  // 2 words per graph
+    writer.I32(4);
+    writer.U64(3);  // 3 words cannot be whole 2-word blocks
+    for (int i = 0; i < 3; ++i) writer.U64(0);
+    BinaryReader reader(buffer);
+    auto r = GraphSketch::Deserialize(&reader);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+  // Truncation anywhere in the payload latches the reader.
+  {
+    GraphSketch sketch(128, 2);
+    sketch.AddGraphs(3);
+    std::stringstream buffer;
+    BinaryWriter writer(buffer);
+    sketch.Serialize(&writer);
+    const std::string bytes = buffer.str();
+    for (size_t cut : {size_t{2}, size_t{10}, bytes.size() - 8}) {
+      std::stringstream truncated(bytes.substr(0, cut));
+      BinaryReader reader(truncated);
+      auto r = GraphSketch::Deserialize(&reader);
+      EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    }
+  }
+}
+
+// The property suite: the same randomized lifecycle schedules the
+// update-equivalence and compaction suites run, but the oracle is
+// sketch-off vs sketch-on over the SAME incrementally-maintained indexes
+// (sharded and flat). Equivalence must hold at every step — right after
+// builds, mid-tombstone, after re-densifying compactions, after shard
+// rebalances, and across persistence round trips, where the sketch is
+// reloaded (v4) rather than rebuilt.
+//
+// (num_shards, seed).
+class SketchEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SketchEquivalenceTest, LifecycleInterleavingsPreserveResults) {
+  LifecycleHarness::Options opt;
+  opt.num_shards = std::get<0>(GetParam());
+  opt.seed = std::get<1>(GetParam());
+  LifecycleHarness h(opt);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  h.CheckSketchEquivalence();
+  constexpr int kSteps = 12;
+  for (int step = 0; step < kSteps; ++step) {
+    const int action = h.rng().UniformInt(0, 5);
+    if (h.live_count() <= 2 || (action <= 1 && h.CanAdd())) {
+      if (h.CanAdd()) {
+        h.AddOne();
+      } else {
+        h.RemoveOne();
+      }
+    } else if (action == 2) {
+      h.RemoveOne();
+    } else if (action == 3) {
+      h.CompactAll();
+    } else if (action == 4) {
+      h.Rebalance();
+    } else {
+      h.RemoveOne();
+      if (!::testing::Test::HasFatalFailure()) h.CompactAll();
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+    h.CheckSketchEquivalence();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // Persistence: the reloaded (v4) sketch must behave identically to the
+  // incrementally maintained one it was saved from.
+  h.SaveLoadRoundTrip("sketch_eq");
+  if (::testing::Test::HasFatalFailure()) return;
+  h.CheckSketchEquivalence();
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardsBySeeds, SketchEquivalenceTest,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace pis

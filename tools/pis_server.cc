@@ -1,8 +1,9 @@
 // pis_server: TCP serving front end over the sharded PIS engine.
 //
 //   pis_server --db db.txt --index sharded_dir [--port P] [--workers N]
-//              [--sigma S] [--compact_dead_ratio R] [--compact_interval_ms M]
-//              [--wal_dir DIR] [--checkpoint_interval_ms C] [--save_on_exit]
+//              [--sigma S] [--sketch] [--compact_dead_ratio R]
+//              [--compact_interval_ms M] [--wal_dir DIR]
+//              [--checkpoint_interval_ms C] [--save_on_exit]
 //   pis_server --db db.txt --shards 4 [--max_fragment_edges K]
 //              [--min_support F] [--gamma G] [--distance mutation|linear] ...
 //
@@ -115,6 +116,7 @@ int main(int argc, char** argv) {
   int compact_interval_ms = 2000;
   int checkpoint_interval_ms = 0;
   bool save_on_exit = false;
+  bool sketch = false;
 
   FlagSet flags;
   flags.AddString("db", &db_path, "database path (native text format)");
@@ -146,6 +148,9 @@ int main(int argc, char** argv) {
   flags.AddBool("save_on_exit", &save_on_exit,
                 "save the mutated index (and db file) back on shutdown "
                 "(requires --index; implied by --wal_dir)");
+  flags.AddBool("sketch", &sketch,
+                "enable the superimposed-sketch prefilter for every query "
+                "(results are identical, only filter work changes)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -216,6 +221,7 @@ int main(int argc, char** argv) {
 
   PisOptions options;
   options.sigma = sigma;
+  options.sketch_enabled = sketch;
   options.compact_dead_ratio = compact_dead_ratio;
   EngineHost host(std::move(db.value()), index.MoveValue(), options);
   if (wal != nullptr) {
