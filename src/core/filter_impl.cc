@@ -59,35 +59,13 @@ Status MinDistancePerGraph(const FragmentIndex& index,
   });
 }
 
-Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
-                                  const std::unordered_set<int>* tombstones,
-                                  const PisOptions& options, const Graph& query,
-                                  const FragmentQueryFn& query_fn,
-                                  QueryEnumCache* enum_cache,
-                                  const SketchProbeFactory& sketch_factory) {
-  if (query.Empty()) {
-    return Status::InvalidArgument("query graph is empty");
-  }
-  Timer timer;
+Status RunPisFilterCore(int db_size, const std::unordered_set<int>* tombstones,
+                        const PisOptions& options,
+                        const FragmentDistFn& fragment_dists,
+                        const SketchPruneFn& sketch_prune,
+                        FilterResult* resultp) {
+  FilterResult& result = *resultp;
   const double sigma = options.sigma;
-  FilterResult result;
-
-  std::string cache_key;
-  const bool cached = enum_cache != nullptr &&
-                      LookUpEnumCache(enum_cache, query, &result, &cache_key);
-  if (!cached) {
-    PIS_ASSIGN_OR_RETURN(
-        result.fragments,
-        EnumerateIndexedQueryFragments(enum_index, query,
-                                       options.max_query_fragments));
-    if (enum_cache != nullptr && !cache_key.empty()) {
-      auto shared = std::make_shared<const std::vector<QueryFragment>>(
-          result.fragments);
-      MutexLock lock(&enum_cache->mu);
-      // First writer wins on a race; both enumerated the same thing.
-      enum_cache->by_key.emplace(std::move(cache_key), std::move(shared));
-    }
-  }
   result.stats.fragments_enumerated = result.fragments.size();
 
   // Pass 1 (Algorithm 2 lines 6-18): one range query per fragment; keep CQ
@@ -118,27 +96,9 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
   // so that class's range-query result cannot contain it and the pass-1
   // intersection would kill it regardless — pruning here changes no result
   // field and no shared counter, it only skips dead per-graph work.
-  if (options.sketch_enabled && sketch_factory != nullptr &&
+  if (options.sketch_enabled && sketch_prune != nullptr &&
       !result.fragments.empty()) {
-    std::vector<int> class_ids;
-    class_ids.reserve(result.fragments.size());
-    for (const QueryFragment& qf : result.fragments) {
-      class_ids.push_back(qf.prepared.class_id);
-    }
-    std::sort(class_ids.begin(), class_ids.end());
-    class_ids.erase(std::unique(class_ids.begin(), class_ids.end()),
-                    class_ids.end());
-    if (SketchProbe probe = sketch_factory(class_ids)) {
-      for (int gid = 0; gid < db_size; ++gid) {
-        if (!alive[gid]) continue;
-        ++result.stats.sketch_checks;
-        if (!probe(gid)) {
-          alive[gid] = 0;
-          --alive_count;
-          ++result.stats.sketch_pruned;
-        }
-      }
-    }
+    sketch_prune(result.fragments, &alive, &alive_count, &result.stats);
   }
 
   std::vector<double> selectivities(result.fragments.size(), 0.0);
@@ -148,8 +108,7 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
   std::vector<double> found;
   for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
     dist.clear();
-    PIS_RETURN_NOT_OK(query_fn(result.fragments[fi].prepared, sigma, &dist,
-                               &result.stats));
+    PIS_RETURN_NOT_OK(fragment_dists(fi, sigma, &dist, &result.stats));
     found.clear();
     found.reserve(dist.size());
     for (const auto& [gid, d] : dist) found.push_back(d);
@@ -220,6 +179,72 @@ Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
     if (alive[gid]) result.candidates.push_back(gid);
   }
   result.stats.candidates_final = result.candidates.size();
+  return Status::OK();
+}
+
+Result<FilterResult> RunPisFilter(const FragmentIndex& enum_index, int db_size,
+                                  const std::unordered_set<int>* tombstones,
+                                  const PisOptions& options, const Graph& query,
+                                  const FragmentQueryFn& query_fn,
+                                  QueryEnumCache* enum_cache,
+                                  const SketchProbeFactory& sketch_factory) {
+  if (query.Empty()) {
+    return Status::InvalidArgument("query graph is empty");
+  }
+  Timer timer;
+  FilterResult result;
+
+  std::string cache_key;
+  const bool cached = enum_cache != nullptr &&
+                      LookUpEnumCache(enum_cache, query, &result, &cache_key);
+  if (!cached) {
+    PIS_ASSIGN_OR_RETURN(
+        result.fragments,
+        EnumerateIndexedQueryFragments(enum_index, query,
+                                       options.max_query_fragments));
+    if (enum_cache != nullptr && !cache_key.empty()) {
+      auto shared = std::make_shared<const std::vector<QueryFragment>>(
+          result.fragments);
+      MutexLock lock(&enum_cache->mu);
+      // First writer wins on a race; both enumerated the same thing.
+      enum_cache->by_key.emplace(std::move(cache_key), std::move(shared));
+    }
+  }
+
+  auto fragment_dists = [&](size_t fi, double sigma,
+                            std::unordered_map<int, double>* dist,
+                            QueryStats* stats) -> Status {
+    return query_fn(result.fragments[fi].prepared, sigma, dist, stats);
+  };
+  SketchPruneFn sketch_prune;
+  if (sketch_factory != nullptr) {
+    sketch_prune = [&sketch_factory, db_size](
+                       const std::vector<QueryFragment>& fragments,
+                       std::vector<char>* alive, size_t* alive_count,
+                       QueryStats* stats) {
+      std::vector<int> class_ids;
+      class_ids.reserve(fragments.size());
+      for (const QueryFragment& qf : fragments) {
+        class_ids.push_back(qf.prepared.class_id);
+      }
+      std::sort(class_ids.begin(), class_ids.end());
+      class_ids.erase(std::unique(class_ids.begin(), class_ids.end()),
+                      class_ids.end());
+      SketchProbe probe = sketch_factory(class_ids);
+      if (probe == nullptr) return;
+      for (int gid = 0; gid < db_size; ++gid) {
+        if (!(*alive)[gid]) continue;
+        ++stats->sketch_checks;
+        if (!probe(gid)) {
+          (*alive)[gid] = 0;
+          --(*alive_count);
+          ++stats->sketch_pruned;
+        }
+      }
+    };
+  }
+  PIS_RETURN_NOT_OK(RunPisFilterCore(db_size, tombstones, options,
+                                     fragment_dists, sketch_prune, &result));
   result.stats.filter_seconds = timer.Seconds();
   return result;
 }

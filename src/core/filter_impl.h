@@ -74,6 +74,43 @@ using SketchProbe = std::function<bool(int gid)>;
 using SketchProbeFactory =
     std::function<SketchProbe(const std::vector<int>& class_ids)>;
 
+/// Answers the range query of the fragment at `fragment_pos` (a position
+/// into the pre-enumerated fragment list) during a RunPisFilterCore run.
+/// Engines wrap their FragmentQueryFn over the prepared fragment; the
+/// cluster router instead moves in per-shard maps merged from remote shard
+/// servers. `min_dist` arrives empty, keyed by global graph id on return.
+using FragmentDistFn =
+    std::function<Status(size_t fragment_pos, double sigma,
+                         std::unordered_map<int, double>* min_dist,
+                         QueryStats* stats)>;
+
+/// Applies the superimposed-sketch prefilter during a RunPisFilterCore run:
+/// clears alive[] slots whose graphs provably lack an enumerated class,
+/// decrementing `alive_count` and recording stats->sketch_checks /
+/// sketch_pruned. Invoked only under options.sketch_enabled with a
+/// non-empty fragment list, after the live selectivity denominator is fixed
+/// and before pass 1 — exactly the window where pruning is free of result
+/// drift.
+using SketchPruneFn = std::function<void(
+    const std::vector<QueryFragment>& fragments, std::vector<char>* alive,
+    size_t* alive_count, QueryStats* stats)>;
+
+/// The post-enumeration core of Algorithm 2: pass-1 ε-filter +
+/// intersection, overlap-graph partition, and pass-2 summed-lower-bound
+/// pruning, over `result->fragments` which must already hold the enumerated
+/// query fragments (RunPisFilter fills them locally; the cluster router
+/// receives them from a shard server, which enumerated against the
+/// identical frozen catalog). Fills every stats counter except
+/// enum_cache_hits and the timing fields. Factoring the core out of
+/// enumeration is what lets the distributed router run byte-identical
+/// global filtering — selectivity denominators, partition choice, pass-2
+/// bounds — over range-query maps merged across the socket boundary.
+Status RunPisFilterCore(int db_size, const std::unordered_set<int>* tombstones,
+                        const PisOptions& options,
+                        const FragmentDistFn& fragment_dists,
+                        const SketchPruneFn& sketch_prune,
+                        FilterResult* result);
+
 /// Algorithm 2 over `db_size` graph-id slots. `enum_index` supplies the
 /// class catalog for query-fragment enumeration (for a sharded index any
 /// shard works: classes are registered from the feature set alone, so every

@@ -183,6 +183,34 @@ Result<int> ShardedFragmentIndex::AddGraph(const Graph& g) {
   return gid;
 }
 
+Status ShardedFragmentIndex::AddGraphAt(int gid, int shard, const Graph& g) {
+  if (shard < 0 || shard >= num_shards()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range");
+  }
+  if (gid < db_size()) {
+    return Status::AlreadyExists("graph id " + std::to_string(gid) +
+                                 " is already assigned (db spans " +
+                                 std::to_string(db_size()) + " slots)");
+  }
+  // Foreign-shard ids this replica never received arrive as a gap below
+  // `gid`: materialize them as absent slots so the id space stays aligned
+  // with the cluster. Absent slots are globally dead, never resident, and
+  // never revived — exactly like compacted-away tombstones.
+  while (db_size() < gid) {
+    tombstones_.insert(db_size());
+    shard_of_.push_back(-1);
+    local_of_.push_back(-1);
+  }
+  PIS_ASSIGN_OR_RETURN(FragmentIndex * target, MutableShard(shard));
+  PIS_ASSIGN_OR_RETURN(int local, target->AddGraph(g));
+  PIS_DCHECK(local == static_cast<int>(globals_[shard].size()));
+  shard_of_.push_back(shard);
+  local_of_.push_back(local);
+  globals_[shard].push_back(gid);
+  return Status::OK();
+}
+
 Status ShardedFragmentIndex::RemoveGraph(int gid) {
   if (gid < 0 || gid >= db_size()) {
     return Status::NotFound("graph id " + std::to_string(gid) +

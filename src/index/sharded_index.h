@@ -100,6 +100,15 @@ class ShardedFragmentIndex {
   /// Returns the new global id, db_size() before the call. The caller must
   /// append the same graph to its GraphDatabase to keep ids aligned.
   Result<int> AddGraph(const Graph& g);
+  /// Explicit-placement add for replicated serving: indexes `g` into shard
+  /// `shard` under the preassigned global id `gid`, which must be >=
+  /// db_size() (ids are never rewritten). Id slots in [db_size, gid) — gids
+  /// a shard-subset replica never saw because foreign shards own them — are
+  /// backfilled as absent: resident nowhere (shard_of -1) and globally
+  /// tombstoned, so local queries over the owned shards behave exactly as
+  /// the cluster-wide index does for those shards. The caller must place
+  /// the same graph at slot `gid` of its id-aligned GraphDatabase.
+  Status AddGraphAt(int gid, int shard, const Graph& g);
   /// Tombstones global id `gid` in its owning shard. NotFound when out of
   /// range or already removed. When an auto-compaction threshold is set
   /// (set_compact_dead_ratio) and the owning shard's dead ratio reaches it,

@@ -319,6 +319,58 @@ void EngineHost::CommitBatch(const std::vector<PendingWrite*>& batch) {
         rec.op = WalRecord::Op::kAdd;
         rec.epoch = next_epoch;
         rec.gid = op->gid;
+        // Stamp the realized placement so a shard-subset replica's replay
+        // can reproduce it without the full gid sequence (wal.h, v2).
+        rec.shard = master_.shard_of(op->gid);
+        rec.graph_text = FormatGraph(*op->graph, op->gid);
+        wal_batch.push_back(std::move(rec));
+      }
+      applied.push_back(op);
+    } else if (op->kind == PendingWrite::Kind::kAddAt) {
+      const int db_size =
+          appended != nullptr ? appended->size() : master_db_->size();
+      if (master_.db_size() != db_size) {
+        op->status = Status::Internal(
+            "index covers " + std::to_string(master_.db_size()) +
+            " graphs but the database holds " + std::to_string(db_size) +
+            "; rejecting writes until the pair is rebuilt");
+        continue;
+      }
+      if (op->gid < db_size) {
+        // Already-applied placement (a catch-up replay after a lost ack):
+        // succeed iff the slot really carries this placement — resident in
+        // the named shard, or added there and since removed/compacted.
+        const bool applied_before = master_.shard_of(op->gid) == op->shard ||
+                                    !master_.IsLive(op->gid);
+        op->status = applied_before
+                         ? Status::OK()
+                         : Status::AlreadyExists(
+                               "gid " + std::to_string(op->gid) +
+                               " is resident in shard " +
+                               std::to_string(master_.shard_of(op->gid)) +
+                               ", not " + std::to_string(op->shard));
+        continue;  // no state change, no WAL record, no epoch
+      }
+      Status placed = master_.AddGraphAt(op->gid, op->shard, *op->graph);
+      if (!placed.ok()) {
+        op->status = placed;
+        continue;
+      }
+      if (appended == nullptr) {
+        appended = std::make_shared<GraphDatabase>(*master_db_);
+      }
+      // Foreign-gid holes below the placement get empty placeholder graphs
+      // (the index tombstoned the same slots).
+      while (appended->size() < op->gid) appended->Add(Graph());
+      const int db_gid = appended->Add(*op->graph);
+      PIS_CHECK(db_gid == op->gid);
+      op->status = Status::OK();
+      if (wal_ != nullptr) {
+        WalRecord rec;
+        rec.op = WalRecord::Op::kAdd;
+        rec.epoch = next_epoch;
+        rec.gid = op->gid;
+        rec.shard = op->shard;
         rec.graph_text = FormatGraph(*op->graph, op->gid);
         wal_batch.push_back(std::move(rec));
       }
@@ -376,6 +428,19 @@ Result<int> EngineHost::AddGraph(const Graph& g, uint64_t* epoch_out) {
   PIS_RETURN_NOT_OK(op.status);
   if (epoch_out != nullptr) *epoch_out = op.epoch;
   return op.gid;
+}
+
+Status EngineHost::AddGraphAt(int gid, int shard, const Graph& g,
+                              uint64_t* epoch_out) {
+  PendingWrite op;
+  op.kind = PendingWrite::Kind::kAddAt;
+  op.graph = &g;
+  op.gid = gid;
+  op.shard = shard;
+  Submit(&op);
+  PIS_RETURN_NOT_OK(op.status);
+  if (epoch_out != nullptr) *epoch_out = op.epoch;
+  return Status::OK();
 }
 
 Status EngineHost::RemoveGraph(int gid, uint64_t* epoch_out) {

@@ -197,6 +197,17 @@ class EngineHost {
   /// snapshot()->epoch afterwards could observe a later commit.
   Result<int> AddGraph(const Graph& g, uint64_t* epoch_out = nullptr)
       PIS_EXCLUDES(commit_mu_, writer_mu_);
+  /// Explicit-placement writer for replicated serving: a cluster router
+  /// preassigns the global id and owning shard, and every replica of that
+  /// shard applies the identical placement (bypassing least-loaded
+  /// routing). Gids below `gid` this host never received are materialized
+  /// as absent slots (see ShardedFragmentIndex::AddGraphAt). Idempotent:
+  /// re-submitting an already-applied placement — the footprint of a
+  /// catch-up replay after a lost ack — succeeds without a new epoch.
+  /// Group-commits, WAL-logs, and publishes exactly like AddGraph.
+  Status AddGraphAt(int gid, int shard, const Graph& g,
+                    uint64_t* epoch_out = nullptr)
+      PIS_EXCLUDES(commit_mu_, writer_mu_);
   Status RemoveGraph(int gid, uint64_t* epoch_out = nullptr)
       PIS_EXCLUDES(commit_mu_, writer_mu_);
 
@@ -248,10 +259,11 @@ class EngineHost {
   /// `done` under that mutex, so the owner's read after observing done ==
   /// true is ordered by the mutex.
   struct PendingWrite {
-    enum class Kind { kAdd, kRemove };
+    enum class Kind { kAdd, kAddAt, kRemove };
     Kind kind;
-    const Graph* graph = nullptr;  // kAdd input
-    int gid = -1;                  // kRemove input; kAdd output
+    const Graph* graph = nullptr;  // kAdd/kAddAt input
+    int gid = -1;                  // kRemove/kAddAt input; kAdd output
+    int shard = -1;                // kAddAt input
     uint64_t epoch = 0;            // output: publish epoch of the batch
     Status status = Status::OK();  // output
     bool done = false;             // guarded by commit_mu_

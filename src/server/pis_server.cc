@@ -1,146 +1,72 @@
 #include "server/pis_server.h"
 
-#include <sys/socket.h>
-
-#include <chrono>
+#include <algorithm>
 #include <cmath>
-#include <thread>
+#include <memory>
 #include <utility>
 
 #include "graph/io.h"
-#include "util/logging.h"
-#include "util/parallel.h"
+#include "server/shard_ops.h"
 
 namespace pis {
 
 namespace {
 
-JsonValue ErrorReply(const std::string& message) {
+JsonValue ErrorReply(const Status& status) {
   JsonValue reply = JsonValue::Object();
   reply.Set("ok", false);
-  reply.Set("error", message);
+  // The code travels separately from the rendered message so a remote
+  // caller (pis_router, pis_client) can reconstruct a typed Status —
+  // distinguishing e.g. a NotFound it can fail over from an
+  // InvalidArgument it must surface.
+  reply.Set("code", StatusCodeName(status.code()));
+  reply.Set("error", status.ToString());
   return reply;
 }
 
-JsonValue ErrorReply(const Status& status) {
-  return ErrorReply(status.ToString());
+JsonValue ErrorReply(const std::string& message) {
+  return ErrorReply(Status::InvalidArgument(message));
+}
+
+/// Strict int32 or bust: truncating 3.9 would address a different graph
+/// than requested, and casting 1e300 to int is undefined behavior.
+bool StrictInt(const JsonValue* v, int* out) {
+  if (v == nullptr || !v->is_number()) return false;
+  const double raw = v->AsNumber();
+  if (raw != std::floor(raw) || raw < -2147483648.0 || raw > 2147483647.0) {
+    return false;
+  }
+  *out = static_cast<int>(raw);
+  return true;
+}
+
+bool StrictIntArray(const JsonValue* v, std::vector<int>* out) {
+  if (v == nullptr || !v->is_array()) return false;
+  out->clear();
+  out->reserve(v->size());
+  for (const JsonValue& item : v->items()) {
+    int value = 0;
+    if (!StrictInt(&item, &value)) return false;
+    out->push_back(value);
+  }
+  return true;
 }
 
 }  // namespace
 
 PisServer::PisServer(EngineHost* host, const PisServerOptions& options)
-    : host_(host), options_(options) {
-  if (options_.num_workers < 1) options_.num_workers = 1;
-}
-
-PisServer::~PisServer() {
-  Shutdown();
-  Wait();
-}
-
-Status PisServer::Start() {
-  MutexLock lock(&serve_mu_);
-  if (serve_thread_.joinable()) {
-    return Status::AlreadyExists("server already started");
-  }
-  PIS_ASSIGN_OR_RETURN(
-      listener_,
-      TcpListener::Listen(options_.port, options_.loopback_only,
-                          /*backlog=*/options_.num_workers * 4));
-  // ParallelFor is the worker pool: N long-lived accept-and-serve loops.
-  // serving_ flips true before the pool exists and false only when the
-  // whole pool has exited, so running() brackets the serving lifetime
-  // without ever touching the (serve_mu_-guarded) thread object.
-  const int workers = options_.num_workers;
-  serving_.store(true, std::memory_order_release);
-  serve_thread_ = std::thread([this, workers] {
-    ParallelFor(static_cast<size_t>(workers), workers,
-                [this](size_t) { WorkerLoop(); });
-    serving_.store(false, std::memory_order_release);
-  });
-  return Status::OK();
-}
-
-void PisServer::Wait() {
-  MutexLock lock(&serve_mu_);
-  if (serve_thread_.joinable()) {
-    serve_thread_.join();
-    serve_thread_ = std::thread();
-  }
-}
-
-void PisServer::Shutdown() {
-  stopping_.store(true);
-  listener_.Shutdown();
-  MutexLock lock(&live_mu_);
-  for (int fd : live_fds_) {
-    // Severing the stream unblocks a worker parked in RecvLine; the worker
-    // owns (and closes) the descriptor itself.
-    ::shutdown(fd, SHUT_RDWR);
-  }
-}
-
-void PisServer::WorkerLoop() {
-  while (!stopping_.load()) {
-    bool fatal = false;
-    Result<TcpSocket> conn = listener_.Accept(&fatal);
-    if (!conn.ok()) {
-      if (stopping_.load()) return;  // listener shut down: normal exit
-      if (fatal) {
-        // The listener itself is broken — every retry would fail the same
-        // way, so a backoff loop here would just spin forever. Leave with
-        // the reason on record instead of burning a core.
-        PIS_LOG(Error) << "worker exiting, listener is unusable: "
-                       << conn.status().ToString();
-        return;
-      }
-      // Transient pressure (e.g. fd exhaustion): back off and keep the
-      // worker alive rather than silently shrinking the pool to zero.
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      continue;
-    }
-    ++connections_served_;
-    ServeConnection(conn.MoveValue());
-  }
-}
-
-void PisServer::ServeConnection(TcpSocket conn) {
-  {
-    MutexLock lock(&live_mu_);
-    live_fds_.insert(conn.fd());
-  }
-  // A Shutdown() racing with the insert above may have severed the live set
-  // before this fd joined it; stopping_ is always set first, so re-checking
-  // here closes the window (otherwise RecvLine could park forever).
-  if (stopping_.load()) {
-    MutexLock lock(&live_mu_);
-    live_fds_.erase(conn.fd());
-    return;
-  }
-  const int fd = conn.fd();
-  while (!stopping_.load()) {
-    Result<std::string> line = conn.RecvLine(options_.max_request_bytes);
-    if (!line.ok()) {
-      if (line.status().code() == StatusCode::kInvalidArgument) {
-        // Oversized frame: tell the peer, then drop the connection (the
-        // stream position is unrecoverable mid-frame).
-        (void)conn.SendLine(ErrorReply(line.status()).Serialize());
-      }
-      break;
-    }
-    if (line.value().empty()) continue;  // blank keep-alive line
-    bool shutdown = false;
-    JsonValue reply = HandleLine(line.value(), &shutdown);
-    ++requests_served_;
-    Status sent = conn.SendLine(reply.Serialize());
-    if (shutdown) {
-      Shutdown();
-      break;
-    }
-    if (!sent.ok()) break;
-  }
-  MutexLock lock(&live_mu_);
-  live_fds_.erase(fd);
+    : host_(host),
+      shards_owned_(options.shards_owned),
+      shell_(
+          [this](const std::string& line, bool* shutdown) {
+            return HandleLine(line, shutdown);
+          },
+          LineServerOptions{options.port, options.loopback_only,
+                            options.num_workers, options.max_request_bytes}) {
+  std::sort(shards_owned_.begin(), shards_owned_.end());
+  shards_owned_.erase(
+      std::unique(shards_owned_.begin(), shards_owned_.end()),
+      shards_owned_.end());
 }
 
 JsonValue PisServer::HandleLine(const std::string& line, bool* shutdown) {
@@ -170,6 +96,18 @@ JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
     reply.Set("stats", host_->Stats().ToJsonValue());
     return reply;
   }
+
+  if (op == "meta") {
+    std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+    reply.Set("ok", true);
+    ShardMetaToJson(CollectShardMeta(*snap, shards_owned_), &reply);
+    return reply;
+  }
+
+  if (op == "shard_query") return HandleShardQuery(request);
+  if (op == "shard_verify") return HandleShardVerify(request);
+  if (op == "shard_add") return HandleShardAdd(request);
+  if (op == "shard_remove") return HandleShardRemove(request);
 
   if (op == "query") {
     const JsonValue* graph_text = request.Find("graph");
@@ -230,18 +168,12 @@ JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
   }
 
   if (op == "remove") {
-    const JsonValue* id = request.Find("id");
-    if (id == nullptr || !id->is_number()) {
-      return ErrorReply("remove needs a numeric \"id\" field");
-    }
-    // Exact int32 or bust: truncating 3.9 would remove a different graph
-    // than requested, and casting 1e300 to int is undefined behavior.
-    const double raw = id->AsNumber();
-    if (raw != std::floor(raw) || raw < 0 || raw > 2147483647.0) {
+    int gid = 0;
+    if (!StrictInt(request.Find("id"), &gid) || gid < 0) {
       return ErrorReply("\"id\" must be a non-negative integer graph id");
     }
     uint64_t epoch = 0;
-    Status removed = host_->RemoveGraph(static_cast<int>(raw), &epoch);
+    Status removed = host_->RemoveGraph(gid, &epoch);
     if (!removed.ok()) return ErrorReply(removed);
     reply.Set("ok", true);
     reply.Set("epoch", epoch);
@@ -271,6 +203,142 @@ JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
 
   return ErrorReply(op.empty() ? "request is missing \"op\""
                                : "unknown op \"" + op + "\"");
+}
+
+JsonValue PisServer::HandleShardQuery(const JsonValue& request) {
+  const JsonValue* graph_text = request.Find("graph");
+  if (graph_text == nullptr || !graph_text->is_string()) {
+    return ErrorReply("shard_query needs a string \"graph\" field");
+  }
+  Result<Graph> query = ParseGraph(graph_text->AsString());
+  if (!query.ok()) return ErrorReply(query.status());
+  std::vector<int> shards;
+  if (!StrictIntArray(request.Find("shards"), &shards) || shards.empty()) {
+    return ErrorReply("shard_query needs a non-empty integer \"shards\"");
+  }
+  double sigma = host_->options().sigma;
+  if (request.Has("sigma")) {
+    const JsonValue* s = request.Find("sigma");
+    if (!s->is_number() || s->AsNumber() < 0) {
+      return ErrorReply("sigma must be a number >= 0");
+    }
+    sigma = s->AsNumber();
+  }
+  const bool sketch = request.GetBoolOr("sketch", false);
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  Status owned = CheckShardsOwned(shards, shards_owned_,
+                                  snap->index->num_shards());
+  if (!owned.ok()) return ErrorReply(owned);
+  Result<ShardQueryResult> result =
+      RunShardQuery(*snap, shards, query.value(), sigma, sketch,
+                    host_->options());
+  if (!result.ok()) return ErrorReply(result.status());
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", true);
+  ShardQueryResultToJson(result.value(), &reply);
+  return reply;
+}
+
+JsonValue PisServer::HandleShardVerify(const JsonValue& request) {
+  const JsonValue* graph_text = request.Find("graph");
+  if (graph_text == nullptr || !graph_text->is_string()) {
+    return ErrorReply("shard_verify needs a string \"graph\" field");
+  }
+  Result<Graph> query = ParseGraph(graph_text->AsString());
+  if (!query.ok()) return ErrorReply(query.status());
+  std::vector<int> ids;
+  if (!StrictIntArray(request.Find("ids"), &ids)) {
+    return ErrorReply("shard_verify needs an integer \"ids\" array");
+  }
+  const JsonValue* sigma = request.Find("sigma");
+  if (sigma == nullptr || !sigma->is_number() || sigma->AsNumber() < 0) {
+    return ErrorReply("shard_verify needs a number \"sigma\" >= 0");
+  }
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  if (!shards_owned_.empty()) {
+    for (int gid : ids) {
+      const int s = gid >= 0 && gid < snap->index->db_size()
+                        ? snap->index->shard_of(gid)
+                        : -1;
+      if (!std::binary_search(shards_owned_.begin(), shards_owned_.end(),
+                              s)) {
+        return ErrorReply(Status::InvalidArgument(
+            "graph " + std::to_string(gid) +
+            " is not resident in a shard owned by this replica"));
+      }
+    }
+  }
+  Result<std::vector<int>> answers =
+      RunShardVerify(*snap, ids, query.value(), sigma->AsNumber(),
+                     host_->options());
+  if (!answers.ok()) return ErrorReply(answers.status());
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", true);
+  reply.Set("epoch", snap->epoch);
+  JsonValue out = JsonValue::Array();
+  for (int gid : answers.value()) out.Push(gid);
+  reply.Set("answers", std::move(out));
+  return reply;
+}
+
+JsonValue PisServer::HandleShardAdd(const JsonValue& request) {
+  int gid = 0;
+  int shard = 0;
+  if (!StrictInt(request.Find("gid"), &gid) || gid < 0) {
+    return ErrorReply("shard_add needs a non-negative integer \"gid\"");
+  }
+  if (!StrictInt(request.Find("shard"), &shard) || shard < 0) {
+    return ErrorReply("shard_add needs a non-negative integer \"shard\"");
+  }
+  if (!shards_owned_.empty() &&
+      !std::binary_search(shards_owned_.begin(), shards_owned_.end(),
+                          shard)) {
+    return ErrorReply(Status::InvalidArgument(
+        "shard " + std::to_string(shard) +
+        " is not owned by this replica"));
+  }
+  const JsonValue* graph_text = request.Find("graph");
+  if (graph_text == nullptr || !graph_text->is_string()) {
+    return ErrorReply("shard_add needs a string \"graph\" field");
+  }
+  Result<Graph> graph = ParseGraph(graph_text->AsString());
+  if (!graph.ok()) return ErrorReply(graph.status());
+  uint64_t epoch = 0;
+  Status added = host_->AddGraphAt(gid, shard, graph.value(), &epoch);
+  if (!added.ok()) return ErrorReply(added);
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", true);
+  reply.Set("epoch", epoch);
+  return reply;
+}
+
+JsonValue PisServer::HandleShardRemove(const JsonValue& request) {
+  int gid = 0;
+  if (!StrictInt(request.Find("id"), &gid) || gid < 0) {
+    return ErrorReply("shard_remove needs a non-negative integer \"id\"");
+  }
+  uint64_t epoch = 0;
+  Status removed = host_->RemoveGraph(gid, &epoch);
+  JsonValue reply = JsonValue::Object();
+  if (removed.ok()) {
+    reply.Set("ok", true);
+    reply.Set("epoch", epoch);
+    reply.Set("applied", true);
+    return reply;
+  }
+  // Idempotent replication semantics: a catch-up replay may re-deliver a
+  // remove this replica already applied. Already-dead is success; a gid
+  // this replica has never heard of is a real error (the router replays
+  // per-endpoint ops in order, so the add always lands first).
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  const bool already_dead = removed.code() == StatusCode::kNotFound &&
+                            gid < snap->index->db_size() &&
+                            !snap->index->IsLive(gid);
+  if (!already_dead) return ErrorReply(removed);
+  reply.Set("ok", true);
+  reply.Set("epoch", snap->epoch);
+  reply.Set("applied", false);
+  return reply;
 }
 
 }  // namespace pis

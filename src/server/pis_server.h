@@ -1,7 +1,6 @@
 // TCP front end over an EngineHost: a newline-delimited JSON protocol
-// served by a fixed worker pool (ParallelFor is the pool — each worker
-// accepts and serves one connection at a time, so per-connection requests
-// are processed in order while distinct connections run concurrently).
+// served by the shared LineServer worker-pool shell (per-connection
+// requests are processed in order; distinct connections run concurrently).
 //
 // Protocol: one JSON object per line, one reply line per request.
 //
@@ -14,9 +13,32 @@
 //   {"op":"compact","min_dead_ratio":0.3?}   -> {"ok":true,"compacted":k,"epoch":E}
 //   {"op":"shutdown"}                        -> {"ok":true} (then the server stops)
 //
+// Cluster-fabric ops (pis_router is the intended caller; the payload
+// shapes live in server/shard_ops.h):
+//
+//   {"op":"meta"}                            -> {"ok":true,"db_slots":..,
+//                                                "routing":[..],"tombstones":[..],..}
+//   {"op":"shard_query","graph":"<record>",  -> {"ok":true,"fragments":[..],
+//     "shards":[0,2],"sigma":S?,"sketch":b?}     "dists":[[[gid,d],..],..],..}
+//   {"op":"shard_verify","graph":"<record>", -> {"ok":true,"answers":[ids]}
+//     "ids":[..],"sigma":S}
+//   {"op":"shard_add","gid":N,"shard":s,     -> {"ok":true,"epoch":E}
+//     "graph":"<record>"}                       (idempotent re-apply included)
+//   {"op":"shard_remove","id":N}             -> {"ok":true,"epoch":E,
+//                                                "applied":bool} (idempotent)
+//
+// With a non-empty PisServerOptions::shards_owned, shard_query/shard_verify
+// reject shards (or candidate gids resident in shards) outside the owned
+// set — the replica serves a shard subset even though it loads the full
+// index structure. shard_add carries an explicit (gid, shard) placement
+// preassigned by the router and is idempotent, which is what makes the
+// router's catch-up replay after a lost ack safe; shard_remove likewise
+// treats an already-dead gid as success ("applied":false).
+//
 // "<record>" is one graph in the native text format (src/graph/io.h) with
-// newlines JSON-escaped. Failures reply {"ok":false,"error":"..."} and
-// keep the connection open; malformed JSON gets the same treatment.
+// newlines JSON-escaped. Failures reply {"ok":false,"code":"<StatusCode>",
+// "error":"..."} and keep the connection open; malformed JSON gets the
+// same treatment.
 //
 // Concurrency guarantees are inherited from EngineHost: every query runs
 // against one immutable snapshot (reads never block on writes, including
@@ -25,16 +47,13 @@
 #ifndef PIS_SERVER_PIS_SERVER_H_
 #define PIS_SERVER_PIS_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
-#include <thread>
-#include <unordered_set>
+#include <vector>
 
 #include "server/engine_host.h"
+#include "server/line_server.h"
 #include "util/json.h"
-#include "util/mutex.h"
-#include "util/socket.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -49,6 +68,10 @@ struct PisServerOptions {
   int num_workers = 4;
   /// Per-request frame cap (a graph record arrives as one line).
   size_t max_request_bytes = 16u << 20;
+  /// Shards this replica serves (empty = all). Only constrains the
+  /// cluster-fabric ops; the classic single-server ops always see the whole
+  /// host.
+  std::vector<int> shards_owned;
 };
 
 /// \brief Newline-delimited JSON server over an EngineHost.
@@ -56,53 +79,37 @@ class PisServer {
  public:
   /// `host` must outlive the server.
   PisServer(EngineHost* host, const PisServerOptions& options = {});
-  ~PisServer();
-  PisServer(const PisServer&) = delete;
-  PisServer& operator=(const PisServer&) = delete;
 
   /// Binds the listener and spawns the worker pool. Call once.
-  Status Start() PIS_EXCLUDES(serve_mu_);
+  Status Start() { return shell_.Start(); }
   /// The bound port (valid after Start).
-  int port() const { return listener_.port(); }
+  int port() const { return shell_.port(); }
 
   /// Blocks until the server stopped (a shutdown request or Shutdown()).
-  void Wait() PIS_EXCLUDES(serve_mu_);
+  void Wait() { shell_.Wait(); }
   /// Stops accepting, severs live connections, and wakes Wait(). Idempotent
   /// and callable from any thread (including a protocol handler's).
-  void Shutdown() PIS_EXCLUDES(live_mu_);
+  void Shutdown() { shell_.Shutdown(); }
 
   /// True from a successful Start() until the worker pool has exited.
-  bool running() const { return serving_.load(std::memory_order_acquire); }
-  uint64_t connections_served() const { return connections_served_; }
-  uint64_t requests_served() const { return requests_served_; }
+  bool running() const { return shell_.running(); }
+  uint64_t connections_served() const { return shell_.connections_served(); }
+  uint64_t requests_served() const { return shell_.requests_served(); }
 
  private:
-  void WorkerLoop() PIS_EXCLUDES(live_mu_);
-  void ServeConnection(TcpSocket conn) PIS_EXCLUDES(live_mu_);
   /// Returns the reply; sets `*shutdown` when the request asked the server
   /// to stop (the reply is still sent first).
   JsonValue HandleLine(const std::string& line, bool* shutdown);
   JsonValue HandleRequest(const JsonValue& request, bool* shutdown);
+  JsonValue HandleShardQuery(const JsonValue& request);
+  JsonValue HandleShardVerify(const JsonValue& request);
+  JsonValue HandleShardAdd(const JsonValue& request);
+  JsonValue HandleShardRemove(const JsonValue& request);
 
   EngineHost* host_;
-  PisServerOptions options_;
-  TcpListener listener_;
-  /// serve_mu_ guards the pool thread object: Start() writes it while a
-  /// concurrent Wait() (e.g. the destructor racing a protocol-triggered
-  /// shutdown's waiter) joins it — unguarded, that pair is a data race on
-  /// the std::thread itself (found by the thread-safety annotation pass).
-  /// running() deliberately reads the serving_ flag instead of the thread
-  /// so it never blocks behind a join in progress.
-  mutable Mutex serve_mu_;
-  std::thread serve_thread_ PIS_GUARDED_BY(serve_mu_);
-  std::atomic<bool> serving_{false};
-  std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> connections_served_{0};
-  std::atomic<uint64_t> requests_served_{0};
-  /// Raw fds of live connections, severed on Shutdown so workers blocked in
-  /// RecvLine unblock.
-  Mutex live_mu_;
-  std::unordered_set<int> live_fds_ PIS_GUARDED_BY(live_mu_);
+  /// Sorted copy of options.shards_owned (empty = all shards).
+  std::vector<int> shards_owned_;
+  LineServer shell_;
 };
 
 }  // namespace pis

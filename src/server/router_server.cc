@@ -1,0 +1,140 @@
+#include "server/router_server.h"
+
+#include <cmath>
+#include <utility>
+
+#include "graph/io.h"
+
+namespace pis {
+
+namespace {
+
+JsonValue ErrorReply(const Status& status) {
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", false);
+  reply.Set("code", StatusCodeName(status.code()));
+  reply.Set("error", status.ToString());
+  return reply;
+}
+
+JsonValue ErrorReply(const std::string& message) {
+  return ErrorReply(Status::InvalidArgument(message));
+}
+
+}  // namespace
+
+RouterServer::RouterServer(ClusterEngine* cluster,
+                           const RouterServerOptions& options)
+    : cluster_(cluster),
+      shell_(
+          [this](const std::string& line, bool* shutdown) {
+            return HandleLine(line, shutdown);
+          },
+          LineServerOptions{options.port, options.loopback_only,
+                            options.num_workers, options.max_request_bytes}) {}
+
+JsonValue RouterServer::HandleLine(const std::string& line, bool* shutdown) {
+  Result<JsonValue> request = JsonValue::Parse(line);
+  if (!request.ok()) return ErrorReply(request.status());
+  if (!request.value().is_object()) {
+    return ErrorReply("request must be a JSON object");
+  }
+  return HandleRequest(request.value(), shutdown);
+}
+
+JsonValue RouterServer::HandleRequest(const JsonValue& request,
+                                      bool* shutdown) {
+  const std::string op = request.GetStringOr("op", "");
+  JsonValue reply = JsonValue::Object();
+
+  if (op == "health") {
+    const ClusterEngine::ClusterStats stats = cluster_->Stats();
+    reply.Set("ok", true);
+    reply.Set("status", "serving");
+    reply.Set("epoch", stats.epoch);
+    reply.Set("live", stats.live);
+    return reply;
+  }
+
+  if (op == "stats") {
+    reply.Set("ok", true);
+    reply.Set("stats", cluster_->StatsJson());
+    return reply;
+  }
+
+  if (op == "probe") {
+    cluster_->ProbeOnce();
+    reply.Set("ok", true);
+    return reply;
+  }
+
+  if (op == "query") {
+    const JsonValue* graph_text = request.Find("graph");
+    if (graph_text == nullptr || !graph_text->is_string()) {
+      return ErrorReply("query needs a string \"graph\" field");
+    }
+    Result<Graph> query = ParseGraph(graph_text->AsString());
+    if (!query.ok()) return ErrorReply(query.status());
+    Result<SearchResult> result = Status::Internal("not run");
+    if (request.Has("sigma")) {
+      const JsonValue* sigma = request.Find("sigma");
+      if (!sigma->is_number()) return ErrorReply("sigma must be a number");
+      if (sigma->AsNumber() < 0) return ErrorReply("sigma must be >= 0");
+      result = cluster_->Search(query.value(), sigma->AsNumber());
+    } else {
+      result = cluster_->Search(query.value());
+    }
+    if (!result.ok()) return ErrorReply(result.status());
+    reply.Set("ok", true);
+    JsonValue answers = JsonValue::Array();
+    for (int gid : result.value().answers) answers.Push(gid);
+    reply.Set("answers", std::move(answers));
+    reply.Set("candidates", result.value().stats.candidates_final);
+    JsonValue stats = JsonValue::Object();
+    stats.Set("fragments", result.value().stats.fragments_enumerated);
+    stats.Set("range_queries", result.value().stats.range_queries);
+    stats.Set("filter_ms", result.value().stats.filter_seconds * 1e3);
+    stats.Set("verify_ms", result.value().stats.verify_seconds * 1e3);
+    reply.Set("stats", std::move(stats));
+    return reply;
+  }
+
+  if (op == "add") {
+    const JsonValue* graph_text = request.Find("graph");
+    if (graph_text == nullptr || !graph_text->is_string()) {
+      return ErrorReply("add needs a string \"graph\" field");
+    }
+    Result<Graph> graph = ParseGraph(graph_text->AsString());
+    if (!graph.ok()) return ErrorReply(graph.status());
+    Result<int> gid = cluster_->AddGraph(graph.value());
+    if (!gid.ok()) return ErrorReply(gid.status());
+    reply.Set("ok", true);
+    reply.Set("id", gid.value());
+    return reply;
+  }
+
+  if (op == "remove") {
+    const JsonValue* id = request.Find("id");
+    if (id == nullptr || !id->is_number() ||
+        id->AsNumber() != std::floor(id->AsNumber()) || id->AsNumber() < 0 ||
+        id->AsNumber() > 2147483647.0) {
+      return ErrorReply("\"id\" must be a non-negative integer graph id");
+    }
+    Status removed = cluster_->RemoveGraph(static_cast<int>(id->AsNumber()));
+    if (!removed.ok()) return ErrorReply(removed);
+    reply.Set("ok", true);
+    return reply;
+  }
+
+  if (op == "shutdown") {
+    *shutdown = true;
+    reply.Set("ok", true);
+    reply.Set("status", "stopping");
+    return reply;
+  }
+
+  return ErrorReply(op.empty() ? "request is missing \"op\""
+                               : "unknown op \"" + op + "\"");
+}
+
+}  // namespace pis

@@ -1,0 +1,65 @@
+// TCP front end over a ClusterEngine: the same newline-delimited JSON
+// protocol pis_server speaks for clients, so pis_client talks to a router
+// exactly as it talks to a single server.
+//
+//   {"op":"health"}                    -> {"ok":true,"status":"serving",...}
+//   {"op":"stats"}                     -> {"ok":true,"stats":{...cluster...}}
+//   {"op":"query","graph":"<record>",  -> {"ok":true,"answers":[ids],
+//     "sigma":2.0?}                        "candidates":N,...}
+//   {"op":"add","graph":"<record>"}    -> {"ok":true,"id":gid}
+//   {"op":"remove","id":17}            -> {"ok":true}
+//   {"op":"probe"}                     -> {"ok":true} (one synchronous
+//                                         health/catch-up pass; test hook)
+//   {"op":"shutdown"}                  -> {"ok":true} (stops the router
+//                                         only, never the shard servers)
+//
+// Failures reply {"ok":false,"code":"<StatusCode>","error":"..."}; an
+// Unavailable code on a write is the ambiguous-failure contract of
+// ClusterEngine::AddGraph/RemoveGraph (committed for catch-up, not yet
+// readable).
+#ifndef PIS_SERVER_ROUTER_SERVER_H_
+#define PIS_SERVER_ROUTER_SERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/cluster_engine.h"
+#include "server/line_server.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace pis {
+
+struct RouterServerOptions {
+  int port = 0;  // 0 = ephemeral
+  bool loopback_only = true;
+  int num_workers = 4;
+  size_t max_request_bytes = 16u << 20;
+};
+
+/// \brief Client-protocol server over a ClusterEngine.
+class RouterServer {
+ public:
+  /// `cluster` must outlive the server.
+  RouterServer(ClusterEngine* cluster, const RouterServerOptions& options = {});
+
+  Status Start() { return shell_.Start(); }
+  int port() const { return shell_.port(); }
+  void Wait() { shell_.Wait(); }
+  void Shutdown() { shell_.Shutdown(); }
+  bool running() const { return shell_.running(); }
+  uint64_t connections_served() const { return shell_.connections_served(); }
+  uint64_t requests_served() const { return shell_.requests_served(); }
+
+ private:
+  JsonValue HandleLine(const std::string& line, bool* shutdown);
+  JsonValue HandleRequest(const JsonValue& request, bool* shutdown);
+
+  ClusterEngine* cluster_;
+  LineServer shell_;
+};
+
+}  // namespace pis
+
+#endif  // PIS_SERVER_ROUTER_SERVER_H_

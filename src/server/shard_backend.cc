@@ -1,0 +1,229 @@
+#include "server/shard_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "graph/io.h"
+
+namespace pis {
+
+namespace {
+
+Result<uint64_t> ReplyEpoch(const JsonValue& reply) {
+  const JsonValue* v = reply.Find("epoch");
+  if (v == nullptr || !v->is_number() || v->AsNumber() < 0) {
+    return Status::InvalidArgument("reply is missing \"epoch\"");
+  }
+  return static_cast<uint64_t>(v->AsNumber());
+}
+
+}  // namespace
+
+bool IsTransportError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LocalShardBackend
+
+LocalShardBackend::LocalShardBackend(EngineHost* host,
+                                     std::vector<int> shards_owned,
+                                     std::string name)
+    : host_(host), shards_owned_(std::move(shards_owned)),
+      name_(std::move(name)) {
+  std::sort(shards_owned_.begin(), shards_owned_.end());
+  shards_owned_.erase(
+      std::unique(shards_owned_.begin(), shards_owned_.end()),
+      shards_owned_.end());
+}
+
+Result<uint64_t> LocalShardBackend::Health() { return host_->Stats().epoch; }
+
+Result<ShardMeta> LocalShardBackend::Meta() {
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  return CollectShardMeta(*snap, shards_owned_);
+}
+
+Result<ShardQueryResult> LocalShardBackend::ShardQuery(
+    const Graph& query, const std::vector<int>& shards, double sigma,
+    bool sketch) {
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  PIS_RETURN_NOT_OK(
+      CheckShardsOwned(shards, shards_owned_, snap->index->num_shards()));
+  return RunShardQuery(*snap, shards, query, sigma, sketch, host_->options());
+}
+
+Result<std::vector<int>> LocalShardBackend::ShardVerify(
+    const Graph& query, const std::vector<int>& ids, double sigma) {
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  if (!shards_owned_.empty()) {
+    for (int gid : ids) {
+      const int s = gid >= 0 && gid < snap->index->db_size()
+                        ? snap->index->shard_of(gid)
+                        : -1;
+      if (!std::binary_search(shards_owned_.begin(), shards_owned_.end(),
+                              s)) {
+        return Status::InvalidArgument(
+            "graph " + std::to_string(gid) +
+            " is not resident in a shard owned by this replica");
+      }
+    }
+  }
+  return RunShardVerify(*snap, ids, query, sigma, host_->options());
+}
+
+Result<uint64_t> LocalShardBackend::ShardAdd(int gid, int shard,
+                                             const Graph& g) {
+  if (!shards_owned_.empty() &&
+      !std::binary_search(shards_owned_.begin(), shards_owned_.end(),
+                          shard)) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " is not owned by this replica");
+  }
+  uint64_t epoch = 0;
+  PIS_RETURN_NOT_OK(host_->AddGraphAt(gid, shard, g, &epoch));
+  return epoch;
+}
+
+Result<ShardBackend::RemoveOutcome> LocalShardBackend::ShardRemove(int gid) {
+  uint64_t epoch = 0;
+  Status removed = host_->RemoveGraph(gid, &epoch);
+  if (removed.ok()) return RemoveOutcome{epoch, true};
+  // Mirror pis_server's idempotent shard_remove: already-dead is success.
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  const bool already_dead = removed.code() == StatusCode::kNotFound &&
+                            gid >= 0 && gid < snap->index->db_size() &&
+                            !snap->index->IsLive(gid);
+  if (!already_dead) return removed;
+  return RemoveOutcome{snap->epoch, false};
+}
+
+// ---------------------------------------------------------------------------
+// RemoteShardBackend
+
+RemoteShardBackend::RemoteShardBackend(std::string host, int port,
+                                       int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms),
+      name_(host_ + ":" + std::to_string(port_)) {}
+
+Result<JsonValue> RemoteShardBackend::RoundTrip(const JsonValue& request) {
+  MutexLock lock(&mu_);
+  if (!conn_.valid()) {
+    Result<TcpSocket> conn = TcpSocket::Connect(host_, port_, timeout_ms_);
+    if (!conn.ok()) return conn.status();
+    conn_ = conn.MoveValue();
+  }
+  Status sent = conn_.SendLine(request.Serialize());
+  if (!sent.ok()) {
+    conn_ = TcpSocket();  // poisoned stream: force a fresh connect next call
+    return sent;
+  }
+  Result<std::string> line = conn_.RecvLine();
+  if (!line.ok()) {
+    conn_ = TcpSocket();
+    return line.status();
+  }
+  Result<JsonValue> reply = JsonValue::Parse(line.value());
+  if (!reply.ok() || !reply.value().is_object()) {
+    // The server never emits an unparsable frame, so the stream position
+    // is untrustworthy — drop it. Report as transport, not application.
+    conn_ = TcpSocket();
+    return Status::IOError("malformed reply from " + name_ + ": " +
+                           (reply.ok() ? "not an object"
+                                       : reply.status().ToString()));
+  }
+  if (!reply.value().GetBoolOr("ok", false)) {
+    // A typed application error from a healthy replica. The connection
+    // stays pooled — the server keeps it open after an error reply.
+    const StatusCode code =
+        StatusCodeFromName(reply.value().GetStringOr("code", "Internal"));
+    return Status(code == StatusCode::kOk ? StatusCode::kInternal : code,
+                  reply.value().GetStringOr("error", "unknown error") +
+                      " (from " + name_ + ")");
+  }
+  return reply;
+}
+
+Result<uint64_t> RemoteShardBackend::Health() {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", "health");
+  PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
+  return ReplyEpoch(reply);
+}
+
+Result<ShardMeta> RemoteShardBackend::Meta() {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", "meta");
+  PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
+  return ShardMetaFromJson(reply);
+}
+
+Result<ShardQueryResult> RemoteShardBackend::ShardQuery(
+    const Graph& query, const std::vector<int>& shards, double sigma,
+    bool sketch) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", "shard_query");
+  request.Set("graph", FormatGraph(query, 0));
+  JsonValue shard_list = JsonValue::Array();
+  for (int s : shards) shard_list.Push(s);
+  request.Set("shards", std::move(shard_list));
+  request.Set("sigma", sigma);
+  request.Set("sketch", sketch);
+  PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
+  return ShardQueryResultFromJson(reply);
+}
+
+Result<std::vector<int>> RemoteShardBackend::ShardVerify(
+    const Graph& query, const std::vector<int>& ids, double sigma) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", "shard_verify");
+  request.Set("graph", FormatGraph(query, 0));
+  JsonValue id_list = JsonValue::Array();
+  for (int gid : ids) id_list.Push(gid);
+  request.Set("ids", std::move(id_list));
+  request.Set("sigma", sigma);
+  PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
+  const JsonValue* answers = reply.Find("answers");
+  if (answers == nullptr || !answers->is_array()) {
+    return Status::InvalidArgument("shard_verify reply has no \"answers\"");
+  }
+  std::vector<int> out;
+  out.reserve(answers->size());
+  for (const JsonValue& item : answers->items()) {
+    if (!item.is_number()) {
+      return Status::InvalidArgument("shard_verify answer is not a number");
+    }
+    out.push_back(static_cast<int>(item.AsNumber()));
+  }
+  return out;
+}
+
+Result<uint64_t> RemoteShardBackend::ShardAdd(int gid, int shard,
+                                              const Graph& g) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", "shard_add");
+  request.Set("gid", gid);
+  request.Set("shard", shard);
+  request.Set("graph", FormatGraph(g, gid));
+  PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
+  return ReplyEpoch(reply);
+}
+
+Result<ShardBackend::RemoveOutcome> RemoteShardBackend::ShardRemove(int gid) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", "shard_remove");
+  request.Set("id", gid);
+  PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
+  PIS_ASSIGN_OR_RETURN(uint64_t epoch, ReplyEpoch(reply));
+  return RemoveOutcome{epoch, reply.GetBoolOr("applied", true)};
+}
+
+}  // namespace pis

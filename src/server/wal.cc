@@ -20,7 +20,8 @@ namespace pis {
 namespace {
 
 constexpr uint32_t kWalMagic = 0x4C415750;  // 'PWAL' little-endian
-constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kWalVersion = 2;
+constexpr uint32_t kWalVersionNoShard = 1;  // pre-cluster: no shard field
 constexpr size_t kHeaderBytes = 8;
 constexpr size_t kFrameBytes = 12;  // u32 payload size + u64 checksum
 /// Any single record larger than this is corruption, not data: a logged
@@ -62,17 +63,20 @@ std::string EncodePayload(const WalRecord& rec) {
   w.U8(static_cast<uint8_t>(rec.op));
   w.U64(rec.epoch);
   w.I32(rec.gid);
+  w.I32(rec.shard);
   w.Str(rec.graph_text);
   return os.str();
 }
 
-Result<WalRecord> DecodePayload(const std::string& payload, size_t index) {
+Result<WalRecord> DecodePayload(const std::string& payload, size_t index,
+                                uint32_t version) {
   std::istringstream is(payload, std::ios::binary);
   BinaryReader r(is);
   WalRecord rec;
   const uint8_t op = r.U8();
   rec.epoch = r.U64();
   rec.gid = r.I32();
+  rec.shard = version >= kWalVersion ? r.I32() : -1;
   rec.graph_text = r.Str();
   PIS_RETURN_NOT_OK(r.Check("WAL record " + std::to_string(index)));
   if (op != static_cast<uint8_t>(WalRecord::Op::kAdd) &&
@@ -87,8 +91,8 @@ Result<WalRecord> DecodePayload(const std::string& payload, size_t index) {
 /// Parses the framed record stream after the header. On success fills
 /// `records` and sets `*valid_end` to the offset just past the last intact
 /// record — less than `data.size()` exactly when a torn tail follows.
-Status ParseRecords(const std::string& data, std::vector<WalRecord>* records,
-                    size_t* valid_end) {
+Status ParseRecords(const std::string& data, uint32_t version,
+                    std::vector<WalRecord>* records, size_t* valid_end) {
   size_t off = kHeaderBytes;
   *valid_end = off;
   while (off < data.size()) {
@@ -109,13 +113,45 @@ Status ParseRecords(const std::string& data, std::vector<WalRecord>* records,
           std::to_string(off));
     }
     PIS_ASSIGN_OR_RETURN(
-        WalRecord rec,
-        DecodePayload(std::string(payload, payload_size), records->size()));
+        WalRecord rec, DecodePayload(std::string(payload, payload_size),
+                                     records->size(), version));
     records->push_back(std::move(rec));
     off += kFrameBytes + payload_size;
     *valid_end = off;
   }
   return Status::OK();
+}
+
+/// Atomically replaces the log at `path` with a freshly encoded
+/// current-version file holding exactly `records`. Returns the new size.
+Result<uint64_t> ReplaceLog(const std::string& path,
+                            std::span<const WalRecord> records) {
+  std::string out;
+  PutU32(&out, kWalMagic);
+  PutU32(&out, kWalVersion);
+  for (const WalRecord& rec : records) {
+    const std::string payload = EncodePayload(rec);
+    PutU32(&out, static_cast<uint32_t>(payload.size()));
+    PutU64(&out, Fnv1a64(payload.data(), payload.size()));
+    out.append(payload);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    f.close();
+    if (!f) return Status::IOError("cannot write " + tmp);
+  }
+  PIS_RETURN_NOT_OK(SyncFile(tmp));
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot swap rewritten WAL into place: " +
+                           ec.message());
+  }
+  PIS_RETURN_NOT_OK(SyncDir(dir));
+  return static_cast<uint64_t>(out.size());
 }
 
 Status ReadWholeFile(const std::string& path, std::string* out) {
@@ -162,12 +198,13 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& dir) {
       return Status::InvalidArgument(wal.path_ + " is not a PIS WAL");
     }
     const uint32_t version = GetU32(data.data() + 4);
-    if (version != kWalVersion) {
+    if (version != kWalVersion && version != kWalVersionNoShard) {
       return Status::InvalidArgument(
           "unsupported WAL version " + std::to_string(version) + " in " +
           wal.path_);
     }
-    PIS_RETURN_NOT_OK(ParseRecords(data, &wal.recovered_, &valid_end));
+    PIS_RETURN_NOT_OK(ParseRecords(data, version, &wal.recovered_,
+                                   &valid_end));
     if (valid_end < data.size()) {
       PIS_LOG(Warning) << "WAL " << wal.path_ << ": truncating torn tail ("
                        << (data.size() - valid_end) << " bytes after record "
@@ -178,6 +215,13 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& dir) {
                                wal.path_ + ": " + std::strerror(errno));
       }
       PIS_RETURN_NOT_OK(SyncFile(wal.path_));
+    }
+    if (version != kWalVersion) {
+      // Upgrade the file in place (same atomic rewrite as truncation) so
+      // appends — always current-version — never mix formats in one log.
+      PIS_ASSIGN_OR_RETURN(uint64_t new_size,
+                           ReplaceLog(wal.path_, wal.recovered_));
+      valid_end = new_size;
     }
   }
 
@@ -250,17 +294,26 @@ Status WriteAheadLog::Replay(GraphDatabase* db,
       // crash between the checkpoint's two file swaps); reconcile each.
       const bool db_needs = rec.gid >= db->size();
       const bool index_needs = rec.gid >= index->db_size();
-      if (db_needs && rec.gid != db->size()) {
+      if (rec.shard < 0) {
+        // Shard-less (v1) adds replay through least-loaded routing, which
+        // only reproduces the original placement when the log is gap-free.
+        if (db_needs && rec.gid != db->size()) {
+          return Status::InvalidArgument(
+              where + " adds gid " + std::to_string(rec.gid) +
+              " but the database holds only " + std::to_string(db->size()) +
+              " graphs — the log does not continue this snapshot");
+        }
+        if (index_needs && rec.gid != index->db_size()) {
+          return Status::InvalidArgument(
+              where + " adds gid " + std::to_string(rec.gid) +
+              " but the index covers only " + std::to_string(index->db_size()) +
+              " graphs — the log does not continue this snapshot");
+        }
+      } else if (rec.shard >= index->num_shards()) {
         return Status::InvalidArgument(
-            where + " adds gid " + std::to_string(rec.gid) +
-            " but the database holds only " + std::to_string(db->size()) +
-            " graphs — the log does not continue this snapshot");
-      }
-      if (index_needs && rec.gid != index->db_size()) {
-        return Status::InvalidArgument(
-            where + " adds gid " + std::to_string(rec.gid) +
-            " but the index covers only " + std::to_string(index->db_size()) +
-            " graphs — the log does not continue this snapshot");
+            where + " places gid " + std::to_string(rec.gid) + " in shard " +
+            std::to_string(rec.shard) + " but the index has only " +
+            std::to_string(index->num_shards()) + " shards");
       }
       if (!db_needs && !index_needs) continue;
       Result<Graph> g = ParseGraph(rec.graph_text);
@@ -268,13 +321,23 @@ Status WriteAheadLog::Replay(GraphDatabase* db,
         return Status::InvalidArgument(where + " holds an unparseable graph: " +
                                        g.status().message());
       }
-      if (db_needs) db->Add(g.value());
+      if (db_needs) {
+        // A shard-stamped log legitimately skips foreign gids: align the
+        // database with empty placeholder graphs for the absent slots
+        // (AddGraphAt tombstones the same ids in the index).
+        while (rec.shard >= 0 && db->size() < rec.gid) db->Add(Graph());
+        db->Add(g.value());
+      }
       if (index_needs) {
-        PIS_ASSIGN_OR_RETURN(int got, index->AddGraph(g.value()));
-        if (got != rec.gid) {
-          return Status::InvalidArgument(
-              where + " expected gid " + std::to_string(rec.gid) +
-              " but the index assigned " + std::to_string(got));
+        if (rec.shard >= 0) {
+          PIS_RETURN_NOT_OK(index->AddGraphAt(rec.gid, rec.shard, g.value()));
+        } else {
+          PIS_ASSIGN_OR_RETURN(int got, index->AddGraph(g.value()));
+          if (got != rec.gid) {
+            return Status::InvalidArgument(
+                where + " expected gid " + std::to_string(rec.gid) +
+                " but the index assigned " + std::to_string(got));
+          }
         }
       }
     } else {
@@ -347,45 +410,25 @@ Status WriteAheadLog::TruncateThrough(uint64_t through_epoch) {
   if (data.size() < kHeaderBytes) {
     return Status::Internal("WAL " + path_ + " lost its header");
   }
+  // Open upgraded any v1 file, but read the header back anyway — the parse
+  // must match whatever is physically on disk.
+  const uint32_t version = GetU32(data.data() + 4);
   std::vector<WalRecord> all;
   size_t valid_end = 0;
-  PIS_RETURN_NOT_OK(ParseRecords(data, &all, &valid_end));
+  PIS_RETURN_NOT_OK(ParseRecords(data, version, &all, &valid_end));
 
-  std::string out;
-  PutU32(&out, kWalMagic);
-  PutU32(&out, kWalVersion);
-  uint64_t kept = 0;
-  for (const WalRecord& rec : all) {
-    if (rec.epoch <= through_epoch) continue;
-    const std::string payload = EncodePayload(rec);
-    PutU32(&out, static_cast<uint32_t>(payload.size()));
-    PutU64(&out, Fnv1a64(payload.data(), payload.size()));
-    out.append(payload);
-    ++kept;
+  std::vector<WalRecord> keep;
+  keep.reserve(all.size());
+  for (WalRecord& rec : all) {
+    if (rec.epoch > through_epoch) keep.push_back(std::move(rec));
   }
-
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    f.write(out.data(), static_cast<std::streamsize>(out.size()));
-    f.close();
-    if (!f) return Status::IOError("cannot write " + tmp);
-  }
-  PIS_RETURN_NOT_OK(SyncFile(tmp));
-  const std::string dir = std::filesystem::path(path_).parent_path().string();
-  std::error_code ec;
-  std::filesystem::rename(tmp, path_, ec);
-  if (ec) {
-    return Status::IOError("cannot swap truncated WAL into place: " +
-                           ec.message());
-  }
-  PIS_RETURN_NOT_OK(SyncDir(dir));
+  PIS_ASSIGN_OR_RETURN(uint64_t new_size, ReplaceLog(path_, keep));
   // The append fd still points at the replaced (now unlinked) file; reopen
   // on the new one before any further Append.
   CloseFd();
   PIS_RETURN_NOT_OK(OpenForAppend());
-  bytes_.store(out.size(), std::memory_order_relaxed);
-  records_.store(kept, std::memory_order_relaxed);
+  bytes_.store(new_size, std::memory_order_relaxed);
+  records_.store(keep.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -9,13 +9,20 @@
 //
 // On-disk format (`wal.log` inside the log directory, little-endian):
 //
-//   header : u32 magic 'PWAL'  u32 version (currently 1)
+//   header : u32 magic 'PWAL'  u32 version (currently 2)
 //   record : u32 payload_size  u64 fnv1a64(payload)  payload bytes
-//   payload: u8 op (1=add 2=remove)  u64 epoch  i32 gid  str graph_text
+//   payload: u8 op (1=add 2=remove)  u64 epoch  i32 gid  i32 shard
+//            str graph_text
 //
 // `graph_text` is the graph's native text encoding (graph/io.h, exact
 // double round-trip) for adds and empty for removes; `epoch` is the host
 // epoch the batch published, which is what checkpoint truncation keys on.
+// `shard` (v2) records which shard the add landed in: replay places the
+// graph in exactly that shard (AddGraphAt), which is what lets a replica
+// that owns a shard subset — whose log legitimately skips foreign gids —
+// recover. Version-1 logs (no shard field) still load; they are upgraded
+// to v2 in place at Open, with shard -1 meaning "derive by least-loaded
+// routing" as before. Removes carry shard -1 (the routing table knows).
 //
 // Recovery semantics, chosen so every crash point is survivable:
 //   - A torn tail (the file ends before a record's declared payload
@@ -55,6 +62,11 @@ struct WalRecord {
   uint64_t epoch = 0;
   /// Global graph id the op assigned (add) or tombstoned (remove).
   int32_t gid = -1;
+  /// Shard the add was placed in (>= 0: replay uses AddGraphAt, filling
+  /// any foreign-gid gap below `gid` with absent slots). -1 — removes and
+  /// records recovered from v1 logs — replays through the least-loaded
+  /// AddGraph routing, which requires a gap-free log.
+  int32_t shard = -1;
   /// Native text encoding of the added graph; empty for removes.
   std::string graph_text;
 };
@@ -92,8 +104,11 @@ class WriteAheadLog {
 
   /// Applies recovered() over a loaded snapshot pair, idempotently (see
   /// file comment): already-applied adds/removes are skipped; a record that
-  /// cannot be reconciled (a gid gap, a parse failure) is InvalidArgument.
-  /// Leaves `db` and `index` id-aligned on success.
+  /// cannot be reconciled (a gid gap in a shard-less v1 record, a parse
+  /// failure) is InvalidArgument. Shard-stamped adds tolerate gaps — the
+  /// missing ids are materialized as absent slots (empty placeholder graphs
+  /// in `db`), which is how a shard-subset replica recovers. Leaves `db`
+  /// and `index` id-aligned on success.
   Status Replay(GraphDatabase* db, ShardedFragmentIndex* index) const;
 
   /// Appends `batch` and fsyncs once — the group-commit durability point.

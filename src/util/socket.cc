@@ -1,10 +1,13 @@
 #include "util/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -17,6 +20,46 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// Connects `fd` within `timeout_ms` using a non-blocking connect + poll,
+// restoring blocking mode afterwards. A plain connect(2) has no deadline at
+// all — against a black-holed peer it blocks for the kernel's SYN-retry
+// budget (minutes), which the router's failover cannot afford.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                          int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl");
+  }
+  Status st = Status::OK();
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        st = Status::DeadlineExceeded("connect timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+      } else if (rc < 0) {
+        st = Errno("poll");
+      } else {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+          st = Errno("getsockopt");
+        } else if (err != 0) {
+          st = Status::IOError(std::string("connect: ") + std::strerror(err));
+        }
+      }
+    } else {
+      st = Errno("connect");
+    }
+  }
+  if (st.ok() && ::fcntl(fd, F_SETFL, flags) < 0) st = Errno("fcntl");
+  return st;
 }
 
 }  // namespace
@@ -33,7 +76,8 @@ TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
   return *this;
 }
 
-Result<TcpSocket> TcpSocket::Connect(const std::string& host, int port) {
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, int port,
+                                     int timeout_ms) {
   if (port <= 0 || port > 65535) {
     return Status::InvalidArgument("bad port " + std::to_string(port));
   }
@@ -54,19 +98,46 @@ Result<TcpSocket> TcpSocket::Connect(const std::string& host, int port) {
       failure = Errno("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    Status st = timeout_ms > 0
+                    ? ConnectWithTimeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                         timeout_ms)
+                    : (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0
+                           ? Status::OK()
+                           : Errno("connect to " + host + ":" + service));
+    if (st.ok()) {
       ::freeaddrinfo(resolved);
       // Latency over throughput: protocol frames are small request/reply
       // lines, so coalescing (Nagle) only adds round-trip delay.
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return TcpSocket(fd);
+      TcpSocket sock(fd);
+      if (timeout_ms > 0) {
+        Status deadline = sock.SetDeadline(timeout_ms);
+        if (!deadline.ok()) return deadline;
+      }
+      return sock;
     }
-    failure = Errno("connect to " + host + ":" + service);
+    failure = std::move(st);
     ::close(fd);
   }
   ::freeaddrinfo(resolved);
   return failure;
+}
+
+Status TcpSocket::SetDeadline(int timeout_ms) {
+  if (!valid()) return Status::IOError("socket is closed");
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  }
+  // timeout_ms <= 0 leaves tv zeroed, which the kernel reads as "no
+  // timeout" — the documented way to clear SO_RCVTIMEO/SO_SNDTIMEO.
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt timeout");
+  }
+  return Status::OK();
 }
 
 Status TcpSocket::SendLine(const std::string& line) {
@@ -95,6 +166,11 @@ Status TcpSocket::SendLine(const std::string& line) {
     ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only reachable with a SetDeadline timeout installed: the peer's
+        // receive window stayed full past the deadline.
+        return Status::DeadlineExceeded("send timed out");
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
@@ -126,6 +202,11 @@ Result<std::string> TcpSocket::RecvLine(size_t max_bytes) {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A silent peer with a SetDeadline timeout installed — the defining
+        // failure mode the router's failover keys off.
+        return Status::DeadlineExceeded("recv timed out");
+      }
       return Errno("recv");
     }
     if (n == 0) {

@@ -24,10 +24,21 @@ class TcpSocket {
   TcpSocket& operator=(const TcpSocket&) = delete;
 
   /// Connects to host:port (IPv4 "a.b.c.d" or a resolvable name).
-  static Result<TcpSocket> Connect(const std::string& host, int port);
+  /// `timeout_ms > 0` bounds the connect itself (non-blocking connect +
+  /// poll) and is then installed as the socket's I/O deadline, so a peer
+  /// that accepts but never answers cannot block the caller forever.
+  /// `timeout_ms <= 0` keeps the historical blocking behaviour.
+  static Result<TcpSocket> Connect(const std::string& host, int port,
+                                   int timeout_ms = 0);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
+
+  /// Applies a per-operation deadline to every subsequent SendLine/RecvLine
+  /// (SO_SNDTIMEO/SO_RCVTIMEO). An operation that cannot finish within
+  /// `timeout_ms` fails with DeadlineExceeded instead of blocking. Pass
+  /// `timeout_ms <= 0` to remove the deadline (block forever again).
+  Status SetDeadline(int timeout_ms);
 
   /// Writes `line` plus a trailing '\n' (the frame delimiter), retrying
   /// short writes. `line` must not itself contain '\n'.
@@ -36,7 +47,8 @@ class TcpSocket {
   /// Reads up to and including the next '\n'; returns the line without the
   /// delimiter. IOError("connection closed") on clean EOF with no buffered
   /// partial line. `max_bytes` bounds a single frame so a peer that never
-  /// sends '\n' can't grow the buffer without limit.
+  /// sends '\n' can't grow the buffer without limit. With a deadline set
+  /// (SetDeadline), a silent peer yields DeadlineExceeded.
   Result<std::string> RecvLine(size_t max_bytes = 64 << 20);
 
   /// Half-closes both directions (unblocks a peer or a reader thread) then

@@ -2,8 +2,7 @@
 
 namespace pis {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -23,14 +22,29 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
-}  // namespace
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kIOError, StatusCode::kParseError, StatusCode::kInternal,
+        StatusCode::kNotImplemented, StatusCode::kDeadlineExceeded,
+        StatusCode::kUnavailable}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

@@ -21,6 +21,8 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kNotImplemented,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// \brief Outcome of an operation that can fail.
@@ -67,6 +69,12 @@ class [[nodiscard]] Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +91,14 @@ class [[nodiscard]] Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Stable wire name of a code ("NotFound", "DeadlineExceeded", ...): the
+/// serving protocol ships it in error replies so a remote caller can
+/// reconstruct a typed Status instead of collapsing everything to a string.
+const char* StatusCodeName(StatusCode code);
+/// Inverse of StatusCodeName; kInternal for an unrecognized name (an older
+/// or foreign peer — the message still carries the details).
+StatusCode StatusCodeFromName(const std::string& name);
 
 /// \brief A value or an error, never both.
 ///

@@ -8,6 +8,7 @@
 // gets its own correct gid.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -332,6 +333,49 @@ TEST(DurabilityTest, GroupCommitCoalescesConcurrentWriters) {
   std::unique_ptr<EngineHost> recovered = f.OpenHost();
   EXPECT_EQ(recovered->Stats().db_slots, base_slots + total_ops);
   EXPECT_EQ(recovered->Stats().epoch, snap->epoch);
+}
+
+// A replica serving a shard subset sees only the cluster writes routed to
+// its shards, so its log legitimately skips foreign gids. Shard-stamped
+// (v2) records let Replay bridge those gaps — missing ids materialize as
+// absent slots and the logged graph lands in exactly its logged shard —
+// where a shard-less record over the same gap must still be refused.
+TEST(DurabilityTest, ShardStampedReplayBridgesForeignGidGaps) {
+  DurabilityFixture f("shard_gap");
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  const int base = f.fx.db.size();  // snapshot holds gids 0..base-1
+  {
+    auto wal = WriteAheadLog::Open(f.wal_dir());
+    ASSERT_TRUE(wal.ok());
+    // Foreign writes consumed gids base and base+1 on other replicas;
+    // this replica's shard got the next two.
+    WalRecord a;
+    a.op = WalRecord::Op::kAdd;
+    a.epoch = 1;
+    a.gid = base + 2;
+    a.shard = 1;
+    a.graph_text = FormatGraph(f.pool.at(0), a.gid);
+    WalRecord b = a;
+    b.epoch = 2;
+    b.gid = base + 3;
+    b.graph_text = FormatGraph(f.pool.at(1), b.gid);
+    std::vector<WalRecord> batch = {a, b};
+    ASSERT_TRUE(wal.value().Append(batch).ok());
+  }
+  std::unique_ptr<EngineHost> host = f.OpenHost();
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  EngineHost::HostStats stats = host->Stats();
+  EXPECT_EQ(stats.db_slots, base + 4);  // the gap occupies real slots
+  EXPECT_EQ(stats.live, base + 2);      // gap slots are absent, not live
+  // Self-queries surface the replayed graphs under their logged gids.
+  for (int i = 0; i < 2; ++i) {
+    auto result = host->Search(f.pool.at(i));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::vector<int>& answers = result.value().answers;
+    EXPECT_TRUE(std::find(answers.begin(), answers.end(), base + 2 + i) !=
+                answers.end())
+        << "replayed gid " << base + 2 + i << " not found";
+  }
 }
 
 TEST(DurabilityTest, AttachWalRequiresCleanPreconditions) {

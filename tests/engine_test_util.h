@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pis.h"
@@ -20,6 +23,9 @@
 #include "index/sharded_index.h"
 #include "mining/feature_selector.h"
 #include "mining/gspan.h"
+#include "server/cluster_engine.h"
+#include "server/engine_host.h"
+#include "server/pis_server.h"
 #include "util/random.h"
 
 namespace pis::testing {
@@ -436,6 +442,330 @@ class LifecycleHarness {
   std::vector<int> flat_globals_;
   std::vector<int> flat_id_of_;
   PisOptions popt_;
+  std::optional<QuerySampler> sampler_;
+};
+
+/// Differential cluster driver: spins `num_groups * replicas` real
+/// PisServers on loopback ephemeral ports (endpoint group g owns the
+/// shards {s : s % num_groups == g}; every replica of a group serves the
+/// identical shard subset), connects a ClusterEngine over the sockets, and
+/// checks every answer, candidate list, and shared QueryStats counter
+/// against a single-process EngineHost oracle that receives the same
+/// write schedule.
+///
+/// Each replica runs its OWN EngineHost, rebuilt from the identical
+/// initial inputs — index construction is deterministic, so the replicas
+/// start bit-identical and stay converged because the router replays the
+/// same explicit placements everywhere. KillServer tears a replica's
+/// server down mid-stream (its host keeps its state, modelling a restart
+/// over durable storage); RestartServer rebinds the same port and forces
+/// one synchronous health/catch-up pass, so recovery is deterministic —
+/// no health-thread cadence in the loop. Every method is void so ASSERT_*
+/// works inside; callers bail on HasFatalFailure() between steps.
+class ClusterHarness {
+ public:
+  struct Options {
+    int num_shards = 3;
+    /// Replicas per endpoint group (every shard gets this many replicas).
+    int replicas = 1;
+    /// Endpoint groups the shards are striped over (clamped to
+    /// num_shards); 1 = every server owns every shard.
+    int num_groups = 2;
+    uint64_t seed = 0;
+    int initial_graphs = 12;
+    int pool_graphs = 26;
+    int max_fragment_edges = 4;
+    double sigma = 2.0;
+    bool sketch = false;
+    int queries_per_check = 2;
+  };
+
+  explicit ClusterHarness(const Options& opt)
+      : opt_(opt),
+        rng_(900 + 17 * opt.seed + static_cast<uint64_t>(opt.num_shards) +
+             3 * static_cast<uint64_t>(opt.replicas)) {
+    Build();  // ASSERT_* needs a void function; ctor bodies return *this
+  }
+
+  ~ClusterHarness() {
+    cluster_.reset();  // sever client sockets before the servers stop
+    for (Server& s : servers_) {
+      if (s.server == nullptr) continue;
+      s.server->Shutdown();
+      s.server->Wait();
+    }
+  }
+
+ private:
+  struct Server {
+    int group = 0;
+    int port = 0;
+    std::unique_ptr<EngineHost> host;
+    std::unique_ptr<PisServer> server;
+  };
+
+  std::vector<int> OwnedShards(int group) const {
+    std::vector<int> owned;
+    for (int s = group; s < opt_.num_shards; s += num_groups_) {
+      owned.push_back(s);
+    }
+    return owned;
+  }
+
+  /// Binds `s->server` on `port` (0 = ephemeral). A restart reuses the old
+  /// port, which the kernel may briefly hold; retry around that window.
+  void StartServer(Server* s, int port) {
+    PisServerOptions sopt;
+    sopt.port = port;
+    sopt.shards_owned = OwnedShards(s->group);
+    s->server = std::make_unique<PisServer>(s->host.get(), sopt);
+    Status started = s->server->Start();
+    for (int attempt = 0; !started.ok() && attempt < 100; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      s->server = std::make_unique<PisServer>(s->host.get(), sopt);
+      started = s->server->Start();
+    }
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    s->port = s->server->port();
+  }
+
+  void Build() {
+    num_groups_ = std::min(opt_.num_groups, opt_.num_shards);
+    ASSERT_GE(num_groups_, 1);
+    ASSERT_GE(opt_.replicas, 1);
+
+    MoleculeGeneratorOptions gopt;
+    gopt.seed = 500 + opt_.seed;
+    gopt.mean_vertices = 12;
+    gopt.max_vertices = 26;
+    MoleculeGenerator gen(gopt);
+    pool_ = gen.Generate(opt_.pool_graphs);
+    GraphDatabase initial;
+    for (int i = 0; i < opt_.initial_graphs; ++i) initial.Add(pool_.at(i));
+    next_pool_ = opt_.initial_graphs;
+    live_.assign(opt_.initial_graphs, 1);
+    live_count_ = opt_.initial_graphs;
+    slot_count_ = opt_.initial_graphs;
+
+    // Features are mined once and shared: the frozen class catalog every
+    // replica (and the oracle) enumerates against must be identical.
+    GraphDatabase skeletons;
+    for (const Graph& g : initial.graphs()) skeletons.Add(g.Skeleton());
+    GspanOptions mine;
+    mine.min_support = 2;
+    mine.max_edges = opt_.max_fragment_edges;
+    auto patterns = MineFrequentSubgraphs(skeletons, mine);
+    ASSERT_TRUE(patterns.ok());
+    for (const Pattern& p : patterns.value()) features_.push_back(p.graph);
+    ASSERT_FALSE(features_.empty());
+
+    FragmentIndexOptions iopt;
+    iopt.max_fragment_edges = opt_.max_fragment_edges;
+    popt_.sigma = opt_.sigma;
+    popt_.sketch_enabled = opt_.sketch;
+
+    auto make_host = [&]() -> std::unique_ptr<EngineHost> {
+      auto index = ShardedFragmentIndex::Build(initial, features_, iopt,
+                                               opt_.num_shards);
+      EXPECT_TRUE(index.ok()) << index.status().ToString();
+      if (!index.ok()) return nullptr;
+      return std::make_unique<EngineHost>(initial, index.MoveValue(), popt_);
+    };
+    oracle_ = make_host();
+    ASSERT_NE(oracle_, nullptr);
+    for (int g = 0; g < num_groups_; ++g) {
+      for (int r = 0; r < opt_.replicas; ++r) {
+        Server s;
+        s.group = g;
+        s.host = make_host();
+        ASSERT_NE(s.host, nullptr);
+        servers_.push_back(std::move(s));
+      }
+    }
+    for (Server& s : servers_) {
+      StartServer(&s, /*port=*/0);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    ClusterManifest manifest;
+    manifest.shards.resize(opt_.num_shards);
+    for (int shard = 0; shard < opt_.num_shards; ++shard) {
+      const int g = shard % num_groups_;
+      for (int r = 0; r < opt_.replicas; ++r) {
+        const Server& s = servers_[g * opt_.replicas + r];
+        manifest.shards[shard].replicas.push_back("127.0.0.1:" +
+                                                  std::to_string(s.port));
+      }
+    }
+    ClusterEngineOptions copt;
+    copt.timeout_ms = 10000;
+    // One transport failure opens a breaker; a 1ms window keeps ProbeOnce
+    // (which skips unexpired breakers) deterministic without a sleep.
+    copt.breaker_threshold = 1;
+    copt.breaker_open_ms = 1;
+    copt.health_interval_ms = 50;  // unused: the harness drives ProbeOnce
+    copt.options = popt_;
+    auto cluster = ClusterEngine::Connect(manifest, copt);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = cluster.MoveValue();
+    ASSERT_EQ(cluster_->num_shards(), opt_.num_shards);
+
+    sampler_.emplace(&pool_, QuerySamplerOptions{.seed = 40u + opt_.seed,
+                                                 .strip_vertex_labels = true});
+  }
+
+ public:
+  bool CanAdd() const { return next_pool_ < pool_.size(); }
+  int live_count() const { return live_count_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  ClusterEngine& cluster() { return *cluster_; }
+  EngineHost& oracle() { return *oracle_; }
+  Rng& rng() { return rng_; }
+
+  /// Index of replica r of endpoint group g.
+  int ServerIndex(int group, int replica) const {
+    return group * opt_.replicas + replica;
+  }
+
+  /// Stops a replica's server mid-stream: live router connections are
+  /// severed and new ones refused, so the next touch is a transport error.
+  void KillServer(int i) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, num_servers());
+    ASSERT_NE(servers_[i].server, nullptr) << "server " << i << " already down";
+    servers_[i].server->Shutdown();
+    servers_[i].server->Wait();
+    servers_[i].server.reset();
+  }
+
+  /// Rebinds the replica on its old port, then forces one synchronous
+  /// probe pass so the breaker closes and queued catch-up ops drain before
+  /// the caller's next check.
+  void RestartServer(int i) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, num_servers());
+    ASSERT_EQ(servers_[i].server, nullptr) << "server " << i << " still up";
+    StartServer(&servers_[i], servers_[i].port);
+    if (::testing::Test::HasFatalFailure()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    cluster_->ProbeOnce();
+  }
+
+  /// Adds the next pool graph through the router and the oracle; the
+  /// placements (and so the assigned gids) must agree.
+  void AddOne() {
+    ASSERT_TRUE(CanAdd());
+    const Graph& g = pool_.at(next_pool_++);
+    auto want = oracle_->AddGraph(g);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_EQ(want.value(), slot_count_);
+    auto got = cluster_->AddGraph(g);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got.value(), want.value());
+    ++slot_count_;
+    live_.push_back(1);
+    ++live_count_;
+  }
+
+  /// Removes a uniformly random live graph from both sides.
+  void RemoveOne() {
+    ASSERT_GT(live_count_, 0);
+    int victim = rng_.UniformInt(0, live_count_ - 1);
+    int gid = -1;
+    for (int i = 0; i < slot_count_; ++i) {
+      if (live_[i] && victim-- == 0) {
+        gid = i;
+        break;
+      }
+    }
+    ASSERT_TRUE(oracle_->RemoveGraph(gid).ok());
+    Status removed = cluster_->RemoveGraph(gid);
+    ASSERT_TRUE(removed.ok()) << removed.ToString();
+    live_[gid] = 0;
+    --live_count_;
+  }
+
+  /// Compacts the oracle and every replica host (including killed ones —
+  /// their durable state keeps evolving). Compaction reorganizes shard
+  /// storage without moving global ids, so the router's routing table
+  /// stays valid.
+  void CompactAll() {
+    auto compacted = oracle_->Compact(0.0);
+    ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+    for (Server& s : servers_) {
+      auto c = s.host->Compact(0.0);
+      ASSERT_TRUE(c.ok()) << c.status().ToString();
+    }
+  }
+
+  /// The differential check: sampled queries must return identical
+  /// answers, candidate lists, and shared counters through the fan-out
+  /// path and the single-process oracle. range_queries is included —
+  /// both sides count one physical range query per shard per fragment.
+  void CheckQueries() {
+    for (int trial = 0; trial < opt_.queries_per_check; ++trial) {
+      auto query = sampler_->Sample(5 + rng_.UniformInt(0, 3));
+      ASSERT_TRUE(query.ok());
+      auto want = oracle_->Search(query.value());
+      auto got = cluster_->Search(query.value());
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(want.value().answers, got.value().answers);
+      EXPECT_EQ(want.value().candidates, got.value().candidates);
+      ExpectSameCounters(want.value().stats, got.value().stats);
+      if (opt_.sketch) {
+        // Per-shard sketch probes partition the live set, so the summed
+        // cluster counters equal the oracle's global ones exactly.
+        EXPECT_EQ(want.value().stats.sketch_checks,
+                  got.value().stats.sketch_checks);
+        EXPECT_EQ(want.value().stats.sketch_pruned,
+                  got.value().stats.sketch_pruned);
+      }
+    }
+  }
+
+  /// SearchBatch parity, compared per query — only enum_cache_hits (a
+  /// local batch optimization) may differ, and ExpectSameCounters skips
+  /// it.
+  void CheckBatch() {
+    std::vector<Graph> queries;
+    for (int i = 0; i < opt_.queries_per_check + 1; ++i) {
+      auto q = sampler_->Sample(5 + rng_.UniformInt(0, 3));
+      ASSERT_TRUE(q.ok());
+      queries.push_back(q.value());
+    }
+    BatchSearchResult want = oracle_->SearchBatch(queries, 2);
+    BatchSearchResult got = cluster_->SearchBatch(queries, 2);
+    ASSERT_EQ(want.results.size(), queries.size());
+    ASSERT_EQ(got.results.size(), queries.size());
+    EXPECT_EQ(want.succeeded, got.succeeded);
+    EXPECT_EQ(want.failed, got.failed);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(want.results[i].ok()) << want.results[i].status().ToString();
+      ASSERT_TRUE(got.results[i].ok()) << got.results[i].status().ToString();
+      EXPECT_EQ(want.results[i].value().answers, got.results[i].value().answers);
+      EXPECT_EQ(want.results[i].value().candidates,
+                got.results[i].value().candidates);
+      ExpectSameCounters(want.results[i].value().stats,
+                         got.results[i].value().stats);
+    }
+  }
+
+ private:
+  Options opt_;
+  int num_groups_ = 1;
+  Rng rng_;
+  GraphDatabase pool_;
+  std::vector<Graph> features_;
+  PisOptions popt_;
+  std::unique_ptr<EngineHost> oracle_;
+  std::vector<Server> servers_;
+  std::unique_ptr<ClusterEngine> cluster_;
+  /// Global liveness by gid; live_count_ is its popcount.
+  std::vector<char> live_;
+  int live_count_ = 0;
+  int slot_count_ = 0;
+  int next_pool_ = 0;
   std::optional<QuerySampler> sampler_;
 };
 

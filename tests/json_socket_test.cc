@@ -234,6 +234,95 @@ TEST(SocketTest, ShutdownUnblocksAccept) {
   acceptor.join();
 }
 
+// The deadline contract that keeps a wedged replica from hanging the
+// router: a peer that accepts traffic but never answers must yield
+// DeadlineExceeded, not block forever.
+TEST(SocketTest, DeadlineExpiresOnDeliberatelySilentServer) {
+  auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener.value().Accept();
+    ASSERT_TRUE(conn.ok());
+    // Swallow the request and say nothing; hold the connection open until
+    // the client hangs up so the silence is the only signal.
+    auto request = conn.value().RecvLine();
+    ASSERT_TRUE(request.ok());
+    EXPECT_EQ(request.value(), "ping");
+    (void)conn.value().RecvLine();  // parks until the client closes
+  });
+
+  auto client = TcpSocket::Connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().SetDeadline(100).ok());
+  ASSERT_TRUE(client.value().SendLine("ping").ok());
+  auto reply = client.value().RecvLine();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded)
+      << reply.status().ToString();
+  client.value().Close();
+  server.join();
+}
+
+// Connect(timeout_ms) must install the same deadline on the connected
+// socket — the caller gets silent-peer protection without a second call.
+TEST(SocketTest, ConnectTimeoutInstallsIoDeadline) {
+  auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener.value().Accept();
+    ASSERT_TRUE(conn.ok());
+    (void)conn.value().RecvLine();  // never replies; parks until close
+  });
+
+  auto client =
+      TcpSocket::Connect("127.0.0.1", listener.value().port(),
+                         /*timeout_ms=*/100);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto reply = client.value().RecvLine();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded)
+      << reply.status().ToString();
+  client.value().Close();
+  server.join();
+}
+
+// A timed-out read poisons nothing: once the peer does answer, the same
+// socket delivers the frame (the router relies on this when it retries a
+// slow-but-alive replica after a failover round).
+TEST(SocketTest, SocketSurvivesDeadlineExpiryAndReadsLateReply) {
+  auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener.value().Accept();
+    ASSERT_TRUE(conn.ok());
+    auto first = conn.value().RecvLine();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value(), "ping");
+    // Reply only when the client explicitly asks — the client's first
+    // read is guaranteed to time out, no sleep races.
+    auto go = conn.value().RecvLine();
+    ASSERT_TRUE(go.ok());
+    EXPECT_EQ(go.value(), "now");
+    ASSERT_TRUE(conn.value().SendLine("pong").ok());
+  });
+
+  auto client = TcpSocket::Connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().SetDeadline(100).ok());
+  ASSERT_TRUE(client.value().SendLine("ping").ok());
+  auto timed_out = client.value().RecvLine();
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  ASSERT_TRUE(client.value().SetDeadline(10000).ok());
+  ASSERT_TRUE(client.value().SendLine("now").ok());
+  auto reply = client.value().RecvLine();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value(), "pong");
+  client.value().Close();
+  server.join();
+}
+
 TEST(SocketTest, OversizedFrameIsRejected) {
   auto listener = TcpListener::Listen(0, /*loopback_only=*/true);
   ASSERT_TRUE(listener.ok());

@@ -54,6 +54,53 @@ void AppendRawBytes(const std::string& dir, const std::string& bytes) {
   ASSERT_TRUE(out.good());
 }
 
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One framed record in the historical v1 payload layout: op, epoch, gid,
+/// graph text — no shard field.
+std::string V1Frame(uint8_t op, uint64_t epoch, int32_t gid,
+                    const std::string& text) {
+  std::string payload;
+  payload.push_back(static_cast<char>(op));
+  PutU64(&payload, epoch);
+  PutU32(&payload, static_cast<uint32_t>(gid));
+  PutU64(&payload, text.size());
+  payload += text;
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, Fnv1a64(payload));
+  return frame + payload;
+}
+
+/// Writes a complete version-1 log file (magic + version 1 + records).
+void WriteV1Log(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::string file;
+  PutU32(&file, 0x4C415750);  // 'PWAL'
+  PutU32(&file, 1);
+  file += V1Frame(1, 1, 0, "t # 0\nv 0 6\n");
+  file += V1Frame(1, 2, 1, "t # 1\nv 0 8\n");
+  file += V1Frame(2, 3, 0, "");
+  std::ofstream out(LogPath(dir), std::ios::binary | std::ios::trunc);
+  out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  ASSERT_TRUE(out.good());
+}
+
 TEST(WalTest, OpenCreatesAnEmptyLog) {
   const std::string dir = FreshDir("create");
   auto wal = WriteAheadLog::Open(dir);
@@ -213,6 +260,80 @@ TEST(WalTest, TruncateThroughKeepsOnlyUncoveredRecords) {
   EXPECT_EQ(reopened.value().recovered()[0].op, WalRecord::Op::kRemove);
   EXPECT_EQ(reopened.value().recovered()[1].epoch, 4u);
   EXPECT_EQ(reopened.value().recovered()[1].gid, 2);
+}
+
+// Pre-cluster logs carry no shard field; Open must still read them
+// (shard resolves to -1 = least-loaded routing) and upgrade the file to
+// the current version in place, so one process generation migrates the
+// whole fleet's logs.
+TEST(WalTest, V1LogUpgradesToV2InPlaceAtOpen) {
+  const std::string dir = FreshDir("v1_upgrade");
+  WriteV1Log(dir);
+  {
+    auto wal = WriteAheadLog::Open(dir);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    const std::vector<WalRecord>& got = wal.value().recovered();
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].op, WalRecord::Op::kAdd);
+    EXPECT_EQ(got[0].gid, 0);
+    EXPECT_EQ(got[0].shard, -1);  // v1 records have no placement stamp
+    EXPECT_EQ(got[0].graph_text, "t # 0\nv 0 6\n");
+    EXPECT_EQ(got[1].shard, -1);
+    EXPECT_EQ(got[2].op, WalRecord::Op::kRemove);
+    EXPECT_EQ(got[2].shard, -1);
+    EXPECT_EQ(wal.value().max_recovered_epoch(), 3u);
+
+    // Appends after the upgrade are current-version records in the same
+    // file — formats never mix within one log.
+    WalRecord stamped = Add(4, 2, "t # 2\nv 0 1\n");
+    stamped.shard = 1;
+    std::vector<WalRecord> more = {stamped};
+    ASSERT_TRUE(wal.value().Append(more).ok());
+  }
+  // The on-disk version field was rewritten to 2 at Open.
+  {
+    std::ifstream in(LogPath(dir), std::ios::binary);
+    char header[8] = {};
+    in.read(header, sizeof header);
+    ASSERT_TRUE(in.good());
+    uint32_t version = 0;
+    for (int i = 3; i >= 0; --i) {
+      version = (version << 8) | static_cast<unsigned char>(header[4 + i]);
+    }
+    EXPECT_EQ(version, 2u);
+  }
+  auto reopened = WriteAheadLog::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(reopened.value().recovered().size(), 4u);
+  EXPECT_EQ(reopened.value().recovered()[0].shard, -1);
+  EXPECT_EQ(reopened.value().recovered()[3].shard, 1);
+  EXPECT_EQ(reopened.value().recovered()[3].gid, 2);
+}
+
+// The shard stamp (which shard an add landed in) must survive the disk
+// round trip exactly — replica recovery replays through it.
+TEST(WalTest, ShardStampRoundTrips) {
+  const std::string dir = FreshDir("shard_stamp");
+  {
+    auto wal = WriteAheadLog::Open(dir);
+    ASSERT_TRUE(wal.ok());
+    WalRecord a = Add(1, 5, "t # 5\nv 0 6\n");
+    a.shard = 2;
+    WalRecord b = Add(1, 9, "t # 9\nv 0 8\n");
+    b.shard = 0;
+    std::vector<WalRecord> batch = {a, b, Remove(2, 5)};
+    ASSERT_TRUE(wal.value().Append(batch).ok());
+  }
+  auto reopened = WriteAheadLog::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const std::vector<WalRecord>& got = reopened.value().recovered();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].gid, 5);
+  EXPECT_EQ(got[0].shard, 2);
+  EXPECT_EQ(got[1].gid, 9);
+  EXPECT_EQ(got[1].shard, 0);
+  EXPECT_EQ(got[2].op, WalRecord::Op::kRemove);
+  EXPECT_EQ(got[2].shard, -1);  // removes route through the live table
 }
 
 TEST(WalTest, TruncateThroughEverythingLeavesAnEmptyLog) {

@@ -1,6 +1,7 @@
-// pis_client: command-line client for the pis_server JSON protocol.
+// pis_client: command-line client for the pis_server / pis_router JSON
+// protocol.
 //
-//   pis_client health    --port P [--host H]
+//   pis_client health    --port P [--host H] [--timeout_ms T]
 //   pis_client stats     --port P
 //   pis_client query     --port P --query q.txt [--sigma S]
 //   pis_client add       --port P --graphs new.txt
@@ -10,8 +11,18 @@
 //   pis_client raw       --port P          (JSON lines from stdin)
 //
 // Every server reply is printed verbatim — one JSON object per line — so
-// scripts can pipe the output straight into a JSON tool. The exit code is
-// 0 iff every reply had "ok":true.
+// scripts can pipe the output straight into a JSON tool.
+//
+// Exit codes distinguish what failed, so scripts can tell a down server
+// from a rejected request:
+//   0  every reply had "ok":true
+//   1  the server answered, but some reply had "ok":false
+//   2  usage error (bad flags, unknown subcommand, unreadable input file)
+//   3  transport error (connect refused/timed out, deadline exceeded
+//      mid-request, connection lost, unparsable reply frame)
+//
+// --timeout_ms bounds the connect AND every round trip; a server that
+// accepts but never answers yields exit 3 instead of hanging forever.
 //
 // `query` sends each record of --query as one query request on a single
 // connection; `add` likewise indexes every record of --graphs.
@@ -28,9 +39,13 @@ using namespace pis;
 
 namespace {
 
-int Fail(const Status& status) {
+constexpr int kExitAppFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTransport = 3;
+
+int Fail(const Status& status, int code) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return code;
 }
 
 int FailUsage() {
@@ -39,11 +54,13 @@ int FailUsage() {
                "<health|stats|query|add|remove|compact|shutdown|raw> "
                "--port P [flags]\nRun a subcommand with --help for its "
                "flags.\n");
-  return 2;
+  return kExitUsage;
 }
 
 /// Sends one request line, prints the reply line, and returns whether the
-/// reply had "ok":true.
+/// reply had "ok":true. Any error here is a transport failure: the wire
+/// broke or produced an unparsable frame (application failures arrive as
+/// well-formed {"ok":false} replies).
 Result<bool> RoundTrip(TcpSocket* conn, const JsonValue& request) {
   PIS_RETURN_NOT_OK(conn->SendLine(request.Serialize()));
   PIS_ASSIGN_OR_RETURN(std::string reply, conn->RecvLine());
@@ -64,6 +81,7 @@ int main(int argc, char** argv) {
   std::string ids;
   double sigma = -1;
   double min_dead_ratio = 0.0;
+  int timeout_ms = 0;
 
   FlagSet flags;
   flags.AddString("host", &host, "server host");
@@ -75,12 +93,15 @@ int main(int argc, char** argv) {
                   "< 0 = server default)");
   flags.AddDouble("min_dead_ratio", &min_dead_ratio,
                   "compaction threshold (compact)");
+  flags.AddInt("timeout_ms", &timeout_ms,
+               "connect + per-request deadline (0 = block forever); a "
+               "deadline failure exits 3");
   Status st = flags.Parse(argc - 1, argv + 1);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
-  if (!st.ok()) return Fail(st);
+  if (!st.ok()) return Fail(st, kExitUsage);
 
-  auto conn = TcpSocket::Connect(host, port);
-  if (!conn.ok()) return Fail(conn.status());
+  auto conn = TcpSocket::Connect(host, port, timeout_ms);
+  if (!conn.ok()) return Fail(conn.status(), kExitTransport);
   TcpSocket socket = conn.MoveValue();
   bool all_ok = true;
 
@@ -102,11 +123,13 @@ int main(int argc, char** argv) {
   } else if (cmd == "query" || cmd == "add") {
     const std::string& path = cmd == "query" ? query_path : graphs_path;
     if (path.empty()) {
-      return Fail(Status::InvalidArgument(
-          cmd == "query" ? "--query is required" : "--graphs is required"));
+      return Fail(Status::InvalidArgument(cmd == "query"
+                                              ? "--query is required"
+                                              : "--graphs is required"),
+                  kExitUsage);
     }
     auto records = ReadGraphDatabaseFile(path);
-    if (!records.ok()) return Fail(records.status());
+    if (!records.ok()) return Fail(records.status(), kExitUsage);
     for (const Graph& g : records.value().graphs()) {
       JsonValue request = JsonValue::Object();
       request.Set("op", cmd);
@@ -116,7 +139,9 @@ int main(int argc, char** argv) {
       if (!failure.ok()) break;
     }
   } else if (cmd == "remove") {
-    if (ids.empty()) return Fail(Status::InvalidArgument("--ids is required"));
+    if (ids.empty()) {
+      return Fail(Status::InvalidArgument("--ids is required"), kExitUsage);
+    }
     for (const std::string& token : Split(ids, ',')) {
       int id = 0;
       try {
@@ -125,7 +150,8 @@ int main(int argc, char** argv) {
         if (used != token.size()) throw std::invalid_argument(token);
       } catch (...) {
         return Fail(
-            Status::InvalidArgument("bad graph id '" + token + "' in --ids"));
+            Status::InvalidArgument("bad graph id '" + token + "' in --ids"),
+            kExitUsage);
       }
       JsonValue request = JsonValue::Object();
       request.Set("op", "remove");
@@ -152,6 +178,6 @@ int main(int argc, char** argv) {
     return FailUsage();
   }
 
-  if (!failure.ok()) return Fail(failure);
-  return all_ok ? 0 : 1;
+  if (!failure.ok()) return Fail(failure, kExitTransport);
+  return all_ok ? 0 : kExitAppFailure;
 }

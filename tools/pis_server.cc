@@ -4,6 +4,7 @@
 //              [--sigma S] [--sketch] [--compact_dead_ratio R]
 //              [--compact_interval_ms M] [--wal_dir DIR]
 //              [--checkpoint_interval_ms C] [--save_on_exit]
+//              [--shards_owned 0,2,5]
 //   pis_server --db db.txt --shards 4 [--max_fragment_edges K]
 //              [--min_support F] [--gamma G] [--distance mutation|linear] ...
 //
@@ -38,6 +39,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -73,6 +75,29 @@ Result<ShardedFragmentIndex> BuildIndex(const GraphDatabase& db, int shards,
   options.num_threads = threads <= 0 ? HardwareThreads() : threads;
   PIS_ASSIGN_OR_RETURN(options.spec, DistanceSpecFromName(distance));
   return ShardedFragmentIndex::Build(db, features, options, shards);
+}
+
+/// "--shards_owned 0,2,5" -> {0, 2, 5}. Empty input means all shards.
+Result<std::vector<int>> ParseShardList(const std::string& text) {
+  std::vector<int> shards;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    char* end = nullptr;
+    const long value = std::strtol(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0' || value < 0 ||
+        value > 1 << 20) {
+      return Status::InvalidArgument(
+          "--shards_owned must be a comma-separated list of shard ids, got "
+          "\"" +
+          text + "\"");
+    }
+    shards.push_back(static_cast<int>(value));
+  }
+  return shards;
 }
 
 /// A crash between a checkpoint's two directory renames can leave the index
@@ -117,6 +142,7 @@ int main(int argc, char** argv) {
   int checkpoint_interval_ms = 0;
   bool save_on_exit = false;
   bool sketch = false;
+  std::string shards_owned_flag;
 
   FlagSet flags;
   flags.AddString("db", &db_path, "database path (native text format)");
@@ -151,6 +177,9 @@ int main(int argc, char** argv) {
   flags.AddBool("sketch", &sketch,
                 "enable the superimposed-sketch prefilter for every query "
                 "(results are identical, only filter work changes)");
+  flags.AddString("shards_owned", &shards_owned_flag,
+                  "comma-separated shard ids this replica serves for the "
+                  "cluster-fabric ops (empty = all; see pis_router)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -254,6 +283,19 @@ int main(int argc, char** argv) {
   PisServerOptions server_options;
   server_options.port = port;
   server_options.num_workers = workers;
+  if (!shards_owned_flag.empty()) {
+    Result<std::vector<int>> owned = ParseShardList(shards_owned_flag);
+    if (!owned.ok()) return Fail(owned.status());
+    for (int s : owned.value()) {
+      if (s >= host.Stats().num_shards) {
+        return Fail(Status::InvalidArgument(
+            "--shards_owned names shard " + std::to_string(s) +
+            " but the index has " + std::to_string(host.Stats().num_shards) +
+            " shards"));
+      }
+    }
+    server_options.shards_owned = owned.MoveValue();
+  }
   PisServer server(&host, server_options);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
