@@ -143,6 +143,39 @@ check_match probe0.txt
 check_match probe1.txt
 "$BIN/pis_client" health --port "$ROUTER_PORT" | grep -q '"live":61'
 
+echo "== traced query through the router carries per-shard child spans"
+"$BIN/pis_client" query --port "$ROUTER_PORT" --query probe0.txt --trace \
+  > traced.json 2> trace.txt
+grep -q '"ok":true' traced.json
+grep -q '"trace_id"' traced.json
+# The router-level "query" root span must contain the two-round fan-out:
+# shard_query round trips (with the replicas' own child spans grafted in)
+# and per-shard shard_verify round trips.
+grep -q '"name":"query"' traced.json
+grep -q '"name":"shard_query:' traced.json
+grep -q '"name":"shard_verify:' traced.json
+grep -q '"name":"merge"' traced.json
+grep -q '"name":"enumerate"' traced.json
+grep -q "ms total" trace.txt
+grep -q "shard_query" trace.txt
+
+echo "== router metrics exposition reflects the load just driven"
+"$BIN/pis_client" metrics --port "$ROUTER_PORT" | tee router_metrics.txt
+grep -q '^# TYPE pis_router_requests_total counter' router_metrics.txt
+grep -q '^# TYPE pis_router_request_seconds histogram' router_metrics.txt
+grep -q '^# TYPE pis_cluster_rpc_seconds histogram' router_metrics.txt
+grep -q '^# TYPE pis_cluster_breaker_open gauge' router_metrics.txt
+# The queries and writes above must have been counted.
+grep -E '^pis_router_requests_total\{op="query"\} [1-9]' router_metrics.txt \
+  > /dev/null
+grep -E '^pis_router_requests_total\{op="add"\} [1-9]' router_metrics.txt \
+  > /dev/null
+grep -E '^pis_cluster_rpc_seconds_count\{.*op="shard_query".*\} [1-9]' \
+  router_metrics.txt > /dev/null
+# The stats reply mirrors the registry as JSON.
+"$BIN/pis_client" stats --port "$ROUTER_PORT" \
+  | grep -q '"pis_router_requests_total"'
+
 echo "== a failed write reports an application error, exit code intact"
 if "$BIN/pis_client" remove --port "$ROUTER_PORT" --ids 99999 > bad.json; then
   echo "expected nonzero exit for a failed remove"; exit 1

@@ -19,6 +19,10 @@
 #   4. NOLINT suppressions must name the check being silenced
 #      ("// NOLINT(check-name)"), so every suppression is auditable. A bare
 #      "// NOLINT" disables everything on the line forever.
+#   5. No std::chrono::system_clock::now() outside src/util/. The wall
+#      clock steps under NTP; every duration, timeout, and trace span must
+#      come from util/timer.h (steady_clock / MonotonicNowNs), so that a
+#      clock adjustment can never corrupt a measurement or a span tree.
 #
 # usage: lint.sh [file...]
 #   With no arguments, lints the project tree (src/ tools/ bench/ examples/
@@ -95,6 +99,29 @@ for f in "${files[@]}"; do
     complain "$rel: $hits" \
       "bare NOLINT — name the suppressed check: // NOLINT(check-name)"
   fi
+
+  # Rule 5: wall-clock reads outside src/util/. Same exemption scheme as
+  # rule 1: the fixture only escapes the default tree scan.
+  if [ "$explicit" -eq 1 ]; then
+    rule5_exempt=""
+  else
+    rule5_exempt="tests/static_analysis/bad_wall_clock.cc"
+  fi
+  case "$rel" in
+    src/util/*) ;;
+    *)
+      case " $rule5_exempt " in
+        *" $rel "*) ;;
+        *)
+          hits=$(grep -nE 'std::chrono::system_clock::now[[:space:]]*\(' "$f")
+          if [ -n "$hits" ]; then
+            complain "$rel: $hits" \
+              "system_clock::now() outside src/util — durations must use util/timer.h (steady clock)"
+          fi
+          ;;
+      esac
+      ;;
+  esac
 done
 
 if [ "$fail" -ne 0 ]; then

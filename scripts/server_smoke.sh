@@ -56,6 +56,16 @@ echo "== query (graph 0 must answer itself)"
 grep -q '"ok":true' query.json
 grep -q '"answers":\[0[],]' query.json
 
+echo "== traced query returns a span tree"
+"$BIN/pis_client" query --port "$PORT" --query probe.txt --trace \
+  > traced.json 2> trace.txt
+grep -q '"trace"' traced.json
+grep -q '"trace_id"' traced.json
+grep -q '"name":"filter"' traced.json
+grep -q '"name":"verify"' traced.json
+grep -q "ms total" trace.txt        # the stderr pretty-print ran
+grep -q "filter" trace.txt
+
 echo "== add two graphs, remove one, query still serves"
 "$BIN/pis_client" add --port "$PORT" --graphs new.txt | tee add.json
 grep -q '"id":60' add.json
@@ -70,6 +80,21 @@ grep -q '"compacted":1' compact.json
 "$BIN/pis_client" stats --port "$PORT" | tee server_stats.json
 grep -q '"live":61' server_stats.json
 grep -q '"removed":1' server_stats.json
+
+echo "== metrics exposition reflects the load just driven"
+"$BIN/pis_client" metrics --port "$PORT" | tee metrics.txt
+grep -q '^# TYPE pis_server_requests_total counter' metrics.txt
+grep -q '^# TYPE pis_server_request_seconds histogram' metrics.txt
+grep -q '^# TYPE pis_queries_total counter' metrics.txt
+grep -q '^# TYPE pis_query_stage_seconds histogram' metrics.txt
+grep -q '^# TYPE pis_snapshot_epoch gauge' metrics.txt
+# The queries above must have been counted (strictly positive values).
+grep -E '^pis_queries_total [1-9]' metrics.txt > /dev/null
+grep -E '^pis_server_requests_total\{op="query"\} [1-9]' metrics.txt > /dev/null
+grep -E '^pis_query_stage_seconds_count\{stage="pass1"\} [1-9]' metrics.txt \
+  > /dev/null
+# The stats reply mirrors the registry as JSON.
+grep -q '"pis_server_requests_total"' server_stats.json
 
 echo "== protocol errors do not wedge the server"
 if "$BIN/pis_client" remove --port "$PORT" --ids 99999 > bad.json; then

@@ -98,9 +98,17 @@ Status RunPisFilterCore(int db_size, const std::unordered_set<int>* tombstones,
   // field and no shared counter, it only skips dead per-graph work.
   if (options.sketch_enabled && sketch_prune != nullptr &&
       !result.fragments.empty()) {
+    Timer sketch_timer;
     sketch_prune(result.fragments, &alive, &alive_count, &result.stats);
+    result.stats.sketch_seconds = sketch_timer.Seconds();
   }
+  // Sketch survivors at this point; everything pass 1 eliminates below was
+  // a false drop of the superimposed code (it passed the probe yet could
+  // not survive the exact intersection).
+  const size_t sketch_survivors =
+      result.stats.sketch_checks > 0 ? alive_count : 0;
 
+  Timer pass1_timer;
   std::vector<double> selectivities(result.fragments.size(), 0.0);
   std::vector<int> kept;  // positions into result.fragments
   std::unordered_map<int, std::unordered_map<int, double>> kept_dists;
@@ -112,8 +120,10 @@ Status RunPisFilterCore(int db_size, const std::unordered_set<int>* tombstones,
     found.clear();
     found.reserve(dist.size());
     for (const auto& [gid, d] : dist) found.push_back(d);
+    Timer selectivity_timer;
     selectivities[fi] =
         ComputeSelectivity(found, live_size, sigma, options.lambda);
+    result.stats.selectivity_seconds += selectivity_timer.Seconds();
     // CQ <- CQ ∩ T (line 17). `dist` holds live graphs only, so covering
     // every live graph means nothing can be dropped.
     if (dist.size() < static_cast<size_t>(live_size)) {
@@ -132,9 +142,14 @@ Status RunPisFilterCore(int db_size, const std::unordered_set<int>* tombstones,
   }
   result.stats.candidates_after_intersection = alive_count;
   result.stats.fragments_kept = kept.size();
+  result.stats.pass1_seconds = pass1_timer.Seconds();
+  if (sketch_survivors > alive_count) {
+    result.stats.sketch_false_drops = sketch_survivors - alive_count;
+  }
   result.selectivities = std::move(selectivities);
 
   // Overlapping-relation graph and the partition (lines 19-20).
+  Timer partition_timer;
   std::vector<WeightedFragment> weighted;
   weighted.reserve(kept.size());
   for (int fi : kept) {
@@ -150,9 +165,11 @@ Status RunPisFilterCore(int db_size, const std::unordered_set<int>* tombstones,
   for (int pi : partition_local) result.partition.push_back(kept[pi]);
   result.stats.partition_size = result.partition.size();
   result.stats.partition_weight = overlap.TotalWeight(partition_local);
+  result.stats.partition_seconds = partition_timer.Seconds();
 
   // Pass 2 (lines 21-23): prune by the summed lower bound over the
   // partition, replaying the cached pass-1 results.
+  Timer pass2_timer;
   std::vector<double> lower_bound(db_size, 0.0);
   for (int fi : result.partition) {
     const std::unordered_map<int, double>& part_dist = kept_dists.at(fi);
@@ -179,6 +196,7 @@ Status RunPisFilterCore(int db_size, const std::unordered_set<int>* tombstones,
     if (alive[gid]) result.candidates.push_back(gid);
   }
   result.stats.candidates_final = result.candidates.size();
+  result.stats.pass2_seconds = pass2_timer.Seconds();
   return Status::OK();
 }
 

@@ -15,20 +15,27 @@ void QueryStats::Accumulate(const QueryStats& other) {
   answers += other.answers;
   sketch_checks += other.sketch_checks;
   sketch_pruned += other.sketch_pruned;
+  sketch_false_drops += other.sketch_false_drops;
   enum_cache_hits += other.enum_cache_hits;
   filter_seconds += other.filter_seconds;
   verify_seconds += other.verify_seconds;
+  sketch_seconds += other.sketch_seconds;
+  pass1_seconds += other.pass1_seconds;
+  selectivity_seconds += other.selectivity_seconds;
+  partition_seconds += other.partition_seconds;
+  pass2_seconds += other.pass2_seconds;
 }
 
 std::string QueryStats::ToString() const {
   return StrFormat(
       "fragments=%zu kept=%zu range_queries=%zu partition=%zu (w=%.3f) "
       "cand_intersect=%zu cand_final=%zu answers=%zu sketch=%zu/%zu "
-      "enum_cache_hits=%zu filter=%.3fms verify=%.3fms",
+      "sketch_false_drops=%zu enum_cache_hits=%zu filter=%.3fms "
+      "verify=%.3fms",
       fragments_enumerated, fragments_kept, range_queries, partition_size,
       partition_weight, candidates_after_intersection, candidates_final, answers,
-      sketch_pruned, sketch_checks, enum_cache_hits, filter_seconds * 1e3,
-      verify_seconds * 1e3);
+      sketch_pruned, sketch_checks, sketch_false_drops, enum_cache_hits,
+      filter_seconds * 1e3, verify_seconds * 1e3);
 }
 
 }  // namespace pis

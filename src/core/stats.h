@@ -33,6 +33,14 @@ struct QueryStats {
   /// Every one of them was provably impossible, so these counters are the
   /// only ones a sketch-on run changes.
   size_t sketch_pruned = 0;
+  /// False drops of the superimposed code (Knuutila et al.): graphs that
+  /// PASSED the sketch probe but were then eliminated by the pass-1
+  /// intersection anyway — probes the sketch spent bits on without pruning
+  /// anything. false_drop_rate = sketch_false_drops / (sketch_checks -
+  /// sketch_pruned). Zero when the sketch is off; drifts with database
+  /// composition, which is why it is surfaced live and not just at bench
+  /// time.
+  size_t sketch_false_drops = 0;
   /// 1 when the query's fragment enumeration was served from a SearchBatch
   /// enumeration cache instead of recomputed (0 outside batches). Like the
   /// timing fields this is schedule-dependent — two duplicate queries
@@ -41,6 +49,16 @@ struct QueryStats {
   size_t enum_cache_hits = 0;
   double filter_seconds = 0;
   double verify_seconds = 0;
+  /// Per-stage wall time inside the filter (all schedule-dependent, like
+  /// filter_seconds — determinism checks must not compare them). The
+  /// observability layer turns these into trace spans and latency
+  /// histograms; stages are disjoint except selectivity_seconds, which is
+  /// the portion of pass1_seconds spent in ComputeSelectivity.
+  double sketch_seconds = 0;       ///< superimposed-sketch probe
+  double pass1_seconds = 0;        ///< range queries + ε-filter/intersection
+  double selectivity_seconds = 0;  ///< ComputeSelectivity within pass 1
+  double partition_seconds = 0;    ///< overlap graph + partition selection
+  double pass2_seconds = 0;        ///< partition lower-bound pruning
 
   /// Adds every counter of `other` into this (batch aggregation).
   void Accumulate(const QueryStats& other);

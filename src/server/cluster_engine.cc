@@ -109,6 +109,37 @@ ClusterEngine::ClusterEngine(
   for (int s = 0; s < num_shards; ++s) {
     PIS_CHECK(!shard_endpoints_[s].empty());  // manifest must cover all shards
   }
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* reg = options_.metrics;
+    metrics_.failovers = reg->GetCounter(
+        "pis_cluster_failovers_total",
+        "Query-path retries on another replica after a failed attempt.");
+    metrics_.catchup_dropped = reg->GetCounter(
+        "pis_cluster_catchup_dropped_total",
+        "Catch-up ops dropped after an application rejection (permanent "
+        "replica divergence).");
+    for (std::unique_ptr<Endpoint>& ep : endpoints_) {
+      const std::string& name = ep->backend->name();
+      ep->breaker_open_gauge = reg->GetGauge(
+          "pis_cluster_breaker_open",
+          "1 while the endpoint's circuit breaker is open (sticky until a "
+          "success closes it).",
+          {{"endpoint", name}});
+      ep->breaker_opened = reg->GetCounter(
+          "pis_cluster_breaker_transitions_total",
+          "Circuit-breaker state transitions per endpoint.",
+          {{"endpoint", name}, {"to", "open"}});
+      ep->breaker_closed = reg->GetCounter(
+          "pis_cluster_breaker_transitions_total",
+          "Circuit-breaker state transitions per endpoint.",
+          {{"endpoint", name}, {"to", "closed"}});
+      ep->catchup_depth = reg->GetGauge(
+          "pis_cluster_catchup_pending",
+          "Queued catch-up ops awaiting ordered replay on the endpoint.",
+          {{"endpoint", name}});
+      ep->backend->EnableMetrics(reg);
+    }
+  }
 }
 
 ClusterEngine::~ClusterEngine() { StopHealthThread(); }
@@ -160,11 +191,23 @@ void ClusterEngine::NoteTransportFailure(Endpoint& ep) {
   if (ep.consecutive_failures >= options_.breaker_threshold) {
     ep.open_until = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(options_.breaker_open_ms);
+    // Exactly the first crossing since the last success is a transition;
+    // later failures merely extend the open window.
+    if (ep.consecutive_failures == options_.breaker_threshold &&
+        ep.breaker_opened != nullptr) {
+      ep.breaker_opened->Inc();
+    }
+    if (ep.breaker_open_gauge != nullptr) ep.breaker_open_gauge->Set(1);
   }
 }
 
 void ClusterEngine::NoteTransportSuccess(Endpoint& ep) {
   MutexLock lock(&ep.health_mu);
+  if (ep.consecutive_failures >= options_.breaker_threshold &&
+      ep.breaker_closed != nullptr) {
+    ep.breaker_closed->Inc();
+  }
+  if (ep.breaker_open_gauge != nullptr) ep.breaker_open_gauge->Set(0);
   ep.consecutive_failures = 0;
 }
 
@@ -181,6 +224,9 @@ void ClusterEngine::DrainPending(Endpoint& ep) {
     if (!applied.ok()) {
       if (IsTransportError(applied)) {
         NoteTransportFailure(ep);
+        if (ep.catchup_depth != nullptr) {
+          ep.catchup_depth->Set(static_cast<int64_t>(ep.pending.size()));
+        }
         return;  // still down; keep the queue, retry next probe
       }
       // An application error will repeat on every retry — dropping it is
@@ -188,9 +234,11 @@ void ClusterEngine::DrainPending(Endpoint& ep) {
       // replica has permanently diverged (misconfigured ownership).
       PIS_LOG(Error) << "dropping catch-up op (gid " << op.gid << ") for "
                      << ep.backend->name() << ": " << applied.ToString();
+      if (metrics_.catchup_dropped != nullptr) metrics_.catchup_dropped->Inc();
     }
     ep.pending.pop_front();
   }
+  if (ep.catchup_depth != nullptr) ep.catchup_depth->Set(0);
 }
 
 void ClusterEngine::ProbeOnce() {
@@ -328,12 +376,19 @@ Result<SearchResult> ClusterEngine::Search(const Graph& query) {
 
 Result<SearchResult> ClusterEngine::Search(const Graph& query, double sigma) {
   QueryStats unused;
-  return SearchInternal(query, sigma, &unused);
+  return SearchInternal(query, sigma, &unused, nullptr);
+}
+
+Result<SearchResult> ClusterEngine::Search(const Graph& query, double sigma,
+                                           TraceContext* trace) {
+  QueryStats unused;
+  return SearchInternal(query, sigma, &unused, trace);
 }
 
 Result<SearchResult> ClusterEngine::SearchInternal(const Graph& query,
                                                    double sigma,
-                                                   QueryStats* stats_out) {
+                                                   QueryStats* stats_out,
+                                                   TraceContext* trace) {
   Timer filter_timer;
   const StatePin pin = PinState();
   const bool sketch = options_.options.sketch_enabled;
@@ -365,8 +420,18 @@ Result<SearchResult> ClusterEngine::SearchInternal(const Graph& query,
         groups.size(), Status::Internal("shard_query not run"));
     const int fan = std::max(1, options_.options.shard_threads);
     ParallelFor(groups.size(), fan, [&](size_t g) {
+      const double start_ms = trace != nullptr ? trace->ElapsedMs() : 0;
       replies[g] = endpoints_[groups[g].first]->backend->ShardQuery(
-          query, groups[g].second, sigma, sketch);
+          query, groups[g].second, sigma, sketch, trace != nullptr);
+      if (trace != nullptr) {
+        // The replica's own stage spans (remote clock domain) graft under
+        // this round-trip span; a failed attempt records with no children.
+        std::vector<TraceSpan> children;
+        if (replies[g].ok()) children = std::move(replies[g].value().spans);
+        trace->RecordSince(
+            "shard_query:" + endpoints_[groups[g].first]->backend->name(),
+            start_ms, std::move(children));
+      }
     });
     bool retry = false;
     for (size_t g = 0; g < groups.size(); ++g) {
@@ -375,6 +440,7 @@ Result<SearchResult> ClusterEngine::SearchInternal(const Graph& query,
         NoteTransportFailure(*endpoints_[groups[g].first]);
         exclude.insert(groups[g].first);
         retry = true;
+        if (metrics_.failovers != nullptr) metrics_.failovers->Inc();
         continue;
       }
       // Application error from a healthy replica (e.g. "query graph is
@@ -386,6 +452,7 @@ Result<SearchResult> ClusterEngine::SearchInternal(const Graph& query,
     // ---- Merge: positional union of the per-fragment maps ----
     // The first reply's catalog is the reference; it is only moved into
     // `fragments` after the loop (which still reads it for comparison).
+    ScopedSpan merge_span(trace, "merge");
     const auto& catalog = replies[0].value().fragments;
     merged.assign(catalog.size(), {});
     sketch_checks = 0;
@@ -449,10 +516,15 @@ Result<SearchResult> ClusterEngine::SearchInternal(const Graph& query,
   }
   PisOptions filter_options = options_.options;
   filter_options.sigma = sigma;
+  const double core_start_ms = trace != nullptr ? trace->ElapsedMs() : 0;
   PIS_RETURN_NOT_OK(internal::RunPisFilterCore(
       pin.db_slots, &pin.tombstones, filter_options, fragment_dists,
       sketch_prune, &filter));
   filter.stats.filter_seconds = filter_timer.Seconds();
+  if (trace != nullptr) {
+    trace->Record(BuildFilterSpan(filter.stats, core_start_ms,
+                                  trace->ElapsedMs() - core_start_ms));
+  }
 
   // ---- Round 2: verify candidates on their owning shard's replica ----
   Timer verify_timer;
@@ -496,11 +568,20 @@ Result<SearchResult> ClusterEngine::SearchInternal(const Graph& query,
             ": " + last.ToString());
         return;
       }
+      const double start_ms = trace != nullptr ? trace->ElapsedMs() : 0;
+      std::vector<TraceSpan> child_spans;
       Result<std::vector<int>> answers =
-          endpoints_[chosen]->backend->ShardVerify(query, by_shard[s],
-                                                   sigma);
+          endpoints_[chosen]->backend->ShardVerify(
+              query, by_shard[s], sigma, trace != nullptr,
+              trace != nullptr ? &child_spans : nullptr);
       if (answers.ok()) {
         NoteTransportSuccess(*endpoints_[chosen]);
+        if (trace != nullptr) {
+          trace->RecordSince(
+              "shard_verify:shard" + std::to_string(s) + "@" +
+                  endpoints_[chosen]->backend->name(),
+              start_ms, std::move(child_spans));
+        }
         verified[i] = std::move(answers);
         return;
       }
@@ -508,12 +589,14 @@ Result<SearchResult> ClusterEngine::SearchInternal(const Graph& query,
       if (IsTransportError(last)) {
         NoteTransportFailure(*endpoints_[chosen]);
         tried.insert(chosen);
+        if (metrics_.failovers != nullptr) metrics_.failovers->Inc();
         continue;
       }
       if (last.code() == StatusCode::kNotFound) {
         // The replica is behind on this gid (e.g. restarted from an older
         // checkpoint): fail over rather than answer from stale state.
         tried.insert(chosen);
+        if (metrics_.failovers != nullptr) metrics_.failovers->Inc();
         continue;
       }
       verified[i] = last;  // real application error: surface it
@@ -561,6 +644,9 @@ int ClusterEngine::ReplicateOp(const PendingOp& op, uint64_t* max_epoch) {
       // Behind or unreachable: the op joins the ordered catch-up queue so
       // the replica applies the router's writes in commit order.
       ep.pending.push_back(op);
+      if (ep.catchup_depth != nullptr) {
+        ep.catchup_depth->Set(static_cast<int64_t>(ep.pending.size()));
+      }
       continue;
     }
     Status applied = Status::OK();
@@ -582,6 +668,9 @@ int ClusterEngine::ReplicateOp(const PendingOp& op, uint64_t* max_epoch) {
     } else if (IsTransportError(applied)) {
       NoteTransportFailure(ep);
       ep.pending.push_back(op);
+      if (ep.catchup_depth != nullptr) {
+        ep.catchup_depth->Set(static_cast<int64_t>(ep.pending.size()));
+      }
     } else {
       // Application rejection: retrying is pointless (it would fail the
       // same way forever and wedge the queue). This replica misses the op.

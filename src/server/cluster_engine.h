@@ -55,6 +55,8 @@
 #include "core/options.h"
 #include "core/pis.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/shard_backend.h"
 #include "util/json.h"
 #include "util/mutex.h"
@@ -94,6 +96,11 @@ struct ClusterEngineOptions {
   /// match the shard servers' cluster config; verify_threads affects only
   /// replica-side scheduling. shard_threads fans round-1 endpoint groups.
   PisOptions options;
+  /// When non-null, the engine registers fabric metrics here (breaker
+  /// state/transitions, catch-up queue depth, failover counts, and each
+  /// backend's per-endpoint RPC latency) at construction and records them
+  /// atomics-only afterwards. Must outlive the engine.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Fan-out/merge engine over a set of shard-replica backends.
@@ -138,10 +145,23 @@ class ClusterEngine {
 
   // -- Queries (see class comment for the two-round protocol) --------------
 
+  /// The configured default similarity threshold (what Search(query) uses).
+  double sigma() const { return options_.options.sigma; }
+
   Result<SearchResult> Search(const Graph& query)
       PIS_EXCLUDES(writer_mu_, state_mu_);
   /// Per-query sigma override (the router front end's "sigma" field).
   Result<SearchResult> Search(const Graph& query, double sigma)
+      PIS_EXCLUDES(writer_mu_, state_mu_);
+  /// Traced variant: with a non-null `trace`, records the two-round span
+  /// tree — one `shard_query:<endpoint>` round-trip span per cover group
+  /// (remote stage spans grafted as children), `merge`, `filter` with the
+  /// shared-core stage children, and one `shard_verify:...` span per shard
+  /// with work. With shard_threads == 1 (the default) the fan-outs are
+  /// sequential, so sibling spans do not overlap and their durations sum to
+  /// at most the trace total.
+  Result<SearchResult> Search(const Graph& query, double sigma,
+                              TraceContext* trace)
       PIS_EXCLUDES(writer_mu_, state_mu_);
   /// Same contract as ShardedPisEngine::SearchBatch (0 = all hardware
   /// threads); per-query rounds run concurrently.
@@ -205,6 +225,14 @@ class ClusterEngine {
     int consecutive_failures PIS_GUARDED_BY(health_mu) = 0;
     std::chrono::steady_clock::time_point open_until
         PIS_GUARDED_BY(health_mu);
+
+    /// Metric children (null without ClusterEngineOptions::metrics). The
+    /// breaker gauge reports the sticky open/closed state — it stays 1
+    /// through the half-open probe window until a success closes it.
+    Gauge* breaker_open_gauge = nullptr;
+    Counter* breaker_opened = nullptr;
+    Counter* breaker_closed = nullptr;
+    Gauge* catchup_depth = nullptr;
   };
 
   /// Immutable pin of the routing state one query round runs against.
@@ -226,7 +254,8 @@ class ClusterEngine {
   Status PickCover(const std::unordered_set<int>& exclude,
                    std::vector<int>* cover);
   Result<SearchResult> SearchInternal(const Graph& query, double sigma,
-                                      QueryStats* stats_out);
+                                      QueryStats* stats_out,
+                                      TraceContext* trace);
   /// Applies one committed write to every replica of its shard: direct
   /// sends where possible, catch-up queue otherwise. Returns the ack count
   /// and the max acked epoch.
@@ -238,6 +267,12 @@ class ClusterEngine {
 
   ClusterEngineOptions options_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Cluster-wide metric children (null without options_.metrics).
+  struct Metrics {
+    Counter* failovers = nullptr;
+    Counter* catchup_dropped = nullptr;
+  };
+  Metrics metrics_;
   /// shard -> endpoint indexes serving it (manifest order: replica 0 is
   /// the preferred primary).
   std::vector<std::vector<int>> shard_endpoints_;

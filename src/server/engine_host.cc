@@ -8,6 +8,7 @@
 #include "util/fs_util.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace pis {
 
@@ -43,6 +44,7 @@ JsonValue EngineHost::HostStats::ToJsonValue() const {
           static_cast<uint64_t>(group_commit_max_batch));
   obj.Set("sketch_checks", static_cast<uint64_t>(sketch_checks));
   obj.Set("sketch_pruned", static_cast<uint64_t>(sketch_pruned));
+  obj.Set("sketch_false_drops", static_cast<uint64_t>(sketch_false_drops));
   JsonValue shard_list = JsonValue::Array();
   for (const ShardInfo& s : shards) {
     JsonValue entry = JsonValue::Object();
@@ -78,6 +80,66 @@ EngineHost::EngineHost(GraphDatabase db, ShardedFragmentIndex index,
 
 EngineHost::~EngineHost() { StopAutoCompaction(); }
 
+void EngineHost::EnableMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  metrics_.registry = registry;
+  metrics_.queries_total = registry->GetCounter(
+      "pis_queries_total", "Queries served by this host");
+  metrics_.answers_total = registry->GetCounter(
+      "pis_query_answers_total", "Verified answers returned");
+  metrics_.candidates_total = registry->GetCounter(
+      "pis_query_candidates_total", "Candidates surviving the PIS filter");
+  metrics_.sketch_checks = registry->GetCounter(
+      "pis_sketch_checks_total", "Graphs probed against the sketch");
+  metrics_.sketch_pruned = registry->GetCounter(
+      "pis_sketch_pruned_total", "Probed graphs pruned by the sketch");
+  metrics_.sketch_false_drops = registry->GetCounter(
+      "pis_sketch_false_drops_total",
+      "Probes that passed the sketch but died in pass-1");
+  const std::string stage_help = "Per-stage query pipeline latency";
+  auto stage = [&](const char* name) {
+    return registry->GetHistogram("pis_query_stage_seconds", stage_help, {},
+                                  {{"stage", name}});
+  };
+  metrics_.stage_sketch = stage("sketch");
+  metrics_.stage_pass1 = stage("pass1");
+  metrics_.stage_selectivity = stage("selectivity");
+  metrics_.stage_partition = stage("partition");
+  metrics_.stage_pass2 = stage("pass2");
+  metrics_.stage_filter = stage("filter");
+  metrics_.stage_verify = stage("verify");
+  metrics_.group_commit_wait = registry->GetHistogram(
+      "pis_group_commit_wait_seconds",
+      "Writer-observed enqueue-to-commit latency");
+  metrics_.group_commit_ops = registry->GetHistogram(
+      "pis_group_commit_batch_ops", "Writer ops coalesced per commit batch",
+      {1, 2, 4, 8, 16, 32, 64, 128});
+  metrics_.snapshot_publish = registry->GetHistogram(
+      "pis_snapshot_publish_seconds", "Snapshot publish latency per commit");
+  metrics_.snapshot_epoch = registry->GetGauge(
+      "pis_snapshot_epoch", "Epoch of the currently published snapshot");
+  metrics_.snapshot_epoch->Set(static_cast<int64_t>(snapshot()->epoch));
+  MutexLock lock(&writer_mu_);
+  if (wal_ != nullptr) wal_->EnableMetrics(registry);
+}
+
+void EngineHost::RecordQueryMetrics(const QueryStats& stats) const {
+  if (metrics_.queries_total == nullptr) return;
+  metrics_.queries_total->Inc();
+  metrics_.answers_total->Inc(stats.answers);
+  metrics_.candidates_total->Inc(stats.candidates_final);
+  metrics_.sketch_checks->Inc(stats.sketch_checks);
+  metrics_.sketch_pruned->Inc(stats.sketch_pruned);
+  metrics_.sketch_false_drops->Inc(stats.sketch_false_drops);
+  metrics_.stage_sketch->Observe(stats.sketch_seconds);
+  metrics_.stage_pass1->Observe(stats.pass1_seconds);
+  metrics_.stage_selectivity->Observe(stats.selectivity_seconds);
+  metrics_.stage_partition->Observe(stats.partition_seconds);
+  metrics_.stage_pass2->Observe(stats.pass2_seconds);
+  metrics_.stage_filter->Observe(stats.filter_seconds);
+  metrics_.stage_verify->Observe(stats.verify_seconds);
+}
+
 Status EngineHost::AttachWal(std::unique_ptr<WriteAheadLog> wal) {
   if (wal == nullptr) {
     return Status::InvalidArgument("cannot attach a null WAL");
@@ -87,6 +149,7 @@ Status EngineHost::AttachWal(std::unique_ptr<WriteAheadLog> wal) {
     return Status::AlreadyExists("a WAL is already attached");
   }
   wal_ = std::move(wal);
+  if (metrics_.registry != nullptr) wal_->EnableMetrics(metrics_.registry);
   wal_view_.store(wal_.get(), std::memory_order_release);
   // Epochs in the log must keep growing across restarts, or a later
   // checkpoint's TruncateThrough would drop records it does not cover.
@@ -206,27 +269,25 @@ std::shared_ptr<const EngineHost::Snapshot> EngineHost::snapshot() const {
   return current_;
 }
 
+void EngineHost::AccountQuery(const QueryStats& stats) const {
+  sketch_checks_.fetch_add(stats.sketch_checks, std::memory_order_relaxed);
+  sketch_pruned_.fetch_add(stats.sketch_pruned, std::memory_order_relaxed);
+  sketch_false_drops_.fetch_add(stats.sketch_false_drops,
+                                std::memory_order_relaxed);
+  RecordQueryMetrics(stats);
+}
+
 Result<SearchResult> EngineHost::Search(const Graph& query) const {
   std::shared_ptr<const Snapshot> snap = snapshot();
   Result<SearchResult> result = snap->engine.Search(query);
-  if (result.ok()) {
-    sketch_checks_.fetch_add(result.value().stats.sketch_checks,
-                             std::memory_order_relaxed);
-    sketch_pruned_.fetch_add(result.value().stats.sketch_pruned,
-                             std::memory_order_relaxed);
-  }
+  if (result.ok()) AccountQuery(result.value().stats);
   return result;
 }
 
 Result<FilterResult> EngineHost::Filter(const Graph& query) const {
   std::shared_ptr<const Snapshot> snap = snapshot();
   Result<FilterResult> result = snap->engine.Filter(query);
-  if (result.ok()) {
-    sketch_checks_.fetch_add(result.value().stats.sketch_checks,
-                             std::memory_order_relaxed);
-    sketch_pruned_.fetch_add(result.value().stats.sketch_pruned,
-                             std::memory_order_relaxed);
-  }
+  if (result.ok()) AccountQuery(result.value().stats);
   return result;
 }
 
@@ -238,6 +299,13 @@ BatchSearchResult EngineHost::SearchBatch(std::span<const Graph> queries,
                            std::memory_order_relaxed);
   sketch_pruned_.fetch_add(batch.total_stats.sketch_pruned,
                            std::memory_order_relaxed);
+  sketch_false_drops_.fetch_add(batch.total_stats.sketch_false_drops,
+                                std::memory_order_relaxed);
+  // Not AccountQuery: the sketch counters fold once from total_stats, only
+  // the per-query metric families want per-result granularity.
+  for (const Result<SearchResult>& r : batch.results) {
+    if (r.ok()) RecordQueryMetrics(r.value().stats);
+  }
   return batch;
 }
 
@@ -391,8 +459,11 @@ void EngineHost::CommitBatch(const std::vector<PendingWrite*>& batch) {
   }
   if (applied.empty()) return;  // every op failed: no state change, no epoch
 
+  double wal_append_ms = 0;
   if (wal_ != nullptr && !wal_batch.empty()) {
+    Timer wal_timer;
     Status logged = wal_->Append(wal_batch);
+    wal_append_ms = wal_timer.Millis();
     if (!logged.ok()) {
       // The batch already mutated in-memory state and cannot be unapplied;
       // publish it for internal consistency but acknowledge NOTHING — every
@@ -408,8 +479,15 @@ void EngineHost::CommitBatch(const std::vector<PendingWrite*>& batch) {
 
   if (appended != nullptr) master_db_ = std::move(appended);
   epoch_ = next_epoch;
+  Timer publish_timer;
   Publish();
-  for (PendingWrite* op : applied) op->epoch = epoch_;
+  const double publish_ms = publish_timer.Millis();
+  for (PendingWrite* op : applied) {
+    op->epoch = epoch_;
+    op->timing.wal_append_ms = wal_append_ms;
+    op->timing.publish_ms = publish_ms;
+    op->timing.batch_ops = applied.size();
+  }
 
   group_commit_batches_.fetch_add(1, std::memory_order_relaxed);
   group_commit_ops_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -418,39 +496,61 @@ void EngineHost::CommitBatch(const std::vector<PendingWrite*>& batch) {
          !group_commit_max_batch_.compare_exchange_weak(
              prev, batch.size(), std::memory_order_relaxed)) {
   }
+  if (metrics_.group_commit_ops != nullptr) {
+    metrics_.group_commit_ops->Observe(static_cast<double>(applied.size()));
+    metrics_.snapshot_publish->Observe(publish_ms / 1e3);
+    metrics_.snapshot_epoch->Set(static_cast<int64_t>(epoch_));
+  }
 }
 
-Result<int> EngineHost::AddGraph(const Graph& g, uint64_t* epoch_out) {
+Result<int> EngineHost::AddGraph(const Graph& g, uint64_t* epoch_out,
+                                 WriteTiming* timing_out) {
   PendingWrite op;
   op.kind = PendingWrite::Kind::kAdd;
   op.graph = &g;
+  Timer wait_timer;
   Submit(&op);
+  FinishWrite(&op, wait_timer.Millis(), timing_out);
   PIS_RETURN_NOT_OK(op.status);
   if (epoch_out != nullptr) *epoch_out = op.epoch;
   return op.gid;
 }
 
 Status EngineHost::AddGraphAt(int gid, int shard, const Graph& g,
-                              uint64_t* epoch_out) {
+                              uint64_t* epoch_out, WriteTiming* timing_out) {
   PendingWrite op;
   op.kind = PendingWrite::Kind::kAddAt;
   op.graph = &g;
   op.gid = gid;
   op.shard = shard;
+  Timer wait_timer;
   Submit(&op);
+  FinishWrite(&op, wait_timer.Millis(), timing_out);
   PIS_RETURN_NOT_OK(op.status);
   if (epoch_out != nullptr) *epoch_out = op.epoch;
   return Status::OK();
 }
 
-Status EngineHost::RemoveGraph(int gid, uint64_t* epoch_out) {
+Status EngineHost::RemoveGraph(int gid, uint64_t* epoch_out,
+                               WriteTiming* timing_out) {
   PendingWrite op;
   op.kind = PendingWrite::Kind::kRemove;
   op.gid = gid;
+  Timer wait_timer;
   Submit(&op);
+  FinishWrite(&op, wait_timer.Millis(), timing_out);
   PIS_RETURN_NOT_OK(op.status);
   if (epoch_out != nullptr) *epoch_out = op.epoch;
   return Status::OK();
+}
+
+void EngineHost::FinishWrite(PendingWrite* op, double queue_wait_ms,
+                             WriteTiming* timing_out) const {
+  op->timing.queue_wait_ms = queue_wait_ms;
+  if (timing_out != nullptr) *timing_out = op->timing;
+  if (metrics_.group_commit_wait != nullptr) {
+    metrics_.group_commit_wait->Observe(queue_wait_ms / 1e3);
+  }
 }
 
 Status EngineHost::CompactShard(int s, uint64_t* epoch_out) {
@@ -613,6 +713,8 @@ EngineHost::HostStats EngineHost::Stats() const {
       group_commit_max_batch_.load(std::memory_order_relaxed);
   stats.sketch_checks = sketch_checks_.load(std::memory_order_relaxed);
   stats.sketch_pruned = sketch_pruned_.load(std::memory_order_relaxed);
+  stats.sketch_false_drops =
+      sketch_false_drops_.load(std::memory_order_relaxed);
   stats.shards.reserve(index.num_shards());
   for (int s = 0; s < index.num_shards(); ++s) {
     ShardInfo info;

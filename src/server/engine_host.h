@@ -56,6 +56,7 @@
 #include "core/sharded_pis.h"
 #include "graph/graph.h"
 #include "index/sharded_index.h"
+#include "obs/metrics.h"
 #include "server/wal.h"
 #include "util/json.h"
 #include "util/mutex.h"
@@ -116,8 +117,11 @@ class EngineHost {
     uint64_t group_commit_max_batch = 0;
     /// Superimposed-sketch prefilter counters accumulated over every query
     /// served by this host (zero while PisOptions::sketch_enabled is off).
+    /// false_drops counts probes that passed the sketch but died in pass-1
+    /// — the live false-drop rate is false_drops / (checks - pruned).
     uint64_t sketch_checks = 0;
     uint64_t sketch_pruned = 0;
+    uint64_t sketch_false_drops = 0;
     std::vector<ShardInfo> shards;
 
     /// JSON shape ({"epoch":..,"shards":[{..},..],..}) — the payload of
@@ -150,6 +154,24 @@ class EngineHost {
   ~EngineHost();
   EngineHost(const EngineHost&) = delete;
   EngineHost& operator=(const EngineHost&) = delete;
+
+  /// Per-op write-path timings, filled by the group-commit leader for the
+  /// batch that carried the op (trace spans "group_commit_wait",
+  /// "wal_append", "snapshot_publish"). wal/publish are batch-level costs
+  /// — every op of a batch reports the same values.
+  struct WriteTiming {
+    double queue_wait_ms = 0;  ///< enqueue -> committed (caller-observed)
+    double wal_append_ms = 0;  ///< batch WAL append + fsync (0 = no WAL)
+    double publish_ms = 0;     ///< batch snapshot publish
+    uint64_t batch_ops = 0;    ///< ops the carrying batch committed
+  };
+
+  /// Registers this host's metric families in `registry` and starts
+  /// recording (query stage latencies, sketch counters, group-commit and
+  /// WAL timings). Call once, BEFORE the host serves concurrent traffic —
+  /// the cached family pointers are written unsynchronized. Recording
+  /// itself is atomics-only; an un-enabled host skips it on a null check.
+  void EnableMetrics(MetricsRegistry* registry) PIS_EXCLUDES(writer_mu_);
 
   /// Makes writes durable: every subsequent AddGraph/RemoveGraph batch is
   /// appended to `wal` and fsynced before the callers return. The caller
@@ -188,6 +210,13 @@ class EngineHost {
   BatchSearchResult SearchBatch(std::span<const Graph> queries,
                                 int num_threads = 0) const;
 
+  /// Folds one query's stats into the host's sketch counters and metric
+  /// families — what Search() does internally. Callers that pin their own
+  /// snapshot and run its engine directly (the servers do, to report the
+  /// queried epoch) must account explicitly or their queries are invisible
+  /// to stats/metrics. Atomics only — safe on the query path.
+  void AccountQuery(const QueryStats& stats) const;
+
   /// Group-committed writers. Concurrent callers coalesce into one batch:
   /// a leader applies every queued op, appends + fsyncs one WAL batch (when
   /// attached), and publishes ONE snapshot covering them all — each caller
@@ -195,7 +224,9 @@ class EngineHost {
   /// "durable and visible to every later snapshot". `epoch_out` (nullable)
   /// receives the epoch of the publish that carried THIS mutation — reading
   /// snapshot()->epoch afterwards could observe a later commit.
-  Result<int> AddGraph(const Graph& g, uint64_t* epoch_out = nullptr)
+  /// `timing_out` (nullable) receives the op's write-path span timings.
+  Result<int> AddGraph(const Graph& g, uint64_t* epoch_out = nullptr,
+                       WriteTiming* timing_out = nullptr)
       PIS_EXCLUDES(commit_mu_, writer_mu_);
   /// Explicit-placement writer for replicated serving: a cluster router
   /// preassigns the global id and owning shard, and every replica of that
@@ -206,9 +237,11 @@ class EngineHost {
   /// catch-up replay after a lost ack — succeeds without a new epoch.
   /// Group-commits, WAL-logs, and publishes exactly like AddGraph.
   Status AddGraphAt(int gid, int shard, const Graph& g,
-                    uint64_t* epoch_out = nullptr)
+                    uint64_t* epoch_out = nullptr,
+                    WriteTiming* timing_out = nullptr)
       PIS_EXCLUDES(commit_mu_, writer_mu_);
-  Status RemoveGraph(int gid, uint64_t* epoch_out = nullptr)
+  Status RemoveGraph(int gid, uint64_t* epoch_out = nullptr,
+                     WriteTiming* timing_out = nullptr)
       PIS_EXCLUDES(commit_mu_, writer_mu_);
 
   /// Maintenance writers (not WAL-logged: they reorganize storage without
@@ -265,6 +298,9 @@ class EngineHost {
     int gid = -1;                  // kRemove/kAddAt input; kAdd output
     int shard = -1;                // kAddAt input
     uint64_t epoch = 0;            // output: publish epoch of the batch
+    /// Output: batch-level write-path timings (same ordering contract as
+    /// the result fields above). queue_wait_ms is filled by the owner.
+    WriteTiming timing;
     Status status = Status::OK();  // output
     bool done = false;             // guarded by commit_mu_
   };
@@ -272,6 +308,10 @@ class EngineHost {
   /// Enqueues `op` and blocks until a batch leader (possibly this thread)
   /// has committed it; on return op->status/gid/epoch are final.
   void Submit(PendingWrite* op) PIS_EXCLUDES(commit_mu_, writer_mu_);
+  /// Stamps the caller-observed queue wait, copies the op's timing to
+  /// `timing_out`, and records the group-commit-wait histogram.
+  void FinishWrite(PendingWrite* op, double queue_wait_ms,
+                   WriteTiming* timing_out) const;
   /// Applies a drained batch: every op in order, one db copy, one WAL
   /// append+fsync, one publish — all under writer_mu_, with commit_mu_
   /// released (that concurrency is where batching comes from). Does NOT
@@ -345,6 +385,35 @@ class EngineHost {
   /// are const but still account their prefilter work).
   mutable std::atomic<uint64_t> sketch_checks_{0};
   mutable std::atomic<uint64_t> sketch_pruned_{0};
+  mutable std::atomic<uint64_t> sketch_false_drops_{0};
+
+  /// Accumulates one served query's stats into the cached metric families
+  /// (no-op until EnableMetrics). Atomics only — safe on the query path.
+  void RecordQueryMetrics(const QueryStats& stats) const;
+
+  /// Metric family pointers, cached once by EnableMetrics (before
+  /// concurrent serving — see its comment) and poked lock-free afterwards.
+  struct Metrics {
+    MetricsRegistry* registry = nullptr;
+    Counter* queries_total = nullptr;
+    Counter* answers_total = nullptr;
+    Counter* candidates_total = nullptr;
+    Counter* sketch_checks = nullptr;
+    Counter* sketch_pruned = nullptr;
+    Counter* sketch_false_drops = nullptr;
+    Histogram* stage_sketch = nullptr;
+    Histogram* stage_pass1 = nullptr;
+    Histogram* stage_selectivity = nullptr;
+    Histogram* stage_partition = nullptr;
+    Histogram* stage_pass2 = nullptr;
+    Histogram* stage_filter = nullptr;
+    Histogram* stage_verify = nullptr;
+    Histogram* group_commit_wait = nullptr;
+    Histogram* group_commit_ops = nullptr;
+    Histogram* snapshot_publish = nullptr;
+    Gauge* snapshot_epoch = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace pis

@@ -7,6 +7,7 @@
 
 #include "graph/io.h"
 #include "server/shard_ops.h"
+#include "util/timer.h"
 
 namespace pis {
 
@@ -57,6 +58,8 @@ bool StrictIntArray(const JsonValue* v, std::vector<int>* out) {
 PisServer::PisServer(EngineHost* host, const PisServerOptions& options)
     : host_(host),
       shards_owned_(options.shards_owned),
+      metrics_registry_(options.metrics),
+      slow_log_(options.slow_query_log),
       shell_(
           [this](const std::string& line, bool* shutdown) {
             return HandleLine(line, shutdown);
@@ -67,6 +70,26 @@ PisServer::PisServer(EngineHost* host, const PisServerOptions& options)
   shards_owned_.erase(
       std::unique(shards_owned_.begin(), shards_owned_.end()),
       shards_owned_.end());
+  if (metrics_registry_ != nullptr) {
+    // The whole op vocabulary registers up front ("other" absorbs unknown
+    // and missing ops), so HandleRequest reads a const map and pokes
+    // atomics — never the registry mutex.
+    static constexpr const char* kOps[] = {
+        "health",      "stats",     "meta",      "metrics",      "query",
+        "add",         "remove",    "compact",   "shutdown",     "shard_query",
+        "shard_verify", "shard_add", "shard_remove", "other"};
+    for (const char* op : kOps) {
+      OpMetrics m;
+      m.requests = metrics_registry_->GetCounter(
+          "pis_server_requests_total", "Protocol requests handled, per op.",
+          {{"op", op}});
+      m.latency = metrics_registry_->GetHistogram(
+          "pis_server_request_seconds",
+          "Wall time spent handling one protocol request, per op.",
+          Histogram::DefaultLatencyBounds(), {{"op", op}});
+      op_metrics_.emplace(op, m);
+    }
+  }
 }
 
 JsonValue PisServer::HandleLine(const std::string& line, bool* shutdown) {
@@ -80,6 +103,19 @@ JsonValue PisServer::HandleLine(const std::string& line, bool* shutdown) {
 
 JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
   const std::string op = request.GetStringOr("op", "");
+  Timer timer;
+  JsonValue reply = Dispatch(request, op, shutdown);
+  if (!op_metrics_.empty()) {
+    auto it = op_metrics_.find(op);
+    if (it == op_metrics_.end()) it = op_metrics_.find("other");
+    it->second.requests->Inc();
+    it->second.latency->Observe(timer.Seconds());
+  }
+  return reply;
+}
+
+JsonValue PisServer::Dispatch(const JsonValue& request, const std::string& op,
+                              bool* shutdown) {
   JsonValue reply = JsonValue::Object();
 
   if (op == "health") {
@@ -94,6 +130,20 @@ JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
   if (op == "stats") {
     reply.Set("ok", true);
     reply.Set("stats", host_->Stats().ToJsonValue());
+    if (metrics_registry_ != nullptr) {
+      reply.Set("metrics", metrics_registry_->ToJsonValue());
+    }
+    return reply;
+  }
+
+  if (op == "metrics") {
+    if (metrics_registry_ == nullptr) {
+      return ErrorReply(
+          Status::Unavailable("metrics are not enabled on this server"));
+    }
+    reply.Set("ok", true);
+    reply.Set("content_type", "text/plain; version=0.0.4");
+    reply.Set("text", metrics_registry_->RenderPrometheus());
     return reply;
   }
 
@@ -109,45 +159,7 @@ JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
   if (op == "shard_add") return HandleShardAdd(request);
   if (op == "shard_remove") return HandleShardRemove(request);
 
-  if (op == "query") {
-    const JsonValue* graph_text = request.Find("graph");
-    if (graph_text == nullptr || !graph_text->is_string()) {
-      return ErrorReply("query needs a string \"graph\" field");
-    }
-    Result<Graph> query = ParseGraph(graph_text->AsString());
-    if (!query.ok()) return ErrorReply(query.status());
-    // Pin one snapshot: the engine (and any per-request sigma variant of
-    // it) runs against exactly one published state.
-    std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
-    Result<SearchResult> result = Status::Internal("not run");
-    if (request.Has("sigma")) {
-      const JsonValue* sigma = request.Find("sigma");
-      // A wrong-typed sigma must fail loudly, not silently fall back to
-      // the server default (the client asked for a specific threshold).
-      if (!sigma->is_number()) return ErrorReply("sigma must be a number");
-      PisOptions per_request = host_->options();
-      per_request.sigma = sigma->AsNumber();
-      if (per_request.sigma < 0) return ErrorReply("sigma must be >= 0");
-      ShardedPisEngine engine(snap->db.get(), snap->index.get(), per_request);
-      result = engine.Search(query.value());
-    } else {
-      result = snap->engine.Search(query.value());
-    }
-    if (!result.ok()) return ErrorReply(result.status());
-    reply.Set("ok", true);
-    reply.Set("epoch", snap->epoch);
-    JsonValue answers = JsonValue::Array();
-    for (int gid : result.value().answers) answers.Push(gid);
-    reply.Set("answers", std::move(answers));
-    reply.Set("candidates", result.value().stats.candidates_final);
-    JsonValue stats = JsonValue::Object();
-    stats.Set("fragments", result.value().stats.fragments_enumerated);
-    stats.Set("range_queries", result.value().stats.range_queries);
-    stats.Set("filter_ms", result.value().stats.filter_seconds * 1e3);
-    stats.Set("verify_ms", result.value().stats.verify_seconds * 1e3);
-    reply.Set("stats", std::move(stats));
-    return reply;
-  }
+  if (op == "query") return HandleQuery(request);
 
   if (op == "add") {
     const JsonValue* graph_text = request.Find("graph");
@@ -205,6 +217,77 @@ JsonValue PisServer::HandleRequest(const JsonValue& request, bool* shutdown) {
                                : "unknown op \"" + op + "\"");
 }
 
+JsonValue PisServer::HandleQuery(const JsonValue& request) {
+  const JsonValue* graph_text = request.Find("graph");
+  if (graph_text == nullptr || !graph_text->is_string()) {
+    return ErrorReply("query needs a string \"graph\" field");
+  }
+  Result<Graph> query = ParseGraph(graph_text->AsString());
+  if (!query.ok()) return ErrorReply(query.status());
+  const bool trace_requested = request.GetBoolOr("trace", false);
+  // The context also runs for untraced requests when a slow-query log is
+  // configured: a breach must be able to dump the span tree it never knew
+  // it would need.
+  const bool tracing =
+      trace_requested || (slow_log_ != nullptr && slow_log_->enabled());
+  TraceContext ctx(TraceContext::NextId("q"));
+  // Pin one snapshot: the engine (and any per-request sigma variant of
+  // it) runs against exactly one published state.
+  std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
+  const double search_start_ms = ctx.ElapsedMs();
+  Result<SearchResult> result = Status::Internal("not run");
+  if (request.Has("sigma")) {
+    const JsonValue* sigma = request.Find("sigma");
+    // A wrong-typed sigma must fail loudly, not silently fall back to
+    // the server default (the client asked for a specific threshold).
+    if (!sigma->is_number()) return ErrorReply("sigma must be a number");
+    PisOptions per_request = host_->options();
+    per_request.sigma = sigma->AsNumber();
+    if (per_request.sigma < 0) return ErrorReply("sigma must be >= 0");
+    ShardedPisEngine engine(snap->db.get(), snap->index.get(), per_request);
+    result = engine.Search(query.value());
+  } else {
+    result = snap->engine.Search(query.value());
+  }
+  if (!result.ok()) return ErrorReply(result.status());
+  const QueryStats& qs = result.value().stats;
+  host_->AccountQuery(qs);
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", true);
+  reply.Set("epoch", snap->epoch);
+  JsonValue answers = JsonValue::Array();
+  for (int gid : result.value().answers) answers.Push(gid);
+  reply.Set("answers", std::move(answers));
+  reply.Set("candidates", qs.candidates_final);
+  JsonValue stats = JsonValue::Object();
+  stats.Set("fragments", qs.fragments_enumerated);
+  stats.Set("range_queries", qs.range_queries);
+  stats.Set("filter_ms", qs.filter_seconds * 1e3);
+  stats.Set("verify_ms", qs.verify_seconds * 1e3);
+  reply.Set("stats", std::move(stats));
+  if (tracing) {
+    // The span layout is reconstructed from the engine's stage timers:
+    // the filter subtree starts where the search call started, verify
+    // follows it back to back.
+    const double filter_ms = qs.filter_seconds * 1e3;
+    ctx.Record(BuildFilterSpan(qs, search_start_ms, filter_ms));
+    TraceSpan verify;
+    verify.name = "verify";
+    verify.start_ms = search_start_ms + filter_ms;
+    verify.dur_ms = qs.verify_seconds * 1e3;
+    ctx.Record(std::move(verify));
+    JsonValue trace_json = ctx.ToJsonValue();
+    trace_json.Set("op", "query");
+    trace_json.Set("answers", static_cast<int>(result.value().answers.size()));
+    if (slow_log_ != nullptr &&
+        slow_log_->ShouldLog(trace_json.GetNumberOr("total_ms", 0))) {
+      slow_log_->Log(trace_json);
+    }
+    if (trace_requested) reply.Set("trace", std::move(trace_json));
+  }
+  return reply;
+}
+
 JsonValue PisServer::HandleShardQuery(const JsonValue& request) {
   const JsonValue* graph_text = request.Find("graph");
   if (graph_text == nullptr || !graph_text->is_string()) {
@@ -231,7 +314,7 @@ JsonValue PisServer::HandleShardQuery(const JsonValue& request) {
   if (!owned.ok()) return ErrorReply(owned);
   Result<ShardQueryResult> result =
       RunShardQuery(*snap, shards, query.value(), sigma, sketch,
-                    host_->options());
+                    host_->options(), request.GetBoolOr("trace", false));
   if (!result.ok()) return ErrorReply(result.status());
   JsonValue reply = JsonValue::Object();
   reply.Set("ok", true);
@@ -268,9 +351,11 @@ JsonValue PisServer::HandleShardVerify(const JsonValue& request) {
       }
     }
   }
+  std::vector<TraceSpan> spans;
   Result<std::vector<int>> answers =
       RunShardVerify(*snap, ids, query.value(), sigma->AsNumber(),
-                     host_->options());
+                     host_->options(), request.GetBoolOr("trace", false),
+                     &spans);
   if (!answers.ok()) return ErrorReply(answers.status());
   JsonValue reply = JsonValue::Object();
   reply.Set("ok", true);
@@ -278,6 +363,7 @@ JsonValue PisServer::HandleShardVerify(const JsonValue& request) {
   JsonValue out = JsonValue::Array();
   for (int gid : answers.value()) out.Push(gid);
   reply.Set("answers", std::move(out));
+  if (!spans.empty()) reply.Set("spans", TraceSpan::ListToJson(spans));
   return reply;
 }
 

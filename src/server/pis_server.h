@@ -11,7 +11,15 @@
 //   {"op":"add","graph":"<record>"}          -> {"ok":true,"id":gid,"epoch":E}
 //   {"op":"remove","id":17}                  -> {"ok":true,"epoch":E}
 //   {"op":"compact","min_dead_ratio":0.3?}   -> {"ok":true,"compacted":k,"epoch":E}
+//   {"op":"metrics"}                         -> {"ok":true,"content_type":..,
+//                                                "text":"<prometheus exposition>"}
 //   {"op":"shutdown"}                        -> {"ok":true} (then the server stops)
+//
+// `query` additionally accepts "trace":true, which adds a "trace" object to
+// the reply: {"trace_id":..,"op":"query","total_ms":F,"spans":[span*]} with
+// the span schema of obs/trace.h (filter stage children + verify). The same
+// document is what a configured slow-query log records when total_ms
+// breaches the threshold — with or without "trace" in the request.
 //
 // Cluster-fabric ops (pis_router is the intended caller; the payload
 // shapes live in server/shard_ops.h):
@@ -48,9 +56,12 @@
 #define PIS_SERVER_PIS_SERVER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/engine_host.h"
 #include "server/line_server.h"
 #include "util/json.h"
@@ -72,6 +83,15 @@ struct PisServerOptions {
   /// cluster-fabric ops; the classic single-server ops always see the whole
   /// host.
   std::vector<int> shards_owned;
+  /// When non-null: per-op request counters/latency histograms register
+  /// here, the `metrics` op renders its Prometheus exposition, and the
+  /// `stats` reply gains a "metrics" JSON section. Must outlive the server.
+  /// (Wiring the HOST's engine metrics into the same registry is the
+  /// caller's job — EngineHost::EnableMetrics.)
+  MetricsRegistry* metrics = nullptr;
+  /// When non-null, any query whose wall time breaches the log's threshold
+  /// has its span tree appended as one JSON line. Must outlive the server.
+  SlowQueryLog* slow_query_log = nullptr;
 };
 
 /// \brief Newline-delimited JSON server over an EngineHost.
@@ -97,10 +117,22 @@ class PisServer {
   uint64_t requests_served() const { return shell_.requests_served(); }
 
  private:
+  /// Per-op request instrumentation, registered once at construction for
+  /// the fixed op vocabulary so the request path never takes the registry
+  /// mutex.
+  struct OpMetrics {
+    Counter* requests = nullptr;
+    Histogram* latency = nullptr;
+  };
+
   /// Returns the reply; sets `*shutdown` when the request asked the server
   /// to stop (the reply is still sent first).
   JsonValue HandleLine(const std::string& line, bool* shutdown);
+  /// Times and counts the request, then dispatches.
   JsonValue HandleRequest(const JsonValue& request, bool* shutdown);
+  JsonValue Dispatch(const JsonValue& request, const std::string& op,
+                     bool* shutdown);
+  JsonValue HandleQuery(const JsonValue& request);
   JsonValue HandleShardQuery(const JsonValue& request);
   JsonValue HandleShardVerify(const JsonValue& request);
   JsonValue HandleShardAdd(const JsonValue& request);
@@ -109,6 +141,10 @@ class PisServer {
   EngineHost* host_;
   /// Sorted copy of options.shards_owned (empty = all shards).
   std::vector<int> shards_owned_;
+  MetricsRegistry* metrics_registry_;
+  SlowQueryLog* slow_log_;
+  /// op -> cached children; read-only after construction.
+  std::map<std::string, OpMetrics> op_metrics_;
   LineServer shell_;
 };
 

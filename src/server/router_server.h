@@ -8,21 +8,29 @@
 //     "sigma":2.0?}                        "candidates":N,...}
 //   {"op":"add","graph":"<record>"}    -> {"ok":true,"id":gid}
 //   {"op":"remove","id":17}            -> {"ok":true}
+//   {"op":"metrics"}                   -> {"ok":true,"content_type":..,
+//                                         "text":"<prometheus exposition>"}
 //   {"op":"probe"}                     -> {"ok":true} (one synchronous
 //                                         health/catch-up pass; test hook)
 //   {"op":"shutdown"}                  -> {"ok":true} (stops the router
 //                                         only, never the shard servers)
 //
-// Failures reply {"ok":false,"code":"<StatusCode>","error":"..."}; an
-// Unavailable code on a write is the ambiguous-failure contract of
-// ClusterEngine::AddGraph/RemoveGraph (committed for catch-up, not yet
-// readable).
+// `query` additionally accepts "trace":true, which adds a "trace" object to
+// the reply: {"trace_id":..,"op":"query","total_ms":F,"spans":[root]} where
+// the single root span "query" contains the router-level pipeline — the
+// per-shard-group "shard_query:*" round trips (each carrying the replica's
+// own child spans), "merge", the global "filter" stage tree, and the
+// per-shard "shard_verify:*" round trips. The same document is what a
+// configured slow-query log records when total_ms breaches the threshold.
 #ifndef PIS_SERVER_ROUTER_SERVER_H_
 #define PIS_SERVER_ROUTER_SERVER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/cluster_engine.h"
 #include "server/line_server.h"
 #include "util/json.h"
@@ -36,6 +44,15 @@ struct RouterServerOptions {
   bool loopback_only = true;
   int num_workers = 4;
   size_t max_request_bytes = 16u << 20;
+  /// When non-null: per-op request counters/latency histograms register
+  /// here, the `metrics` op renders its Prometheus exposition, and the
+  /// `stats` reply gains a "metrics" JSON section. Must outlive the server.
+  /// (Wiring the ClusterEngine's fabric metrics into the same registry is
+  /// the caller's job — ClusterEngineOptions::metrics.)
+  MetricsRegistry* metrics = nullptr;
+  /// When non-null, any query whose wall time breaches the log's threshold
+  /// has its span tree appended as one JSON line. Must outlive the server.
+  SlowQueryLog* slow_query_log = nullptr;
 };
 
 /// \brief Client-protocol server over a ClusterEngine.
@@ -53,10 +70,26 @@ class RouterServer {
   uint64_t requests_served() const { return shell_.requests_served(); }
 
  private:
+  /// Per-op request instrumentation, registered once at construction for
+  /// the fixed op vocabulary so the request path never takes the registry
+  /// mutex.
+  struct OpMetrics {
+    Counter* requests = nullptr;
+    Histogram* latency = nullptr;
+  };
+
   JsonValue HandleLine(const std::string& line, bool* shutdown);
+  /// Times and counts the request, then dispatches.
   JsonValue HandleRequest(const JsonValue& request, bool* shutdown);
+  JsonValue Dispatch(const JsonValue& request, const std::string& op,
+                     bool* shutdown);
+  JsonValue HandleQuery(const JsonValue& request);
 
   ClusterEngine* cluster_;
+  MetricsRegistry* metrics_registry_;
+  SlowQueryLog* slow_log_;
+  /// op -> cached children; read-only after construction.
+  std::map<std::string, OpMetrics> op_metrics_;
   LineServer shell_;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "graph/io.h"
+#include "util/timer.h"
 
 namespace pis {
 
@@ -32,6 +34,52 @@ bool IsTransportError(const Status& status) {
 }
 
 // ---------------------------------------------------------------------------
+// ShardBackend RPC instrumentation
+
+void ShardBackend::EnableMetrics(MetricsRegistry* registry) {
+  auto hist = [&](const char* op) {
+    return registry->GetHistogram(
+        "pis_cluster_rpc_seconds",
+        "Per-endpoint round-trip latency of shard-fabric calls.",
+        Histogram::DefaultLatencyBounds(),
+        {{"endpoint", name()}, {"op", op}});
+  };
+  rpc_metrics_.health = hist("health");
+  rpc_metrics_.meta = hist("meta");
+  rpc_metrics_.shard_query = hist("shard_query");
+  rpc_metrics_.shard_verify = hist("shard_verify");
+  rpc_metrics_.shard_add = hist("shard_add");
+  rpc_metrics_.shard_remove = hist("shard_remove");
+  rpc_metrics_.transport_errors = registry->GetCounter(
+      "pis_cluster_rpc_transport_errors_total",
+      "Transport-classified shard-fabric call failures (the ones that trip "
+      "the breaker).",
+      {{"endpoint", name()}});
+}
+
+void ShardBackend::RecordRpc(const char* op, double seconds,
+                             bool transport_error) {
+  Histogram* h = nullptr;
+  if (std::strcmp(op, "health") == 0) {
+    h = rpc_metrics_.health;
+  } else if (std::strcmp(op, "meta") == 0) {
+    h = rpc_metrics_.meta;
+  } else if (std::strcmp(op, "shard_query") == 0) {
+    h = rpc_metrics_.shard_query;
+  } else if (std::strcmp(op, "shard_verify") == 0) {
+    h = rpc_metrics_.shard_verify;
+  } else if (std::strcmp(op, "shard_add") == 0) {
+    h = rpc_metrics_.shard_add;
+  } else if (std::strcmp(op, "shard_remove") == 0) {
+    h = rpc_metrics_.shard_remove;
+  }
+  if (h != nullptr) h->Observe(seconds);
+  if (transport_error && rpc_metrics_.transport_errors != nullptr) {
+    rpc_metrics_.transport_errors->Inc();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // LocalShardBackend
 
 LocalShardBackend::LocalShardBackend(EngineHost* host,
@@ -45,24 +93,38 @@ LocalShardBackend::LocalShardBackend(EngineHost* host,
       shards_owned_.end());
 }
 
-Result<uint64_t> LocalShardBackend::Health() { return host_->Stats().epoch; }
+Result<uint64_t> LocalShardBackend::Health() {
+  Timer timer;
+  const uint64_t epoch = host_->Stats().epoch;
+  RecordRpc("health", timer.Seconds(), false);
+  return epoch;
+}
 
 Result<ShardMeta> LocalShardBackend::Meta() {
+  Timer timer;
   std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
-  return CollectShardMeta(*snap, shards_owned_);
+  Result<ShardMeta> meta = CollectShardMeta(*snap, shards_owned_);
+  RecordRpc("meta", timer.Seconds(), false);
+  return meta;
 }
 
 Result<ShardQueryResult> LocalShardBackend::ShardQuery(
     const Graph& query, const std::vector<int>& shards, double sigma,
-    bool sketch) {
+    bool sketch, bool trace) {
+  Timer timer;
   std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
   PIS_RETURN_NOT_OK(
       CheckShardsOwned(shards, shards_owned_, snap->index->num_shards()));
-  return RunShardQuery(*snap, shards, query, sigma, sketch, host_->options());
+  Result<ShardQueryResult> result = RunShardQuery(
+      *snap, shards, query, sigma, sketch, host_->options(), trace);
+  RecordRpc("shard_query", timer.Seconds(), false);
+  return result;
 }
 
 Result<std::vector<int>> LocalShardBackend::ShardVerify(
-    const Graph& query, const std::vector<int>& ids, double sigma) {
+    const Graph& query, const std::vector<int>& ids, double sigma, bool trace,
+    std::vector<TraceSpan>* spans_out) {
+  Timer timer;
   std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
   if (!shards_owned_.empty()) {
     for (int gid : ids) {
@@ -77,7 +139,10 @@ Result<std::vector<int>> LocalShardBackend::ShardVerify(
       }
     }
   }
-  return RunShardVerify(*snap, ids, query, sigma, host_->options());
+  Result<std::vector<int>> answers = RunShardVerify(
+      *snap, ids, query, sigma, host_->options(), trace, spans_out);
+  RecordRpc("shard_verify", timer.Seconds(), false);
+  return answers;
 }
 
 Result<uint64_t> LocalShardBackend::ShardAdd(int gid, int shard,
@@ -88,14 +153,19 @@ Result<uint64_t> LocalShardBackend::ShardAdd(int gid, int shard,
     return Status::InvalidArgument("shard " + std::to_string(shard) +
                                    " is not owned by this replica");
   }
+  Timer timer;
   uint64_t epoch = 0;
-  PIS_RETURN_NOT_OK(host_->AddGraphAt(gid, shard, g, &epoch));
+  Status added = host_->AddGraphAt(gid, shard, g, &epoch);
+  RecordRpc("shard_add", timer.Seconds(), false);
+  PIS_RETURN_NOT_OK(added);
   return epoch;
 }
 
 Result<ShardBackend::RemoveOutcome> LocalShardBackend::ShardRemove(int gid) {
+  Timer timer;
   uint64_t epoch = 0;
   Status removed = host_->RemoveGraph(gid, &epoch);
+  RecordRpc("shard_remove", timer.Seconds(), false);
   if (removed.ok()) return RemoveOutcome{epoch, true};
   // Mirror pis_server's idempotent shard_remove: already-dead is success.
   std::shared_ptr<const EngineHost::Snapshot> snap = host_->snapshot();
@@ -115,6 +185,15 @@ RemoteShardBackend::RemoteShardBackend(std::string host, int port,
       name_(host_ + ":" + std::to_string(port_)) {}
 
 Result<JsonValue> RemoteShardBackend::RoundTrip(const JsonValue& request) {
+  Timer timer;
+  Result<JsonValue> reply = RoundTripInner(request);
+  RecordRpc(request.GetStringOr("op", "raw").c_str(), timer.Seconds(),
+            !reply.ok() && IsTransportError(reply.status()));
+  return reply;
+}
+
+Result<JsonValue> RemoteShardBackend::RoundTripInner(
+    const JsonValue& request) {
   MutexLock lock(&mu_);
   if (!conn_.valid()) {
     Result<TcpSocket> conn = TcpSocket::Connect(host_, port_, timeout_ms_);
@@ -168,7 +247,7 @@ Result<ShardMeta> RemoteShardBackend::Meta() {
 
 Result<ShardQueryResult> RemoteShardBackend::ShardQuery(
     const Graph& query, const std::vector<int>& shards, double sigma,
-    bool sketch) {
+    bool sketch, bool trace) {
   JsonValue request = JsonValue::Object();
   request.Set("op", "shard_query");
   request.Set("graph", FormatGraph(query, 0));
@@ -177,12 +256,14 @@ Result<ShardQueryResult> RemoteShardBackend::ShardQuery(
   request.Set("shards", std::move(shard_list));
   request.Set("sigma", sigma);
   request.Set("sketch", sketch);
+  if (trace) request.Set("trace", true);
   PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
   return ShardQueryResultFromJson(reply);
 }
 
 Result<std::vector<int>> RemoteShardBackend::ShardVerify(
-    const Graph& query, const std::vector<int>& ids, double sigma) {
+    const Graph& query, const std::vector<int>& ids, double sigma, bool trace,
+    std::vector<TraceSpan>* spans_out) {
   JsonValue request = JsonValue::Object();
   request.Set("op", "shard_verify");
   request.Set("graph", FormatGraph(query, 0));
@@ -190,7 +271,17 @@ Result<std::vector<int>> RemoteShardBackend::ShardVerify(
   for (int gid : ids) id_list.Push(gid);
   request.Set("ids", std::move(id_list));
   request.Set("sigma", sigma);
+  if (trace) request.Set("trace", true);
   PIS_ASSIGN_OR_RETURN(JsonValue reply, RoundTrip(request));
+  if (trace && spans_out != nullptr) {
+    if (const JsonValue* spans = reply.Find("spans"); spans != nullptr) {
+      PIS_ASSIGN_OR_RETURN(std::vector<TraceSpan> decoded,
+                           TraceSpan::ListFromJson(*spans));
+      spans_out->insert(spans_out->end(),
+                        std::make_move_iterator(decoded.begin()),
+                        std::make_move_iterator(decoded.end()));
+    }
+  }
   const JsonValue* answers = reply.Find("answers");
   if (answers == nullptr || !answers->is_array()) {
     return Status::InvalidArgument("shard_verify reply has no \"answers\"");

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/engine_host.h"
 #include "server/shard_ops.h"
 #include "util/json.h"
@@ -56,12 +58,17 @@ class ShardBackend {
   /// Liveness probe; returns the replica's current epoch.
   virtual Result<uint64_t> Health() = 0;
   virtual Result<ShardMeta> Meta() = 0;
+  /// With `trace`, the result's `spans` carries the replica's stage spans
+  /// (remote clock domain — see ShardQueryResult::spans).
   virtual Result<ShardQueryResult> ShardQuery(const Graph& query,
                                               const std::vector<int>& shards,
-                                              double sigma, bool sketch) = 0;
-  virtual Result<std::vector<int>> ShardVerify(const Graph& query,
-                                               const std::vector<int>& ids,
-                                               double sigma) = 0;
+                                              double sigma, bool sketch,
+                                              bool trace = false) = 0;
+  /// With `trace` and a non-null `spans_out`, appends the replica's verify
+  /// spans on success (remote clock domain).
+  virtual Result<std::vector<int>> ShardVerify(
+      const Graph& query, const std::vector<int>& ids, double sigma,
+      bool trace = false, std::vector<TraceSpan>* spans_out = nullptr) = 0;
   /// Idempotent explicit-placement write; returns the publishing epoch
   /// (0 when the replica had already applied this placement).
   virtual Result<uint64_t> ShardAdd(int gid, int shard, const Graph& g) = 0;
@@ -73,6 +80,34 @@ class ShardBackend {
     bool applied = false;
   };
   virtual Result<RemoveOutcome> ShardRemove(int gid) = 0;
+
+  /// Registers this endpoint's RPC instrumentation — one latency-histogram
+  /// child per op under `pis_cluster_rpc_seconds{endpoint,op}` plus a
+  /// transport-error counter — and starts recording. Same setup contract as
+  /// EngineHost::EnableMetrics: call before the backend is shared across
+  /// threads; the cached pointers are then read unsynchronized and poked
+  /// atomics-only.
+  void EnableMetrics(MetricsRegistry* registry);
+
+ protected:
+  /// Observes one completed call into the per-op latency histogram; a
+  /// transport-classified failure (IsTransportError) also counts toward the
+  /// endpoint's error counter. No-op until EnableMetrics.
+  void RecordRpc(const char* op, double seconds, bool transport_error);
+
+ private:
+  /// Cached per-op children (fixed op vocabulary, resolved once so the
+  /// record path never touches the registry mutex).
+  struct RpcMetrics {
+    Histogram* health = nullptr;
+    Histogram* meta = nullptr;
+    Histogram* shard_query = nullptr;
+    Histogram* shard_verify = nullptr;
+    Histogram* shard_add = nullptr;
+    Histogram* shard_remove = nullptr;
+    Counter* transport_errors = nullptr;
+  };
+  RpcMetrics rpc_metrics_;
 };
 
 /// \brief An in-process EngineHost serving a shard subset.
@@ -87,10 +122,12 @@ class LocalShardBackend : public ShardBackend {
   Result<ShardMeta> Meta() override;
   Result<ShardQueryResult> ShardQuery(const Graph& query,
                                       const std::vector<int>& shards,
-                                      double sigma, bool sketch) override;
-  Result<std::vector<int>> ShardVerify(const Graph& query,
-                                       const std::vector<int>& ids,
-                                       double sigma) override;
+                                      double sigma, bool sketch,
+                                      bool trace = false) override;
+  Result<std::vector<int>> ShardVerify(
+      const Graph& query, const std::vector<int>& ids, double sigma,
+      bool trace = false,
+      std::vector<TraceSpan>* spans_out = nullptr) override;
   Result<uint64_t> ShardAdd(int gid, int shard, const Graph& g) override;
   Result<RemoveOutcome> ShardRemove(int gid) override;
 
@@ -118,10 +155,12 @@ class RemoteShardBackend : public ShardBackend {
   Result<ShardMeta> Meta() override;
   Result<ShardQueryResult> ShardQuery(const Graph& query,
                                       const std::vector<int>& shards,
-                                      double sigma, bool sketch) override;
-  Result<std::vector<int>> ShardVerify(const Graph& query,
-                                       const std::vector<int>& ids,
-                                       double sigma) override;
+                                      double sigma, bool sketch,
+                                      bool trace = false) override;
+  Result<std::vector<int>> ShardVerify(
+      const Graph& query, const std::vector<int>& ids, double sigma,
+      bool trace = false,
+      std::vector<TraceSpan>* spans_out = nullptr) override;
   Result<uint64_t> ShardAdd(int gid, int shard, const Graph& g) override;
   Result<RemoveOutcome> ShardRemove(int gid) override;
 
@@ -132,6 +171,10 @@ class RemoteShardBackend : public ShardBackend {
   Result<JsonValue> RoundTrip(const JsonValue& request) PIS_EXCLUDES(mu_);
 
  private:
+  /// RoundTrip minus the instrumentation (the timed socket work).
+  Result<JsonValue> RoundTripInner(const JsonValue& request)
+      PIS_EXCLUDES(mu_);
+
   std::string host_;
   int port_;
   int timeout_ms_;

@@ -70,8 +70,8 @@ Status CheckShardsOwned(const std::vector<int>& requested,
 Result<ShardQueryResult> RunShardQuery(const EngineHost::Snapshot& snap,
                                        const std::vector<int>& shards,
                                        const Graph& query, double sigma,
-                                       bool sketch,
-                                       const PisOptions& options) {
+                                       bool sketch, const PisOptions& options,
+                                       bool trace) {
   if (query.Empty()) {
     // The same rejection RunPisFilter issues, so a router fanning this out
     // propagates an error identical to the single-process engine's.
@@ -80,27 +80,38 @@ Result<ShardQueryResult> RunShardQuery(const EngineHost::Snapshot& snap,
   const ShardedFragmentIndex& index = *snap.index;
   ShardQueryResult result;
   result.epoch = snap.epoch;
+  // Tracing is request-scoped: the id never leaves this function (the wire
+  // carries only the spans), so a fixed placeholder id is fine.
+  TraceContext ctx("shard_query");
+  TraceContext* tp = trace ? &ctx : nullptr;
   // Any shard serves as the enumeration catalog (classes are
   // feature-derived and identical across shards AND replicas — the frozen-
   // catalog contract), so every replica enumerates the identical fragment
   // list and per-fragment maps align positionally across endpoints.
-  PIS_ASSIGN_OR_RETURN(result.fragments,
-                       EnumerateIndexedQueryFragments(
-                           index.shard(0), query,
-                           options.max_query_fragments));
+  {
+    ScopedSpan span(tp, "enumerate");
+    PIS_ASSIGN_OR_RETURN(result.fragments,
+                         EnumerateIndexedQueryFragments(
+                             index.shard(0), query,
+                             options.max_query_fragments));
+  }
   result.dists.resize(result.fragments.size());
   std::unordered_map<int, double> local;
-  for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
-    for (int s : shards) {
+  // Shard-outer so each requested shard's sweep is one contiguous trace
+  // span; the per-fragment maps come out identical either way (shards own
+  // disjoint gid spaces, so the merge is a plain union).
+  for (int s : shards) {
+    ScopedSpan span(tp, "range_queries:shard" + std::to_string(s));
+    for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
       PIS_RETURN_NOT_OK(internal::MinDistancePerGraph(
           index.shard(s), result.fragments[fi].prepared, sigma, &local));
       for (const auto& [local_gid, d] : local) {
-        // Shards own disjoint gid spaces, so the merge is a plain union.
         result.dists[fi].emplace(index.global_id(s, local_gid), d);
       }
     }
   }
   if (sketch && !result.fragments.empty()) {
+    ScopedSpan span(tp, "sketch_probe");
     std::vector<int> class_ids;
     class_ids.reserve(result.fragments.size());
     for (const QueryFragment& qf : result.fragments) {
@@ -127,13 +138,15 @@ Result<ShardQueryResult> RunShardQuery(const EngineHost::Snapshot& snap,
     }
     std::sort(result.sketch_pruned.begin(), result.sketch_pruned.end());
   }
+  if (tp != nullptr) result.spans = tp->TakeSpans();
   return result;
 }
 
 Result<std::vector<int>> RunShardVerify(const EngineHost::Snapshot& snap,
                                         const std::vector<int>& ids,
                                         const Graph& query, double sigma,
-                                        const PisOptions& options) {
+                                        const PisOptions& options, bool trace,
+                                        std::vector<TraceSpan>* spans_out) {
   std::vector<int> candidates = ids;
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
@@ -148,9 +161,22 @@ Result<std::vector<int>> RunShardVerify(const EngineHost::Snapshot& snap,
                               " is not live on this replica");
     }
   }
-  VerifyResult verified =
-      VerifyCandidates(*snap.db, query, candidates, snap.index->options().spec,
-                       sigma, options.verify_threads);
+  TraceContext ctx("shard_verify");
+  TraceContext* tp = trace && spans_out != nullptr ? &ctx : nullptr;
+  VerifyResult verified;
+  {
+    ScopedSpan span(tp, "verify:" + std::to_string(candidates.size()) +
+                            "_candidates");
+    verified = VerifyCandidates(*snap.db, query, candidates,
+                                snap.index->options().spec, sigma,
+                                options.verify_threads);
+  }
+  if (tp != nullptr) {
+    std::vector<TraceSpan> spans = tp->TakeSpans();
+    spans_out->insert(spans_out->end(),
+                      std::make_move_iterator(spans.begin()),
+                      std::make_move_iterator(spans.end()));
+  }
   return std::move(verified.answers);
 }
 
@@ -245,6 +271,11 @@ void ShardQueryResultToJson(const ShardQueryResult& result, JsonValue* reply) {
   reply->Set("dists", std::move(dists));
   reply->Set("sketch_checks", result.sketch_checks);
   reply->Set("sketch_pruned", IntArrayToJson(result.sketch_pruned));
+  // Omitted entirely when untraced, keeping untraced reply bytes identical
+  // to the pre-tracing protocol.
+  if (!result.spans.empty()) {
+    reply->Set("spans", TraceSpan::ListToJson(result.spans));
+  }
 }
 
 Result<ShardQueryResult> ShardQueryResultFromJson(const JsonValue& reply) {
@@ -291,6 +322,9 @@ Result<ShardQueryResult> ShardQueryResultFromJson(const JsonValue& reply) {
       static_cast<uint64_t>(reply.GetNumberOr("sketch_checks", 0));
   PIS_ASSIGN_OR_RETURN(result.sketch_pruned,
                        ReadIntArray(reply, "sketch_pruned"));
+  if (const JsonValue* spans = reply.Find("spans"); spans != nullptr) {
+    PIS_ASSIGN_OR_RETURN(result.spans, TraceSpan::ListFromJson(*spans));
+  }
   return result;
 }
 

@@ -38,6 +38,7 @@
 #include "core/options.h"
 #include "core/query_fragments.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 #include "server/engine_host.h"
 #include "util/json.h"
 #include "util/status.h"
@@ -75,6 +76,11 @@ struct ShardQueryResult {
   /// blocks were missing an enumerated class's bits.
   uint64_t sketch_checks = 0;
   std::vector<int> sketch_pruned;
+  /// Shard-side stage spans (empty unless the request set "trace": true).
+  /// Offsets are relative to the replica's own handler start — the remote
+  /// clock domain (obs/trace.h) — so the router grafts them under its
+  /// round-trip span instead of interleaving them with local siblings.
+  std::vector<TraceSpan> spans;
 };
 
 /// InvalidArgument unless every requested shard is within range and owned
@@ -85,19 +91,27 @@ Status CheckShardsOwned(const std::vector<int>& requested,
 /// Executes `shard_query` over a pinned snapshot: fragment enumeration plus
 /// one range query per (fragment, requested shard), merged to global ids.
 /// `options` supplies the engine knobs that must match the cluster config
-/// (max_query_fragments); `sigma`/`sketch` are per-request.
+/// (max_query_fragments); `sigma`/`sketch`/`trace` are per-request. With
+/// `trace`, the result carries spans for the enumeration, each requested
+/// shard's range-query sweep, and the sketch probe.
 Result<ShardQueryResult> RunShardQuery(const EngineHost::Snapshot& snap,
                                        const std::vector<int>& shards,
                                        const Graph& query, double sigma,
-                                       bool sketch, const PisOptions& options);
+                                       bool sketch, const PisOptions& options,
+                                       bool trace = false);
 
 /// Executes `shard_verify`: verifies candidate ids (each live and resident
 /// in one of this replica's shards — InvalidArgument otherwise) and returns
-/// the ids within `sigma`, ascending.
+/// the ids within `sigma`, ascending. With `trace` and a non-null
+/// `spans_out`, appends a span covering the verification (remote clock
+/// domain, like ShardQueryResult::spans).
 Result<std::vector<int>> RunShardVerify(const EngineHost::Snapshot& snap,
                                         const std::vector<int>& ids,
                                         const Graph& query, double sigma,
-                                        const PisOptions& options);
+                                        const PisOptions& options,
+                                        bool trace = false,
+                                        std::vector<TraceSpan>* spans_out =
+                                            nullptr);
 
 /// Executes `meta` over a pinned snapshot.
 ShardMeta CollectShardMeta(const EngineHost::Snapshot& snap,

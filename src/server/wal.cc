@@ -14,6 +14,7 @@
 #include "util/fs_util.h"
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/timer.h"
 
 namespace pis {
 
@@ -258,7 +259,8 @@ WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
       recovered_(std::move(other.recovered_)),
       max_recovered_epoch_(other.max_recovered_epoch_),
       bytes_(other.bytes_.load(std::memory_order_relaxed)),
-      records_(other.records_.load(std::memory_order_relaxed)) {
+      records_(other.records_.load(std::memory_order_relaxed)),
+      metrics_(other.metrics_) {
   other.fd_ = -1;
 }
 
@@ -274,6 +276,7 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
                  std::memory_order_relaxed);
     records_.store(other.records_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+    metrics_ = other.metrics_;
   }
   return *this;
 }
@@ -360,9 +363,25 @@ Status WriteAheadLog::Replay(GraphDatabase* db,
   return Status::OK();
 }
 
+void WriteAheadLog::EnableMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  metrics_.append_seconds = registry->GetHistogram(
+      "pis_wal_append_seconds", "WAL batch append + fsync latency");
+  metrics_.appended_records = registry->GetCounter(
+      "pis_wal_appended_records_total", "Records appended to the WAL");
+  metrics_.fsyncs =
+      registry->GetCounter("pis_wal_fsyncs_total", "WAL fsync calls");
+  metrics_.truncations = registry->GetCounter(
+      "pis_wal_truncations_total", "Checkpoint truncations of the WAL");
+  metrics_.log_bytes =
+      registry->GetGauge("pis_wal_bytes", "Current WAL file size in bytes");
+  metrics_.log_bytes->Set(static_cast<int64_t>(bytes()));
+}
+
 Status WriteAheadLog::Append(std::span<const WalRecord> batch) {
   if (fd_ < 0) return Status::Internal("WAL is not open for append");
   if (batch.empty()) return Status::OK();
+  Timer append_timer;
   std::string buf;
   for (const WalRecord& rec : batch) {
     const std::string payload = EncodePayload(rec);
@@ -401,6 +420,12 @@ Status WriteAheadLog::Append(std::span<const WalRecord> batch) {
   }
   bytes_.store(old_bytes + buf.size(), std::memory_order_relaxed);
   records_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (metrics_.append_seconds != nullptr) {
+    metrics_.append_seconds->Observe(append_timer.Seconds());
+    metrics_.appended_records->Inc(batch.size());
+    metrics_.fsyncs->Inc();
+    metrics_.log_bytes->Set(static_cast<int64_t>(old_bytes + buf.size()));
+  }
   return Status::OK();
 }
 
@@ -429,6 +454,10 @@ Status WriteAheadLog::TruncateThrough(uint64_t through_epoch) {
   PIS_RETURN_NOT_OK(OpenForAppend());
   bytes_.store(new_size, std::memory_order_relaxed);
   records_.store(keep.size(), std::memory_order_relaxed);
+  if (metrics_.truncations != nullptr) {
+    metrics_.truncations->Inc();
+    metrics_.log_bytes->Set(static_cast<int64_t>(new_size));
+  }
   return Status::OK();
 }
 

@@ -47,6 +47,7 @@
 
 #include "graph/graph.h"
 #include "index/sharded_index.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -116,6 +117,13 @@ class WriteAheadLog {
   /// ack the batch).
   Status Append(std::span<const WalRecord> batch);
 
+  /// Registers WAL metric families (append latency histogram, appended
+  /// records/fsyncs/truncations counters, log-size gauge) and starts
+  /// recording. Same setup contract as EngineHost::EnableMetrics: call
+  /// under the external lock before concurrent appends; the cached
+  /// pointers are then poked atomics-only.
+  void EnableMetrics(MetricsRegistry* registry);
+
   /// Drops every record with epoch <= `through_epoch` (they are covered by
   /// a snapshot saved at that epoch) by atomically rewriting the log.
   /// Callers must exclude concurrent Append.
@@ -141,6 +149,17 @@ class WriteAheadLog {
   uint64_t max_recovered_epoch_ = 0;
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> records_{0};
+
+  /// Metric family pointers (null until EnableMetrics; not moved with the
+  /// object — EnableMetrics is only valid on the final resting instance).
+  struct Metrics {
+    Histogram* append_seconds = nullptr;
+    Counter* appended_records = nullptr;
+    Counter* fsyncs = nullptr;
+    Counter* truncations = nullptr;
+    Gauge* log_bytes = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace pis

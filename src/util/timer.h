@@ -1,8 +1,12 @@
-// Wall-clock stopwatch used by the benchmark harness and query stats.
+// Monotonic stopwatch used by the benchmark harness, query stats, and the
+// observability layer. Everything here reads steady_clock — never
+// system_clock, whose NTP steps would corrupt measured durations
+// (scripts/lint.sh bans system_clock::now() outside util/).
 #ifndef PIS_UTIL_TIMER_H_
 #define PIS_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace pis {
 
@@ -23,6 +27,17 @@ class Timer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// Nanoseconds on the monotonic clock. Only differences are meaningful —
+/// the epoch is unspecified (boot time on Linux) and differs per host, so
+/// a value must never cross a process boundary undiffed (trace spans ship
+/// start offsets and durations, never raw timestamps).
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace pis
 

@@ -734,7 +734,7 @@ class ClusterHarness {
       ASSERT_TRUE(q.ok());
       queries.push_back(q.value());
     }
-    BatchSearchResult want = oracle_->SearchBatch(queries, 2);
+      BatchSearchResult want = oracle_->SearchBatch(queries, 2);
     BatchSearchResult got = cluster_->SearchBatch(queries, 2);
     ASSERT_EQ(want.results.size(), queries.size());
     ASSERT_EQ(got.results.size(), queries.size());
@@ -750,6 +750,14 @@ class ClusterHarness {
                          got.results[i].value().stats);
     }
   }
+
+  /// A sampled query for callers that drive the cluster directly (e.g. the
+  /// trace-propagation test).
+  Result<Graph> SampleQuery(int edges) { return sampler_->Sample(edges); }
+  /// An initial database graph (useful as a query guaranteed to answer —
+  /// its distance to itself is 0).
+  const Graph& initial_graph(int i) const { return pool_.at(i); }
+  double sigma() const { return opt_.sigma; }
 
  private:
   Options opt_;

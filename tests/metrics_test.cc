@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pis {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("pis_test_events_total", "events");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, RegistrationIsIdempotentAcrossThreads) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.GetCounter("pis_test_shared_total", "shared",
+                                       {{"op", "query"}});
+      c->Inc();
+      seen[t] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("pis_test_depth", "queue depth");
+  g->Set(7);
+  EXPECT_EQ(g->value(), 7);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 4);
+  g->Set(-2);  // gauges may go negative
+  EXPECT_EQ(g->value(), -2);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.Observe(0.05);   // <= 0.1     -> bucket 0
+  h.Observe(0.1);    // == bound   -> bucket 0 (le is inclusive)
+  h.Observe(0.1001); // > 0.1      -> bucket 1
+  h.Observe(1.0);    // == bound   -> bucket 1
+  h.Observe(5.0);    //            -> bucket 2
+  h.Observe(10.0);   // == bound   -> bucket 2
+  h.Observe(11.0);   // overflow   -> +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.05 + 0.1 + 0.1001 + 1.0 + 5.0 + 10.0 + 11.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsKeepCountAndSumConsistent) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("pis_test_latency_seconds", "latency",
+                                       {0.001, 0.01, 0.1});
+  // 1/256 is exactly representable, so the CAS-accumulated sum is exact
+  // regardless of the order threads landed their additions.
+  constexpr double kValue = 0.00390625;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 0; i < kPerThread; ++i) h->Observe(kValue);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const uint64_t want = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h->count(), want);
+  EXPECT_EQ(h->bucket_count(1), want);
+  EXPECT_DOUBLE_EQ(h->sum(), kValue * static_cast<double>(want));
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-4);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_GT(bounds.back(), 20.0);  // covers a cold cluster round trip
+}
+
+TEST(RegistryTest, PrometheusExpositionGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("pis_a_total", "counted things", {{"op", "query"}})
+      ->Inc(3);
+  registry.GetCounter("pis_a_total", "counted things", {{"op", "add"}})->Inc();
+  registry.GetGauge("pis_b", "a gauge")->Set(42);
+  Histogram* h =
+      registry.GetHistogram("pis_c_seconds", "a histogram", {0.5, 2.0});
+  h->Observe(0.25);
+  h->Observe(1.0);
+  h->Observe(9.0);
+  const std::string want =
+      "# HELP pis_a_total counted things\n"
+      "# TYPE pis_a_total counter\n"
+      "pis_a_total{op=\"add\"} 1\n"
+      "pis_a_total{op=\"query\"} 3\n"
+      "# HELP pis_b a gauge\n"
+      "# TYPE pis_b gauge\n"
+      "pis_b 42\n"
+      "# HELP pis_c_seconds a histogram\n"
+      "# TYPE pis_c_seconds histogram\n"
+      "pis_c_seconds_bucket{le=\"0.5\"} 1\n"
+      "pis_c_seconds_bucket{le=\"2\"} 2\n"
+      "pis_c_seconds_bucket{le=\"+Inf\"} 3\n"
+      "pis_c_seconds_sum 10.25\n"
+      "pis_c_seconds_count 3\n";
+  EXPECT_EQ(registry.RenderPrometheus(), want);
+}
+
+TEST(RegistryTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("pis_esc_total", "escapes",
+                      {{"path", "a\\b\"c\nd"}})->Inc();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("pis_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, LabelOrderIsCanonical) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("pis_lbl_total", "labels",
+                                   {{"b", "2"}, {"a", "1"}});
+  Counter* b = registry.GetCounter("pis_lbl_total", "labels",
+                                   {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(a, b);  // order-insensitive: one child
+  a->Inc();
+  EXPECT_NE(registry.RenderPrometheus().find(
+                "pis_lbl_total{a=\"1\",b=\"2\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsDummyNotCrash) {
+  MetricsRegistry registry;
+  Counter* real = registry.GetCounter("pis_dual", "first registration wins");
+  real->Inc(5);
+  // Registering the same name as a gauge is a programming error; the call
+  // must not crash and must not corrupt the original family.
+  Gauge* dummy = registry.GetGauge("pis_dual", "mismatched");
+  ASSERT_NE(dummy, nullptr);
+  dummy->Set(99);
+  EXPECT_EQ(real->value(), 5u);
+  EXPECT_NE(registry.RenderPrometheus().find("pis_dual 5\n"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, HistogramFamilySharesBounds) {
+  MetricsRegistry registry;
+  Histogram* a = registry.GetHistogram("pis_fam_seconds", "family", {1.0});
+  // Later registration's bounds are ignored: children of one family must
+  // share buckets or the exposition would be unmergeable.
+  Histogram* b = registry.GetHistogram("pis_fam_seconds", "family",
+                                       {0.5, 2.0, 4.0}, {{"op", "x"}});
+  EXPECT_EQ(a->bounds(), std::vector<double>{1.0});
+  EXPECT_EQ(b->bounds(), std::vector<double>{1.0});
+}
+
+TEST(RegistryTest, JsonMirrorShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("pis_j_total", "json", {{"op", "query"}})->Inc(2);
+  registry.GetHistogram("pis_jh_seconds", "json hist", {1.0})->Observe(0.5);
+  JsonValue root = registry.ToJsonValue();
+  const JsonValue* counter = root.Find("pis_j_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->GetStringOr("type", ""), "counter");
+  const JsonValue* values = counter->Find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ(values->items()[0].GetNumberOr("value", 0), 2);
+  const JsonValue* hist = root.Find("pis_jh_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->GetStringOr("type", ""), "histogram");
+  const JsonValue& hv = hist->Find("values")->items()[0];
+  EXPECT_EQ(hv.GetNumberOr("count", 0), 1);
+  EXPECT_DOUBLE_EQ(hv.GetNumberOr("sum", 0), 0.5);
+  ASSERT_NE(hv.Find("buckets"), nullptr);
+  EXPECT_EQ(hv.Find("buckets")->size(), 2u);  // le=1.0 and +Inf
+}
+
+}  // namespace
+}  // namespace pis

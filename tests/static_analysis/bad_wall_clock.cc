@@ -1,0 +1,17 @@
+// Lint fixture: reads the wall clock outside src/util/. scripts/lint.sh
+// must REJECT this file (the static_analysis suite runs `lint.sh <this
+// file>` and asserts failure + the "system_clock" diagnostic via
+// check_negative.sh).
+//
+// system_clock::now() is banned outside util/ because the wall clock
+// steps under NTP adjustment — a duration measured across a step is
+// garbage, and a trace span built from one is worse than no span. All
+// timing goes through util/timer.h (steady_clock / MonotonicNowNs).
+#include <chrono>
+
+int main() {
+  // BAD: wall-clock read used as a timestamp for a measurement.
+  auto start = std::chrono::system_clock::now();
+  auto end = std::chrono::system_clock::now();
+  return end < start ? 1 : 0;  // can genuinely happen, which is the point
+}

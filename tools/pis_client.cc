@@ -3,15 +3,20 @@
 //
 //   pis_client health    --port P [--host H] [--timeout_ms T]
 //   pis_client stats     --port P
-//   pis_client query     --port P --query q.txt [--sigma S]
+//   pis_client query     --port P --query q.txt [--sigma S] [--trace]
 //   pis_client add       --port P --graphs new.txt
 //   pis_client remove    --port P --ids 3,17,42
 //   pis_client compact   --port P [--min_dead_ratio R]
+//   pis_client metrics   --port P          (Prometheus text to stdout)
 //   pis_client shutdown  --port P
 //   pis_client raw       --port P          (JSON lines from stdin)
 //
 // Every server reply is printed verbatim — one JSON object per line — so
-// scripts can pipe the output straight into a JSON tool.
+// scripts can pipe the output straight into a JSON tool. Two decoded
+// conveniences on top: `metrics` prints the exposition text itself (the
+// JSON-escaped "text" field is useless to a scraper), and `query --trace`
+// additionally pretty-prints the reply's span tree to stderr — stdout
+// stays one verbatim JSON line per query.
 //
 // Exit codes distinguish what failed, so scripts can tell a down server
 // from a rejected request:
@@ -29,6 +34,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "pis.h"
 #include "util/flags.h"
@@ -51,7 +57,7 @@ int Fail(const Status& status, int code) {
 int FailUsage() {
   std::fprintf(stderr,
                "usage: pis_client "
-               "<health|stats|query|add|remove|compact|shutdown|raw> "
+               "<health|stats|query|add|remove|compact|metrics|shutdown|raw> "
                "--port P [flags]\nRun a subcommand with --help for its "
                "flags.\n");
   return kExitUsage;
@@ -60,13 +66,40 @@ int FailUsage() {
 /// Sends one request line, prints the reply line, and returns whether the
 /// reply had "ok":true. Any error here is a transport failure: the wire
 /// broke or produced an unparsable frame (application failures arrive as
-/// well-formed {"ok":false} replies).
-Result<bool> RoundTrip(TcpSocket* conn, const JsonValue& request) {
+/// well-formed {"ok":false} replies). `reply_out` (nullable) receives the
+/// parsed reply.
+Result<bool> RoundTrip(TcpSocket* conn, const JsonValue& request,
+                       JsonValue* reply_out = nullptr) {
   PIS_RETURN_NOT_OK(conn->SendLine(request.Serialize()));
   PIS_ASSIGN_OR_RETURN(std::string reply, conn->RecvLine());
   std::printf("%s\n", reply.c_str());
   PIS_ASSIGN_OR_RETURN(JsonValue parsed, JsonValue::Parse(reply));
-  return parsed.GetBoolOr("ok", false);
+  const bool ok = parsed.GetBoolOr("ok", false);
+  if (reply_out != nullptr) *reply_out = std::move(parsed);
+  return ok;
+}
+
+/// Indented one-line-per-span rendering of a trace span subtree (stderr).
+void PrintSpanTree(const JsonValue& span, int depth) {
+  if (!span.is_object()) return;
+  std::fprintf(stderr, "  %*s%-24s %9.3f ms  (at %.3f ms)\n", depth * 2, "",
+               span.GetStringOr("name", "?").c_str(),
+               span.GetNumberOr("dur_ms", 0), span.GetNumberOr("start_ms", 0));
+  const JsonValue* children = span.Find("children");
+  if (children == nullptr || !children->is_array()) return;
+  for (const JsonValue& child : children->items()) {
+    PrintSpanTree(child, depth + 1);
+  }
+}
+
+/// The `query --trace` stderr breakdown: header plus the span forest.
+void PrintTrace(const JsonValue& trace) {
+  std::fprintf(stderr, "trace %s: %.3f ms total\n",
+               trace.GetStringOr("trace_id", "?").c_str(),
+               trace.GetNumberOr("total_ms", 0));
+  const JsonValue* spans = trace.Find("spans");
+  if (spans == nullptr || !spans->is_array()) return;
+  for (const JsonValue& span : spans->items()) PrintSpanTree(span, 0);
 }
 
 }  // namespace
@@ -82,6 +115,7 @@ int main(int argc, char** argv) {
   double sigma = -1;
   double min_dead_ratio = 0.0;
   int timeout_ms = 0;
+  bool trace = false;
 
   FlagSet flags;
   flags.AddString("host", &host, "server host");
@@ -96,6 +130,9 @@ int main(int argc, char** argv) {
   flags.AddInt("timeout_ms", &timeout_ms,
                "connect + per-request deadline (0 = block forever); a "
                "deadline failure exits 3");
+  flags.AddBool("trace", &trace,
+                "request a per-query span tree and pretty-print it to "
+                "stderr (query)");
   Status st = flags.Parse(argc - 1, argv + 1);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st, kExitUsage);
@@ -112,8 +149,30 @@ int main(int argc, char** argv) {
   };
 
   Status failure = Status::OK();
-  if (cmd == "health" || cmd == "stats" || cmd == "shutdown" ||
-      cmd == "compact") {
+  if (cmd == "metrics") {
+    // Scraper-friendly: the exposition text goes to stdout undecorated
+    // instead of the verbatim (JSON-escaped) reply line.
+    JsonValue request = JsonValue::Object();
+    request.Set("op", "metrics");
+    failure = socket.SendLine(request.Serialize());
+    if (failure.ok()) {
+      auto reply = socket.RecvLine();
+      if (!reply.ok()) {
+        failure = reply.status();
+      } else {
+        auto parsed = JsonValue::Parse(reply.value());
+        if (!parsed.ok()) {
+          failure = parsed.status();
+        } else if (parsed.value().GetBoolOr("ok", false)) {
+          std::fputs(parsed.value().GetStringOr("text", "").c_str(), stdout);
+        } else {
+          std::printf("%s\n", reply.value().c_str());
+          all_ok = false;
+        }
+      }
+    }
+  } else if (cmd == "health" || cmd == "stats" || cmd == "shutdown" ||
+             cmd == "compact") {
     JsonValue request = JsonValue::Object();
     request.Set("op", cmd);
     if (cmd == "compact" && min_dead_ratio > 0) {
@@ -135,8 +194,17 @@ int main(int argc, char** argv) {
       request.Set("op", cmd);
       request.Set("graph", FormatGraph(g, 0));
       if (cmd == "query" && sigma >= 0) request.Set("sigma", sigma);
-      failure = run(request);
-      if (!failure.ok()) break;
+      if (cmd == "query" && trace) request.Set("trace", true);
+      JsonValue reply;
+      Result<bool> ok = RoundTrip(&socket, request, &reply);
+      if (!ok.ok()) {
+        failure = ok.status();
+        break;
+      }
+      all_ok = all_ok && ok.value();
+      if (const JsonValue* t = reply.Find("trace"); t != nullptr) {
+        PrintTrace(*t);
+      }
     }
   } else if (cmd == "remove") {
     if (ids.empty()) {

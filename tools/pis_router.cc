@@ -5,6 +5,7 @@
 //              [--sigma S] [--sketch] [--timeout_ms T]
 //              [--breaker_threshold K] [--breaker_open_ms B]
 //              [--health_interval_ms H]
+//              [--slow_query_ms T] [--slow_query_log PATH]
 //
 // The manifest maps every shard to its replica endpoints (see
 // docs/cluster.md):
@@ -23,6 +24,12 @@
 // --sigma and --sketch must match the cluster's serving config (they
 // parameterize the global filter); --timeout_ms bounds every replica round
 // trip so a wedged replica degrades to failover, not a hang.
+//
+// Observability (docs/observability.md): {"op":"metrics"} renders the
+// fabric metrics (per-endpoint RPC latency, breaker state, catch-up depth,
+// failovers) plus per-op request metrics as Prometheus text; a query with
+// "trace":true returns the two-round span tree including each replica's
+// own child spans. --slow_query_ms / --slow_query_log mirror pis_server.
 #include <signal.h>
 #include <unistd.h>
 
@@ -57,6 +64,8 @@ int main(int argc, char** argv) {
   int breaker_threshold = 3;
   int breaker_open_ms = 500;
   int health_interval_ms = 100;
+  double slow_query_ms = 0;
+  std::string slow_query_log_path;
 
   FlagSet flags;
   flags.AddString("manifest", &manifest_path,
@@ -77,6 +86,11 @@ int main(int argc, char** argv) {
                "health prober retries it");
   flags.AddInt("health_interval_ms", &health_interval_ms,
                "health-probe and catch-up-drain cadence");
+  flags.AddDouble("slow_query_ms", &slow_query_ms,
+                  "log any query slower than this many milliseconds as a "
+                  "single-line JSON span tree (0 = disabled)");
+  flags.AddString("slow_query_log", &slow_query_log_path,
+                  "slow-query log file (appended; empty = stderr)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -101,14 +115,20 @@ int main(int argc, char** argv) {
   cluster_options.health_interval_ms = health_interval_ms;
   cluster_options.options.sigma = sigma;
   cluster_options.options.sketch_enabled = sketch;
+  // The process-global registry: fabric metrics (breakers, RPC latency,
+  // catch-up) and the router's per-op request metrics in one exposition.
+  cluster_options.metrics = &MetricsRegistry::Global();
   Result<std::unique_ptr<ClusterEngine>> cluster =
       ClusterEngine::Connect(manifest.value(), cluster_options);
   if (!cluster.ok()) return Fail(cluster.status());
   cluster.value()->StartHealthThread();
 
+  SlowQueryLog slow_log(slow_query_log_path, slow_query_ms);
   RouterServerOptions server_options;
   server_options.port = port;
   server_options.num_workers = workers;
+  server_options.metrics = &MetricsRegistry::Global();
+  server_options.slow_query_log = &slow_log;
   RouterServer server(cluster.value().get(), server_options);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);

@@ -5,6 +5,7 @@
 //              [--compact_interval_ms M] [--wal_dir DIR]
 //              [--checkpoint_interval_ms C] [--save_on_exit]
 //              [--shards_owned 0,2,5]
+//              [--slow_query_ms T] [--slow_query_log PATH]
 //   pis_server --db db.txt --shards 4 [--max_fragment_edges K]
 //              [--min_support F] [--gamma G] [--distance mutation|linear] ...
 //
@@ -34,6 +35,11 @@
 // the background maintenance thread scans every --compact_interval_ms and
 // rewrites shards past the threshold via copy-on-write swaps — queries keep
 // answering throughout.
+//
+// Observability (docs/observability.md): the {"op":"metrics"} request
+// renders the process-global registry as Prometheus text; with
+// --slow_query_ms > 0, any query slower than that dumps its span tree as
+// one JSON line to --slow_query_log (stderr when the path is empty).
 #include <signal.h>
 #include <unistd.h>
 
@@ -143,6 +149,8 @@ int main(int argc, char** argv) {
   bool save_on_exit = false;
   bool sketch = false;
   std::string shards_owned_flag;
+  double slow_query_ms = 0;
+  std::string slow_query_log_path;
 
   FlagSet flags;
   flags.AddString("db", &db_path, "database path (native text format)");
@@ -180,6 +188,11 @@ int main(int argc, char** argv) {
   flags.AddString("shards_owned", &shards_owned_flag,
                   "comma-separated shard ids this replica serves for the "
                   "cluster-fabric ops (empty = all; see pis_router)");
+  flags.AddDouble("slow_query_ms", &slow_query_ms,
+                  "log any query slower than this many milliseconds as a "
+                  "single-line JSON span tree (0 = disabled)");
+  flags.AddString("slow_query_log", &slow_query_log_path,
+                  "slow-query log file (appended; empty = stderr)");
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kAlreadyExists) return 0;
   if (!st.ok()) return Fail(st);
@@ -280,9 +293,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The process-global registry: the host's engine/WAL metrics and the
+  // server's per-op request metrics land in one exposition.
+  host.EnableMetrics(&MetricsRegistry::Global());
+  SlowQueryLog slow_log(slow_query_log_path, slow_query_ms);
+
   PisServerOptions server_options;
   server_options.port = port;
   server_options.num_workers = workers;
+  server_options.metrics = &MetricsRegistry::Global();
+  server_options.slow_query_log = &slow_log;
   if (!shards_owned_flag.empty()) {
     Result<std::vector<int>> owned = ParseShardList(shards_owned_flag);
     if (!owned.ok()) return Fail(owned.status());
